@@ -1,0 +1,160 @@
+// Ablation A2 — the paper's future-work #1: caching derived
+// authorizations.
+//
+// Replays a skewed query workload (Zipf-ish: a few hot users dominate,
+// as in real systems) against the facade with caches off, with only
+// the sub-graph cache, and with both caches, then injects explicit-
+// matrix updates to show invalidation cost.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "acm/assignment.h"
+#include "core/strategy.h"
+#include "core/system.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/enterprise.h"
+
+namespace {
+
+using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
+
+struct WorkloadSpec {
+  std::vector<graph::NodeId> query_subjects;  // One per query, skewed.
+  std::vector<size_t> update_points;          // Query indices with updates.
+};
+
+core::AccessControlSystem MakeSystem(core::SystemOptions options,
+                                     uint64_t seed) {
+  Random rng(seed);
+  workload::EnterpriseOptions shape;
+  shape.individuals = 400;
+  shape.groups = 1300;
+  shape.top_level_groups = 15;
+  shape.target_edges = 4400;
+  auto dag = workload::GenerateEnterpriseHierarchy(shape, rng);
+  if (!dag.ok()) std::abort();
+
+  core::AccessControlSystem system(std::move(dag).value(), options);
+  acm::ExplicitAcm seed_acm;
+  const acm::ObjectId obj = seed_acm.InternObject("vault").value();
+  const acm::RightId open = seed_acm.InternRight("open").value();
+  acm::RandomAssignmentOptions assign;
+  assign.authorization_rate = 0.01;
+  if (!acm::AssignRandomAuthorizations(system.dag(), obj, open, assign, rng,
+                                       &seed_acm)
+           .ok()) {
+    std::abort();
+  }
+  for (const auto& e : seed_acm.SortedEntries()) {
+    const std::string& name = system.dag().name(e.subject);
+    const Status s = e.mode == acm::Mode::kPositive
+                         ? system.Grant(name, "vault", "open")
+                         : system.DenyAccess(name, "vault", "open");
+    if (!s.ok()) std::abort();
+  }
+  return system;
+}
+
+WorkloadSpec MakeWorkload(const graph::Dag& dag, size_t queries,
+                          uint64_t seed) {
+  Random rng(seed);
+  const std::vector<graph::NodeId> sinks = dag.Sinks();
+  // 80% of queries hit a hot set of 16 users; 20% are uniform.
+  std::vector<graph::NodeId> hot;
+  for (size_t i = 0; i < 16; ++i) {
+    hot.push_back(sinks[rng.Uniform(sinks.size())]);
+  }
+  WorkloadSpec spec;
+  for (size_t q = 0; q < queries; ++q) {
+    spec.query_subjects.push_back(rng.Bernoulli(0.8)
+                                      ? hot[rng.Uniform(hot.size())]
+                                      : sinks[rng.Uniform(sinks.size())]);
+    if (q > 0 && q % 1000 == 0) spec.update_points.push_back(q);
+  }
+  return spec;
+}
+
+double RunWorkload(core::AccessControlSystem& system,
+                   const WorkloadSpec& spec) {
+  const acm::ObjectId obj = system.eacm().FindObject("vault").value();
+  const acm::RightId open = system.eacm().FindRight("open").value();
+  const core::Strategy strategy = core::ParseStrategy("D+LP-").value();
+
+  size_t next_update = 0;
+  Stopwatch watch;
+  for (size_t q = 0; q < spec.query_subjects.size(); ++q) {
+    if (next_update < spec.update_points.size() &&
+        spec.update_points[next_update] == q) {
+      // An administrative change invalidates derived results.
+      const std::string subject = system.dag().name(
+          spec.query_subjects[q] % 7 == 0 ? spec.query_subjects[q]
+                                          : spec.query_subjects[0]);
+      (void)system.Grant(subject, "vault", "open");
+      ++next_update;
+    }
+    auto decision =
+        system.CheckAccess(spec.query_subjects[q], obj, open, strategy);
+    if (!decision.ok()) std::abort();
+  }
+  return watch.ElapsedMillis();
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kQueries = 20000;
+  constexpr uint64_t kSeed = 99;
+
+  std::cout << "== Ablation: resolution & sub-graph caches (paper §6, "
+               "future work #1) ==\n"
+            << kQueries << " skewed queries, strategy D+LP-, one policy "
+            << "update per 1000 queries\n\n";
+
+  struct Config {
+    const char* name;
+    bool resolution;
+    bool subgraph;
+  };
+  const Config configs[] = {
+      {"no caches", false, false},
+      {"sub-graph cache only", false, true},
+      {"both caches", true, true},
+  };
+
+  TablePrinter table({"configuration", "total ms", "us/query", "hit rate",
+                      "speedup"});
+  double baseline_ms = 0.0;
+  for (const Config& config : configs) {
+    core::SystemOptions options;
+    options.enable_resolution_cache = config.resolution;
+    options.enable_subgraph_cache = config.subgraph;
+    core::AccessControlSystem system = MakeSystem(options, kSeed);
+    const WorkloadSpec spec = MakeWorkload(system.dag(), kQueries, kSeed + 1);
+    const double ms = RunWorkload(system, spec);
+    if (baseline_ms == 0.0) baseline_ms = ms;
+
+    const auto& stats = system.resolution_cache().stats();
+    const uint64_t lookups = stats.hits + stats.misses;
+    table.AddRow(
+        {config.name, FormatDouble(ms, 1),
+         FormatDouble(ms * 1000.0 / static_cast<double>(kQueries), 2),
+         lookups == 0 ? std::string("-")
+                      : FormatDouble(100.0 * static_cast<double>(stats.hits) /
+                                         static_cast<double>(lookups),
+                                     1) +
+                            "%",
+         FormatDouble(baseline_ms / ms, 1) + "x"});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nThe resolution cache turns repeat decisions into hash "
+               "lookups; updates cost\none epoch bump plus lazy re-derivation "
+               "of touched entries only — supporting the\npaper's conjecture "
+               "that caching derived authorizations pays off.\n";
+  return 0;
+}

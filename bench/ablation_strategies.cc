@@ -1,0 +1,147 @@
+// Ablation A6 — are the 48 strategies *meaningfully* different?
+//
+// The framework's value rests on strategy choice mattering in
+// practice. This harness resolves every (user, strategy) pair on an
+// enterprise hierarchy and reports: how often each policy stage
+// actually decides, each strategy's grant rate, and how much the
+// strategies disagree pairwise — the observable diversity of the
+// policy space the single parametric algorithm spans.
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "acm/assignment.h"
+#include "core/propagate.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "graph/ancestor_subgraph.h"
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/enterprise.h"
+
+int main() {
+  using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
+
+  Random rng(404);
+  workload::EnterpriseOptions shape;
+  shape.individuals = 600;
+  shape.groups = 2000;
+  shape.top_level_groups = 25;
+  shape.target_edges = 6800;
+  auto dag = workload::GenerateEnterpriseHierarchy(shape, rng);
+  if (!dag.ok()) {
+    std::cerr << dag.status().ToString() << "\n";
+    return 1;
+  }
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId obj = eacm.InternObject("obj").value();
+  const acm::RightId read = eacm.InternRight("read").value();
+  acm::RandomAssignmentOptions assign;
+  assign.authorization_rate = 0.01;
+  assign.negative_fraction = 0.4;
+  if (!acm::AssignRandomAuthorizations(*dag, obj, read, assign, rng, &eacm)
+           .ok()) {
+    return 1;
+  }
+  const auto labels = eacm.ExtractLabels(dag->node_count(), obj, read);
+
+  // Users only, as in the Fig. 7 experiments.
+  std::vector<graph::NodeId> users;
+  for (graph::NodeId v : dag->Sinks()) {
+    if (dag->name(v).rfind("user", 0) == 0) users.push_back(v);
+  }
+
+  const auto& strategies = core::AllStrategies();
+  // decisions[u][s]: bit per (user, strategy).
+  std::vector<std::vector<bool>> granted(users.size());
+  std::array<size_t, 3> decided_by_line{};  // 6, 8, 9.
+  for (size_t u = 0; u < users.size(); ++u) {
+    const graph::AncestorSubgraph sub(*dag, users[u]);
+    const core::RightsBag bag = core::PropagateAggregated(sub, labels);
+    granted[u].resize(strategies.size());
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      core::ResolveTrace trace;
+      granted[u][s] =
+          core::Resolve(bag, strategies[s], &trace) == acm::Mode::kPositive;
+      ++decided_by_line[trace.returned_line == 6   ? 0
+                        : trace.returned_line == 8 ? 1
+                                                   : 2];
+    }
+  }
+
+  std::printf("Hierarchy: %zu nodes, %zu users, %zu explicit "
+              "authorizations on <obj, read>\n\n",
+              dag->node_count(), users.size(), eacm.size());
+
+  const size_t total =
+      users.size() * strategies.size();
+  std::printf("Which policy decides (over %zu user x strategy cells):\n"
+              "  majority (line 6):   %5.1f%%\n"
+              "  locality (line 8):   %5.1f%%\n"
+              "  preference (line 9): %5.1f%%\n\n",
+              total,
+              100.0 * static_cast<double>(decided_by_line[0]) /
+                  static_cast<double>(total),
+              100.0 * static_cast<double>(decided_by_line[1]) /
+                  static_cast<double>(total),
+              100.0 * static_cast<double>(decided_by_line[2]) /
+                  static_cast<double>(total));
+
+  // Grant-rate spectrum.
+  std::vector<std::pair<double, std::string>> rates;
+  for (size_t s = 0; s < strategies.size(); ++s) {
+    size_t count = 0;
+    for (size_t u = 0; u < users.size(); ++u) count += granted[u][s] ? size_t{1} : size_t{0};
+    rates.emplace_back(
+        100.0 * static_cast<double>(count) /
+            static_cast<double>(users.size()),
+        strategies[s].ToMnemonic());
+  }
+  std::sort(rates.begin(), rates.end());
+  std::cout << "Grant-rate spectrum (least to most permissive):\n";
+  for (size_t i = 0; i < rates.size(); i += size_t{6}) {
+    std::printf("  %-7s %5.1f%%   ...   %-7s %5.1f%%\n",
+                rates[i].second.c_str(), rates[i].first,
+                rates[std::min(i + 5, rates.size() - 1)].second.c_str(),
+                rates[std::min(i + 5, rates.size() - 1)].first);
+  }
+
+  // Pairwise disagreement: distribution and extremes.
+  double max_disagree = 0.0;
+  std::string max_pair;
+  size_t identical_pairs = 0;
+  size_t pair_count = 0;
+  double total_disagree = 0.0;
+  for (size_t a = 0; a < strategies.size(); ++a) {
+    for (size_t b = a + 1; b < strategies.size(); ++b) {
+      size_t differs = 0;
+      for (size_t u = 0; u < users.size(); ++u) {
+        differs += granted[u][a] != granted[u][b] ? size_t{1} : size_t{0};
+      }
+      const double frac =
+          static_cast<double>(differs) / static_cast<double>(users.size());
+      total_disagree += frac;
+      ++pair_count;
+      if (differs == 0) ++identical_pairs;
+      if (frac > max_disagree) {
+        max_disagree = frac;
+        max_pair = strategies[a].ToMnemonic() + " vs " +
+                   strategies[b].ToMnemonic();
+      }
+    }
+  }
+  std::printf(
+      "\nPairwise strategy disagreement over %zu users:\n"
+      "  mean %.1f%%, max %.1f%% (%s),\n"
+      "  %zu of %zu pairs agree on every user of THIS workload\n"
+      "  (distinctness in general is proven by the Table 2 golden test,\n"
+      "   where strategies differ on the paper's own example).\n",
+      users.size(), 100.0 * total_disagree / static_cast<double>(pair_count),
+      100.0 * max_disagree, max_pair.c_str(), identical_pairs, pair_count);
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Figure 7(a): Resolve() vs Dominance() on the enterprise hierarchy.
+//
+// The paper ran both algorithms over every individual user (sink) of
+// an 8000-node / 22,000-edge Livelink installation at a 0.7%
+// authorization rate, plotting CPU time against d (the total length
+// of all label paths into the sink) and reporting a 27% average
+// overhead of the unified Resolve() over the specialized Dominance().
+// The proprietary hierarchy is replaced by a shape-matched synthetic
+// one (see DESIGN.md, Substitution); Dominance() is averaged over 1%,
+// 50%, and 100% negative placements exactly as published.
+//
+// Flags:
+//   --small       scaled-down hierarchy (fast smoke run)
+//   --sinks N     measure only the first N sinks
+//   --scatter     dump the raw per-sink (d, resolve_us, dominance_us)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
+
+  workload::EnterpriseExperimentOptions options;
+  bool scatter = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) {
+      options.enterprise.individuals = 200;
+      options.enterprise.groups = 700;
+      options.enterprise.top_level_groups = 12;
+      options.enterprise.target_edges = 2400;
+    } else if (std::strcmp(argv[i], "--sinks") == 0 && i + 1 < argc) {
+      uint64_t n = 0;
+      if (!ParseUint64(argv[++i], &n)) {
+        std::cerr << "bad --sinks value\n";
+        return 2;
+      }
+      options.max_sinks = static_cast<size_t>(n);
+    } else if (std::strcmp(argv[i], "--scatter") == 0) {
+      scatter = true;
+    } else {
+      std::cerr << "usage: fig7a_livelink [--small] [--sinks N] [--scatter]\n";
+      return 2;
+    }
+  }
+
+  auto result = workload::RunEnterpriseExperiment(options);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+
+  const workload::EnterpriseStats& hs = result->hierarchy_stats;
+  std::cout << "== Figure 7(a): Resolve() vs Dominance() ==\n"
+            << "Hierarchy: " << hs.nodes << " nodes, " << hs.edges
+            << " edges, " << hs.sinks << " sinks, sub-graph depths "
+            << hs.min_sink_depth << ".." << hs.max_sink_depth << "\n"
+            << "Authorization rate 0.7%; Dominance averaged over 1%/50%/100% "
+               "negative placements.\n\n";
+
+  if (scatter) {
+    std::cout << "d\tnodes\tresolve_us\tdominance_us\n";
+    for (const workload::SinkMeasurement& m : result->rows) {
+      std::printf("%llu\t%zu\t%.2f\t%.2f\n",
+                  static_cast<unsigned long long>(m.d), m.subgraph_nodes,
+                  m.resolve_us, m.dominance_us);
+    }
+    std::cout << "\n";
+  }
+
+  // Bin by d (the paper's x axis) and print the two series.
+  std::vector<workload::SinkMeasurement> rows = result->rows;
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.d < b.d; });
+  const size_t bins = 10;
+  TablePrinter table({"d range", "sinks", "Resolve mean us",
+                      "Dominance mean us", "Dominance/Resolve"});
+  for (size_t b = 0; b < bins && !rows.empty(); ++b) {
+    const size_t lo = rows.size() * b / bins;
+    const size_t hi = rows.size() * (b + 1) / bins;
+    if (lo >= hi) continue;
+    RunningStats resolve_us;
+    RunningStats dominance_us;
+    for (size_t i = lo; i < hi; ++i) {
+      resolve_us.Add(rows[i].resolve_us);
+      dominance_us.Add(rows[i].dominance_us);
+    }
+    const std::string range = std::to_string(rows[lo].d) + ".." +
+                              std::to_string(rows[hi - 1].d);
+    table.AddRow({range, std::to_string(hi - lo),
+                  FormatDouble(resolve_us.Mean(), 2),
+                  FormatDouble(dominance_us.Mean(), 2),
+                  FormatDouble(resolve_us.Mean() > 0
+                                   ? dominance_us.Mean() / resolve_us.Mean()
+                                   : 0.0,
+                               2)});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nAverages over all sinks:\n"
+      "  Resolve():   %.2f us   (placement-independent)\n"
+      "  Dominance(): %.2f us   (mean over the three placements)\n"
+      "  Wall-clock overhead of the unified algorithm: %+.1f%%\n"
+      "  Work-unit overhead (tuples vs path steps):    %+.1f%%\n"
+      "  (paper: +27%% wall-clock on a 2007 DBMS testbed, where one tuple\n"
+      "   and one path step cost about the same; our in-memory engines "
+      "have\n   different per-unit constants, so the work-unit ratio is "
+      "the\n   substrate-independent comparison.)\n",
+      result->resolve_mean_us, result->dominance_mean_us,
+      result->resolve_overhead_pct, result->resolve_work_overhead_pct);
+
+  size_t dominance_faster = 0;
+  size_t dominance_slower = 0;
+  size_t dominance_more_work = 0;
+  for (const auto& m : result->rows) {
+    if (m.dominance_us < m.resolve_us) {
+      ++dominance_faster;
+    } else {
+      ++dominance_slower;
+    }
+    if (m.dominance_steps > static_cast<double>(m.resolve_tuples)) {
+      ++dominance_more_work;
+    }
+  }
+  std::printf(
+      "  Dominance faster on %zu/%zu sinks, slower on %zu; does MORE work "
+      "than\n  Resolve on %zu sinks (paper: \"can fall anywhere below ... "
+      "occasionally\n  higher\").\n",
+      dominance_faster, result->rows.size(), dominance_slower,
+      dominance_more_work);
+  return 0;
+}

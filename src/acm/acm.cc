@@ -1,0 +1,207 @@
+#include "acm/acm.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ucr::acm {
+
+namespace {
+
+template <typename IdType>
+StatusOr<IdType> Intern(std::string_view name, std::vector<std::string>& names,
+                        std::unordered_map<std::string, IdType>& ids,
+                        const char* kind) {
+  auto it = ids.find(std::string(name));
+  if (it != ids.end()) return it->second;
+  if (names.size() > static_cast<size_t>(UINT16_MAX)) {
+    return Status::OutOfRange(std::string(kind) + " id space exhausted");
+  }
+  const IdType id = static_cast<IdType>(names.size());
+  names.emplace_back(name);
+  ids.emplace(std::string(name), id);
+  return id;
+}
+
+}  // namespace
+
+StatusOr<ObjectId> ExplicitAcm::InternObject(std::string_view name) {
+  return Intern<ObjectId>(name, objects_, object_ids_, "object");
+}
+
+StatusOr<RightId> ExplicitAcm::InternRight(std::string_view name) {
+  return Intern<RightId>(name, rights_, right_ids_, "right");
+}
+
+StatusOr<ObjectId> ExplicitAcm::FindObject(std::string_view name) const {
+  auto it = object_ids_.find(std::string(name));
+  if (it == object_ids_.end()) {
+    return Status::NotFound("object '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+StatusOr<RightId> ExplicitAcm::FindRight(std::string_view name) const {
+  auto it = right_ids_.find(std::string(name));
+  if (it == right_ids_.end()) {
+    return Status::NotFound("right '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+Status ExplicitAcm::Set(graph::NodeId subject, ObjectId object, RightId right,
+                        Mode mode) {
+  auto [it, inserted] = entries_.try_emplace(Key(subject, object, right), mode);
+  if (!inserted) {
+    if (it->second == mode) return Status::OK();  // Idempotent.
+    return Status::FailedPrecondition(
+        "contradicting explicit authorization for subject " +
+        std::to_string(subject));
+  }
+  column_index_[ColumnKey(object, right)].push_back(
+      ColumnEntry{subject, mode});
+  BumpEpoch(object, right);
+  return Status::OK();
+}
+
+void ExplicitAcm::Overwrite(graph::NodeId subject, ObjectId object,
+                            RightId right, Mode mode) {
+  entries_[Key(subject, object, right)] = mode;
+  auto& column = column_index_[ColumnKey(object, right)];
+  bool updated = false;
+  for (ColumnEntry& e : column) {
+    if (e.subject == subject) {
+      e.mode = mode;
+      updated = true;
+      break;
+    }
+  }
+  if (!updated) column.push_back(ColumnEntry{subject, mode});
+  BumpEpoch(object, right);
+}
+
+bool ExplicitAcm::Erase(graph::NodeId subject, ObjectId object,
+                        RightId right) {
+  const bool erased = entries_.erase(Key(subject, object, right)) > 0;
+  if (erased) {
+    auto& column = column_index_[ColumnKey(object, right)];
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (column[i].subject == subject) {
+        column[i] = column.back();
+        column.pop_back();
+        break;
+      }
+    }
+    BumpEpoch(object, right);
+  }
+  return erased;
+}
+
+uint64_t ExplicitAcm::ColumnEpoch(ObjectId object, RightId right) const {
+  auto it = column_epochs_.find(ColumnKey(object, right));
+  return it == column_epochs_.end() ? 0 : it->second;
+}
+
+std::optional<Mode> ExplicitAcm::Get(graph::NodeId subject, ObjectId object,
+                                     RightId right) const {
+  auto it = entries_.find(Key(subject, object, right));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::optional<Mode>> ExplicitAcm::ExtractLabels(
+    size_t subject_count, ObjectId object, RightId right) const {
+  std::vector<std::optional<Mode>> labels(subject_count);
+  auto it = column_index_.find(ColumnKey(object, right));
+  if (it == column_index_.end()) return labels;
+  for (const ColumnEntry& e : it->second) {
+    if (e.subject < subject_count) labels[e.subject] = e.mode;
+  }
+  return labels;
+}
+
+ExplicitAcm::LabelCounts ExplicitAcm::CountLabels(ObjectId object,
+                                                  RightId right) const {
+  LabelCounts counts;
+  auto it = column_index_.find(ColumnKey(object, right));
+  if (it == column_index_.end()) return counts;
+  for (const ColumnEntry& e : it->second) {
+    if (e.mode == Mode::kPositive) {
+      ++counts.positive;
+    } else {
+      ++counts.negative;
+    }
+  }
+  return counts;
+}
+
+std::vector<ExplicitAcm::Entry> ExplicitAcm::SortedEntries() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, mode] : entries_) {
+    out.push_back(Entry{static_cast<graph::NodeId>(key >> 32),
+                        static_cast<ObjectId>((key >> 16) & 0xFFFF),
+                        static_cast<RightId>(key & 0xFFFF), mode});
+  }
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.subject != b.subject) return a.subject < b.subject;
+    if (a.object != b.object) return a.object < b.object;
+    return a.right < b.right;
+  });
+  return out;
+}
+
+std::string ToText(const ExplicitAcm& eacm, const graph::Dag& dag) {
+  std::ostringstream out;
+  out << "# ucr explicit access control matrix: " << eacm.size()
+      << " authorizations\n";
+  for (const auto& e : eacm.SortedEntries()) {
+    out << "auth " << dag.name(e.subject) << " " << eacm.object_name(e.object)
+        << " " << eacm.right_name(e.right) << " " << ModeToChar(e.mode)
+        << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<ExplicitAcm> FromText(std::string_view text, const graph::Dag& dag) {
+  ExplicitAcm eacm;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields;
+    for (auto& f : Split(line, ' ')) {
+      if (!f.empty()) fields.push_back(std::move(f));
+    }
+    auto error = [&](const std::string& what) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (fields[0] != "auth" || fields.size() != 5) {
+      return error("expected 'auth <subject> <object> <right> <+|->'");
+    }
+    const graph::NodeId subject = dag.FindNode(fields[1]);
+    if (subject == graph::kInvalidNode) {
+      return error("unknown subject '" + fields[1] + "'");
+    }
+    auto object = eacm.InternObject(fields[2]);
+    if (!object.ok()) return error(object.status().message());
+    auto right = eacm.InternRight(fields[3]);
+    if (!right.ok()) return error(right.status().message());
+    const auto mode =
+        fields[4].size() == 1 ? ModeFromChar(fields[4][0]) : std::nullopt;
+    if (!mode.has_value()) return error("mode must be '+' or '-'");
+    Status s = eacm.Set(subject, *object, *right, *mode);
+    if (!s.ok()) return error(s.message());
+  }
+  return eacm;
+}
+
+}  // namespace ucr::acm

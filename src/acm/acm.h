@@ -1,0 +1,160 @@
+#ifndef UCR_ACM_ACM_H_
+#define UCR_ACM_ACM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "acm/mode.h"
+#include "graph/dag.h"
+#include "util/status.h"
+
+namespace ucr::acm {
+
+/// Interned identifier of an object (column of the matrix).
+using ObjectId = uint16_t;
+/// Interned identifier of a right/operation (read, write, ...).
+using RightId = uint16_t;
+
+/// \brief The *explicit* access control matrix (EACM, paper §2).
+///
+/// Stores only explicitly granted/denied authorizations, keyed by
+/// ⟨subject, object, right⟩. The matrix is sparse by design: derived
+/// (effective) authorizations are computed on demand by the conflict
+/// resolution algorithms in `ucr::core`, never stored here.
+///
+/// The paper assumes at most one explicit authorization per triple
+/// ("duplicates are meaningless and contradicting authorizations can
+/// be assumed to be disallowed", §3.3); `Set` therefore *fails* if the
+/// triple already holds the opposite mode and is a no-op for an equal
+/// one. Use `Overwrite` for administrative updates.
+///
+/// Object and right names are interned to dense 16-bit ids, capping a
+/// matrix at 65,536 objects and rights each (subjects are 32-bit).
+/// Every mutation bumps `epoch()`, which resolution caches use for
+/// invalidation.
+class ExplicitAcm {
+ public:
+  ExplicitAcm() = default;
+
+  /// Interns an object name (idempotent). Fails when the 16-bit id
+  /// space is exhausted.
+  StatusOr<ObjectId> InternObject(std::string_view name);
+
+  /// Interns a right name (idempotent).
+  StatusOr<RightId> InternRight(std::string_view name);
+
+  /// Id of an already-interned object, or NotFound.
+  StatusOr<ObjectId> FindObject(std::string_view name) const;
+
+  /// Id of an already-interned right, or NotFound.
+  StatusOr<RightId> FindRight(std::string_view name) const;
+
+  const std::string& object_name(ObjectId o) const { return objects_[o]; }
+  const std::string& right_name(RightId r) const { return rights_[r]; }
+  size_t object_count() const { return objects_.size(); }
+  size_t right_count() const { return rights_.size(); }
+
+  /// Records ⟨subject, object, right⟩ = mode. No-op if the identical
+  /// authorization exists; fails with FailedPrecondition if the triple
+  /// holds the opposite mode (contradictions are disallowed).
+  Status Set(graph::NodeId subject, ObjectId object, RightId right, Mode mode);
+
+  /// Unconditionally (re)writes the triple's mode.
+  void Overwrite(graph::NodeId subject, ObjectId object, RightId right,
+                 Mode mode);
+
+  /// Removes an explicit authorization. Returns false if absent.
+  bool Erase(graph::NodeId subject, ObjectId object, RightId right);
+
+  /// The explicit mode of a triple, if any.
+  std::optional<Mode> Get(graph::NodeId subject, ObjectId object,
+                          RightId right) const;
+
+  /// Number of explicit authorizations stored.
+  size_t size() const { return entries_.size(); }
+
+  /// Monotonic counter bumped by every successful mutation.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Monotonic counter bumped only by mutations touching this
+  /// (object, right) column. Lets caches of derived decisions survive
+  /// updates to unrelated columns (finer than the paper's wholesale
+  /// invalidation concern in §5). A column never mutated reports 0.
+  uint64_t ColumnEpoch(ObjectId object, RightId right) const;
+
+  /// \brief Dense per-subject label array for one (object, right) pair.
+  ///
+  /// `labels[v]` is the explicit mode of subject `v`, or nullopt. This
+  /// is the "appropriately extracted subset of the matrix" the paper's
+  /// §2 says a practical system feeds to the resolution algorithm.
+  /// `subject_count` is the node count of the subject hierarchy.
+  std::vector<std::optional<Mode>> ExtractLabels(size_t subject_count,
+                                                 ObjectId object,
+                                                 RightId right) const;
+
+  /// Counts explicit '+' and '-' authorizations for one (object, right).
+  struct LabelCounts {
+    size_t positive = 0;
+    size_t negative = 0;
+  };
+  LabelCounts CountLabels(ObjectId object, RightId right) const;
+
+  /// One stored authorization, for iteration and serialization.
+  struct Entry {
+    graph::NodeId subject;
+    ObjectId object;
+    RightId right;
+    Mode mode;
+  };
+
+  /// All entries, sorted by (subject, object, right) for determinism.
+  std::vector<Entry> SortedEntries() const;
+
+ private:
+  static uint64_t Key(graph::NodeId s, ObjectId o, RightId r) {
+    return (static_cast<uint64_t>(s) << 32) |
+           (static_cast<uint64_t>(o) << 16) | static_cast<uint64_t>(r);
+  }
+
+  std::vector<std::string> objects_;
+  std::vector<std::string> rights_;
+  std::unordered_map<std::string, ObjectId> object_ids_;
+  std::unordered_map<std::string, RightId> right_ids_;
+  static uint32_t ColumnKey(ObjectId o, RightId r) {
+    return (static_cast<uint32_t>(o) << 16) | static_cast<uint32_t>(r);
+  }
+  void BumpEpoch(ObjectId object, RightId right) {
+    ++epoch_;
+    column_epochs_[ColumnKey(object, right)] = epoch_;
+  }
+
+  struct ColumnEntry {
+    graph::NodeId subject;
+    Mode mode;
+  };
+
+  std::unordered_map<uint64_t, Mode> entries_;
+  std::unordered_map<uint32_t, uint64_t> column_epochs_;
+  /// Per-column view of entries_, so per-query label extraction costs
+  /// O(column size) instead of O(matrix size). Erased subjects are
+  /// compacted lazily on extraction.
+  std::unordered_map<uint32_t, std::vector<ColumnEntry>> column_index_;
+  uint64_t epoch_ = 0;
+};
+
+/// \brief Serializes the matrix as text, one `auth <subject-name>
+/// <object> <right> <+|->` line per entry (sorted, deterministic).
+/// Subject names come from `dag`.
+std::string ToText(const ExplicitAcm& eacm, const graph::Dag& dag);
+
+/// Parses the text format produced by `ToText`; subjects are resolved
+/// against `dag` by name.
+StatusOr<ExplicitAcm> FromText(std::string_view text, const graph::Dag& dag);
+
+}  // namespace ucr::acm
+
+#endif  // UCR_ACM_ACM_H_

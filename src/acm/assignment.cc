@@ -1,0 +1,65 @@
+#include "acm/assignment.h"
+
+#include <cmath>
+#include <vector>
+
+namespace ucr::acm {
+
+StatusOr<AssignmentSummary> AssignRandomAuthorizations(
+    const graph::Dag& dag, ObjectId object, RightId right,
+    const RandomAssignmentOptions& options, Random& rng, ExplicitAcm* eacm) {
+  if (eacm == nullptr) {
+    return Status::InvalidArgument("eacm must not be null");
+  }
+  if (options.authorization_rate <= 0.0 || options.authorization_rate > 1.0) {
+    return Status::InvalidArgument("authorization_rate must be in (0, 1]");
+  }
+  if (options.negative_fraction < 0.0 || options.negative_fraction > 1.0) {
+    return Status::InvalidArgument("negative_fraction must be in [0, 1]");
+  }
+  const size_t edge_count = dag.edge_count();
+  if (edge_count == 0) {
+    return Status::FailedPrecondition("graph has no edges to sample");
+  }
+
+  // Materialize edge sources in a deterministic order (by parent id,
+  // then child position) and sample edge indices without replacement.
+  std::vector<graph::NodeId> edge_sources;
+  edge_sources.reserve(edge_count);
+  for (graph::NodeId v = 0; v < dag.node_count(); ++v) {
+    for (size_t i = 0; i < dag.children(v).size(); ++i) {
+      edge_sources.push_back(v);
+    }
+  }
+
+  size_t to_draw = static_cast<size_t>(std::llround(
+      options.authorization_rate * static_cast<double>(edge_count)));
+  if (to_draw == 0) to_draw = 1;  // Rates below one edge still label one.
+  to_draw = std::min(to_draw, edge_count);
+
+  AssignmentSummary summary;
+  summary.edges_selected = to_draw;
+
+  std::vector<graph::NodeId> labeled;
+  std::vector<char> seen(dag.node_count(), 0);
+  for (size_t idx : rng.SampleWithoutReplacement(edge_count, to_draw)) {
+    const graph::NodeId subject = edge_sources[idx];
+    if (seen[subject]) continue;  // One authorization per subject.
+    if (!options.allow_sink_labels && dag.is_sink(subject)) continue;
+    seen[subject] = 1;
+    labeled.push_back(subject);
+  }
+
+  // Exact negative count over the (already random-ordered) subjects.
+  const size_t negatives = static_cast<size_t>(std::llround(
+      options.negative_fraction * static_cast<double>(labeled.size())));
+  for (size_t i = 0; i < labeled.size(); ++i) {
+    const Mode mode = i < negatives ? Mode::kNegative : Mode::kPositive;
+    UCR_RETURN_IF_ERROR(eacm->Set(labeled[i], object, right, mode));
+  }
+  summary.subjects_labeled = labeled.size();
+  summary.negatives = negatives;
+  return summary;
+}
+
+}  // namespace ucr::acm

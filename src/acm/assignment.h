@@ -1,0 +1,56 @@
+#ifndef UCR_ACM_ASSIGNMENT_H_
+#define UCR_ACM_ASSIGNMENT_H_
+
+#include <cstddef>
+
+#include "acm/acm.h"
+#include "graph/dag.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ucr::acm {
+
+/// Options for `AssignRandomAuthorizations`.
+struct RandomAssignmentOptions {
+  /// Fraction of the graph's *edges* to select; the source node of
+  /// each selected edge receives an explicit authorization. Sampling
+  /// edges rather than nodes biases selection toward subjects with
+  /// many members ("choosing subjects proportionally to the number of
+  /// members", paper §4). Range (0, 1].
+  double authorization_rate = 0.007;  // The paper's Livelink setting: 0.7%.
+
+  /// Fraction of the assigned authorizations that are negative. The
+  /// paper's Fig. 7(a) uses 0.01, 0.5, and 1.0 for the Dominance()
+  /// placement-sensitivity study.
+  double negative_fraction = 0.5;
+
+  /// When true, the sink itself may receive an explicit authorization
+  /// (if a selected edge originates at it — impossible for true sinks,
+  /// kept for forward compatibility with node-sampled policies).
+  bool allow_sink_labels = true;
+};
+
+/// Result summary of a random assignment.
+struct AssignmentSummary {
+  size_t edges_selected = 0;   ///< Edges drawn (before source dedup).
+  size_t subjects_labeled = 0; ///< Distinct subjects assigned a mode.
+  size_t negatives = 0;        ///< How many of those are denials.
+};
+
+/// \brief Populates `eacm` for one (object, right) with random explicit
+/// authorizations following the paper's §4 protocol: draw
+/// `authorization_rate * edge_count` edges without replacement and
+/// label each edge's source node, skipping nodes labeled by an earlier
+/// draw (at most one authorization per subject-object-right).
+///
+/// Negative modes are assigned to the first
+/// `round(negative_fraction * labeled)` drawn subjects after a
+/// deterministic shuffle, so the negative count is exact rather than
+/// binomial — Fig. 7(a) requires exact 1% / 50% / 100% placements.
+StatusOr<AssignmentSummary> AssignRandomAuthorizations(
+    const graph::Dag& dag, ObjectId object, RightId right,
+    const RandomAssignmentOptions& options, Random& rng, ExplicitAcm* eacm);
+
+}  // namespace ucr::acm
+
+#endif  // UCR_ACM_ASSIGNMENT_H_

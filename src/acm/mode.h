@@ -1,0 +1,67 @@
+#ifndef UCR_ACM_MODE_H_
+#define UCR_ACM_MODE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace ucr::acm {
+
+/// \brief An explicit authorization mode: grant or deny.
+///
+/// The paper's hybrid model stores only these two modes explicitly;
+/// the "d" (default) marker exists only on propagated tuples, never in
+/// the explicit matrix, so it lives in `PropagatedMode` instead.
+enum class Mode : uint8_t {
+  kPositive = 0,  ///< '+' — access granted.
+  kNegative = 1,  ///< '-' — access denied.
+};
+
+/// \brief Mode of a tuple in the propagated `allRights` relation
+/// (paper Table 1): explicit grant, explicit denial, or the default
+/// placeholder 'd' attached to unlabeled roots (paper §3 Step 2).
+enum class PropagatedMode : uint8_t {
+  kPositive = 0,  ///< '+'
+  kNegative = 1,  ///< '-'
+  kDefault = 2,   ///< 'd'
+};
+
+/// Renders '+' or '-'.
+constexpr char ModeToChar(Mode m) {
+  return m == Mode::kPositive ? '+' : '-';
+}
+
+/// Renders '+', '-', or 'd'.
+constexpr char PropagatedModeToChar(PropagatedMode m) {
+  switch (m) {
+    case PropagatedMode::kPositive:
+      return '+';
+    case PropagatedMode::kNegative:
+      return '-';
+    case PropagatedMode::kDefault:
+      return 'd';
+  }
+  return '?';
+}
+
+/// Parses '+' or '-'; std::nullopt otherwise.
+constexpr std::optional<Mode> ModeFromChar(char c) {
+  if (c == '+') return Mode::kPositive;
+  if (c == '-') return Mode::kNegative;
+  return std::nullopt;
+}
+
+/// Widens an explicit mode into the propagated-tuple domain.
+constexpr PropagatedMode ToPropagated(Mode m) {
+  return m == Mode::kPositive ? PropagatedMode::kPositive
+                              : PropagatedMode::kNegative;
+}
+
+/// The opposite mode.
+constexpr Mode Negate(Mode m) {
+  return m == Mode::kPositive ? Mode::kNegative : Mode::kPositive;
+}
+
+}  // namespace ucr::acm
+
+#endif  // UCR_ACM_MODE_H_

@@ -1,0 +1,48 @@
+#include "core/cache.h"
+
+namespace ucr::core {
+
+std::optional<acm::Mode> ResolutionCache::Lookup(graph::NodeId subject,
+                                                 acm::ObjectId object,
+                                                 acm::RightId right,
+                                                 const Strategy& strategy,
+                                                 uint64_t epoch) {
+  auto it = entries_.find(Key(subject, object, right, strategy));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.epoch != epoch) {
+    // Stale: the explicit matrix changed since this was derived.
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.mode;
+}
+
+void ResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
+                            acm::RightId right, const Strategy& strategy,
+                            uint64_t epoch, acm::Mode mode) {
+  entries_[Key(subject, object, right, strategy)] = Entry{epoch, mode};
+}
+
+void ResolutionCache::Clear() { entries_.clear(); }
+
+const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
+                                                  graph::NodeId subject) {
+  auto it = subgraphs_.find(subject);
+  if (it != subgraphs_.end()) {
+    ++hits_;
+    return *it->second;
+  }
+  ++misses_;
+  auto sub = std::make_unique<graph::AncestorSubgraph>(dag, subject);
+  const graph::AncestorSubgraph& ref = *sub;
+  subgraphs_.emplace(subject, std::move(sub));
+  return ref;
+}
+
+}  // namespace ucr::core

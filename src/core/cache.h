@@ -1,0 +1,111 @@
+#ifndef UCR_CORE_CACHE_H_
+#define UCR_CORE_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/strategy.h"
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+
+namespace ucr::core {
+
+/// \brief Memo of resolved authorizations — the paper's future-work
+/// item #1 (§6): "it would significantly improve the performance of
+/// the algorithm if the derived authorizations ... were stored in a
+/// cache for later uses."
+///
+/// Entries are keyed by ⟨subject, object, right, strategy⟩ and
+/// validated against the explicit matrix's mutation epoch: any EACM
+/// change invalidates the whole cache lazily (entries from older
+/// epochs simply miss). The subject hierarchy is immutable, so no
+/// graph invalidation is needed.
+///
+/// Not thread-safe; wrap externally if shared.
+class ResolutionCache {
+ public:
+  ResolutionCache() = default;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  ///< Entries dropped due to epoch change.
+  };
+
+  /// Looks up a cached decision valid at `epoch`. Updates stats.
+  std::optional<acm::Mode> Lookup(graph::NodeId subject, acm::ObjectId object,
+                                  acm::RightId right, const Strategy& strategy,
+                                  uint64_t epoch);
+
+  /// Stores a decision computed at `epoch`.
+  void Store(graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+             const Strategy& strategy, uint64_t epoch, acm::Mode mode);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t epoch;
+    acm::Mode mode;
+  };
+
+  struct CacheKey {
+    uint64_t triple;   // subject:32 | object:16 | right:16.
+    uint8_t strategy;  // canonical index, < 48.
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return (k.triple * 0x9E3779B97F4A7C15ull) ^ k.strategy;
+    }
+  };
+
+  static CacheKey Key(graph::NodeId s, acm::ObjectId o, acm::RightId r,
+                      const Strategy& strategy) {
+    return CacheKey{(static_cast<uint64_t>(s) << 32) |
+                        (static_cast<uint64_t>(o) << 16) |
+                        static_cast<uint64_t>(r),
+                    strategy.CanonicalIndex()};
+  }
+
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> entries_;
+  Stats stats_;
+};
+
+/// \brief Cache of extracted ancestor sub-graphs, keyed by subject.
+///
+/// Sub-graph extraction is the per-query fixed cost of Resolve()
+/// (Step 1); hierarchies are immutable, so extracted sub-graphs are
+/// valid forever and shared across objects, rights, and strategies.
+class SubgraphCache {
+ public:
+  SubgraphCache() = default;
+
+  /// Returns the cached sub-graph of `subject`, extracting on miss.
+  /// The reference stays valid for the cache's lifetime.
+  const graph::AncestorSubgraph& Get(const graph::Dag& dag,
+                                     graph::NodeId subject);
+
+  size_t size() const { return subgraphs_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void Clear() { subgraphs_.clear(); }
+
+ private:
+  std::unordered_map<graph::NodeId,
+                     std::unique_ptr<graph::AncestorSubgraph>>
+      subgraphs_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_CACHE_H_

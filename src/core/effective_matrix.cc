@@ -1,0 +1,111 @@
+#include "core/effective_matrix.h"
+
+#include <set>
+
+#include "core/resolve.h"
+#include "core/rights_bag.h"
+
+namespace ucr::core {
+
+StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
+    AccessControlSystem& system, const Strategy& strategy) {
+  EffectiveMatrix matrix;
+  matrix.strategy_ = strategy.Canonical();
+  matrix.epoch_ = system.eacm().epoch();
+  matrix.subject_count_ = system.dag().node_count();
+  matrix.object_count_ = system.eacm().object_count();
+  matrix.right_count_ = system.eacm().right_count();
+
+  // A column with no explicit authorization is uniform: every
+  // subject's bag holds only 'd' markers, so the default (or, with
+  // defaults off, the preference) rule decides identically everywhere.
+  RightsBag defaults_only;
+  defaults_only.Add(0, acm::PropagatedMode::kDefault, 1);
+  defaults_only.Normalize();
+  matrix.empty_column_mode_ = Resolve(defaults_only, matrix.strategy_);
+
+  std::set<uint32_t> referenced;
+  for (const auto& e : system.eacm().SortedEntries()) {
+    referenced.insert(ColumnKey(e.object, e.right));
+  }
+  for (uint32_t key : referenced) {
+    UCR_RETURN_IF_ERROR(matrix.RebuildColumn(system, key));
+  }
+  return matrix;
+}
+
+Status EffectiveMatrix::RebuildColumn(AccessControlSystem& system,
+                                      uint32_t key) {
+  const auto object = static_cast<acm::ObjectId>(key >> 16);
+  const auto right = static_cast<acm::RightId>(key & 0xFFFF);
+  UCR_ASSIGN_OR_RETURN(
+      const std::vector<acm::Mode> column,
+      system.MaterializeEffectiveColumn(object, right, strategy_));
+  const size_t words = (subject_count_ + 63) / 64;
+  std::vector<uint64_t> bits(words, 0);
+  for (size_t v = 0; v < column.size(); ++v) {
+    if (column[v] == acm::Mode::kPositive) {
+      bits[v / 64] |= uint64_t{1} << (v % 64);
+    }
+  }
+  columns_[key] = std::move(bits);
+  column_epochs_[key] = system.eacm().ColumnEpoch(object, right);
+  return Status::OK();
+}
+
+StatusOr<size_t> EffectiveMatrix::Refresh(AccessControlSystem& system) {
+  if (system.dag().node_count() != subject_count_) {
+    return Status::FailedPrecondition(
+        "Refresh requires the same hierarchy the matrix was built from");
+  }
+  // Columns can appear (new authorizations on a fresh object/right) or
+  // change; gather every referenced column and compare epochs.
+  std::set<uint32_t> referenced;
+  for (const auto& e : system.eacm().SortedEntries()) {
+    referenced.insert(ColumnKey(e.object, e.right));
+  }
+  for (const auto& [key, epoch] : column_epochs_) referenced.insert(key);
+
+  size_t refreshed = 0;
+  for (uint32_t key : referenced) {
+    const auto object = static_cast<acm::ObjectId>(key >> 16);
+    const auto right = static_cast<acm::RightId>(key & 0xFFFF);
+    const uint64_t current = system.eacm().ColumnEpoch(object, right);
+    auto it = column_epochs_.find(key);
+    if (it != column_epochs_.end() && it->second == current) continue;
+    UCR_RETURN_IF_ERROR(RebuildColumn(system, key));
+    ++refreshed;
+  }
+  object_count_ = system.eacm().object_count();
+  right_count_ = system.eacm().right_count();
+  epoch_ = system.eacm().epoch();
+  return refreshed;
+}
+
+StatusOr<acm::Mode> EffectiveMatrix::Lookup(graph::NodeId subject,
+                                            acm::ObjectId object,
+                                            acm::RightId right) const {
+  if (subject >= subject_count_) {
+    return Status::OutOfRange("subject id out of range");
+  }
+  if (object >= object_count_ || right >= right_count_) {
+    return Status::OutOfRange(
+        "object/right unknown at materialization time");
+  }
+  auto it = columns_.find(ColumnKey(object, right));
+  if (it == columns_.end()) return empty_column_mode_;
+  const bool granted =
+      (it->second[subject / 64] >> (subject % 64)) & uint64_t{1};
+  return granted ? acm::Mode::kPositive : acm::Mode::kNegative;
+}
+
+size_t EffectiveMatrix::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const auto& [key, bits] : columns_) {
+    bytes += sizeof(key) + bits.size() * sizeof(uint64_t) +
+             sizeof(std::vector<uint64_t>);
+  }
+  return bytes;
+}
+
+}  // namespace ucr::core

@@ -1,0 +1,95 @@
+#ifndef UCR_CORE_EFFECTIVE_MATRIX_H_
+#define UCR_CORE_EFFECTIVE_MATRIX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/strategy.h"
+#include "core/system.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief A fully materialized effective access control matrix for one
+/// strategy — the design point of Jajodia et al. the paper's §5
+/// argues against, built here so the trade-off can be measured
+/// (bench/ablation_materialization) rather than asserted.
+///
+/// The matrix stores one bit-packed column (a derived mode for *every*
+/// subject) per (object, right) pair that carries at least one
+/// explicit authorization, plus a single default decision for columns
+/// with none. Lookups are O(1); the cost is the build time, the
+/// storage (subjects x referenced columns bits), and the §5 problem:
+/// it is "not self-maintainable with respect to updating the explicit
+/// authorizations" — any EACM change invalidates it wholesale, which
+/// `is_current()` tracks via the epoch.
+class EffectiveMatrix {
+ public:
+  /// Materializes every explicitly-referenced column of `system`'s
+  /// matrix under `strategy`.
+  static StatusOr<EffectiveMatrix> Materialize(AccessControlSystem& system,
+                                               const Strategy& strategy);
+
+  /// The derived mode for the triple. O(1). Triples of objects/rights
+  /// that existed at materialization time but carry no explicit
+  /// authorization resolve to the strategy's uniform default decision.
+  /// Fails on ids unknown at materialization time.
+  StatusOr<acm::Mode> Lookup(graph::NodeId subject, acm::ObjectId object,
+                             acm::RightId right) const;
+
+  /// True while the source system's explicit matrix is unchanged.
+  bool IsCurrentFor(const AccessControlSystem& system) const {
+    return epoch_ == system.eacm().epoch();
+  }
+
+  /// \brief Incremental maintenance: re-derives only the columns whose
+  /// explicit authorizations changed since materialization (tracked by
+  /// per-column epochs), then declares the matrix current again.
+  ///
+  /// This is the constructive answer to §5's criticism of materialized
+  /// effective matrices ("not self-maintainable ... even a slight
+  /// update could trigger a drastic modification"): because an
+  /// explicit change to one (object, right) column can only affect
+  /// that column's derived decisions, maintenance is one whole-graph
+  /// propagation per *touched* column, not a full rebuild.
+  /// Returns the number of columns refreshed.
+  StatusOr<size_t> Refresh(AccessControlSystem& system);
+
+  const Strategy& strategy() const { return strategy_; }
+  size_t subject_count() const { return subject_count_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Approximate heap footprint in bytes (the §5 "formidable size").
+  size_t MemoryBytes() const;
+
+ private:
+  EffectiveMatrix() = default;
+
+  /// Re-derives one column and records its epoch.
+  Status RebuildColumn(AccessControlSystem& system, uint32_t key);
+
+  static uint32_t ColumnKey(acm::ObjectId object, acm::RightId right) {
+    return (static_cast<uint32_t>(object) << 16) |
+           static_cast<uint32_t>(right);
+  }
+
+  Strategy strategy_;
+  uint64_t epoch_ = 0;
+  size_t subject_count_ = 0;
+  size_t object_count_ = 0;
+  size_t right_count_ = 0;
+  /// The decision every empty column resolves to (strategy-uniform:
+  /// with no labels anywhere, every subject gets default/preference).
+  acm::Mode empty_column_mode_ = acm::Mode::kNegative;
+  /// Bit-packed columns: bit v set = subject v granted.
+  std::unordered_map<uint32_t, std::vector<uint64_t>> columns_;
+  /// Column epoch at (re)materialization time, for Refresh().
+  std::unordered_map<uint32_t, uint64_t> column_epochs_;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_EFFECTIVE_MATRIX_H_

@@ -1,0 +1,64 @@
+#ifndef UCR_CORE_EXPLAIN_H_
+#define UCR_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "graph/dag.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \file
+/// Decision provenance. `Resolve()` answers *whether* a subject may
+/// act; an administrator debugging a policy needs to know *why* —
+/// which ancestors' authorizations reached the subject, at which
+/// distances, which of them survived the strategy's filters, and
+/// which policy ultimately decided. This module re-runs the pipeline
+/// with per-source provenance and renders the answer.
+
+/// One authorization source contributing to a decision.
+struct Contribution {
+  graph::NodeId source = 0;          ///< The ancestor carrying the label.
+  acm::PropagatedMode mode = acm::PropagatedMode::kDefault;
+  uint32_t min_distance = 0;         ///< Shortest path to the subject.
+  uint32_t max_distance = 0;         ///< Longest path to the subject.
+  uint64_t tuple_count = 0;          ///< Paths (= tuples) it contributes.
+  bool survived_filters = false;     ///< Still present at the deciding step.
+};
+
+/// A resolved decision with full provenance.
+struct Explanation {
+  acm::Mode decision = acm::Mode::kNegative;
+  ResolveTrace trace;
+  /// Every source whose label reached the subject, explicit labels
+  /// first, then defaulted roots; each group ordered by min_distance.
+  std::vector<Contribution> contributions;
+  /// Which policy decided, as prose: "majority", "locality",
+  /// "preference", "default".
+  std::string deciding_policy;
+
+  /// Renders a multi-line human-readable report; node names resolved
+  /// against `dag`.
+  std::string ToString(const graph::Dag& dag) const;
+};
+
+/// \brief Resolves ⟨subject, object, right⟩ under `strategy` and
+/// explains the outcome.
+///
+/// The decision is guaranteed identical to `ResolveAccess` (tested);
+/// the provenance adds one distance-profile pass per contributing
+/// source.
+StatusOr<Explanation> ExplainAccess(const graph::Dag& dag,
+                                    const acm::ExplicitAcm& eacm,
+                                    graph::NodeId subject,
+                                    acm::ObjectId object, acm::RightId right,
+                                    const Strategy& strategy);
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_EXPLAIN_H_

@@ -1,0 +1,288 @@
+#include "core/propagate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace ucr::core {
+
+namespace {
+
+using acm::PropagatedMode;
+using graph::AncestorSubgraph;
+using graph::LocalId;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/// Adapters giving the DP a uniform view of either one subject's
+/// ancestor sub-graph or the whole hierarchy.
+struct SubgraphView {
+  const AncestorSubgraph& sub;
+  size_t size() const { return sub.member_count(); }
+  std::span<const LocalId> topo() const { return sub.topological_order(); }
+  std::span<const LocalId> parents(LocalId v) const { return sub.parents(v); }
+  graph::NodeId global_id(LocalId v) const { return sub.global_id(v); }
+};
+
+struct WholeDagView {
+  const graph::Dag& dag;
+  std::vector<graph::NodeId> topo_order;
+  size_t size() const { return dag.node_count(); }
+  std::span<const graph::NodeId> topo() const { return topo_order; }
+  std::span<const graph::NodeId> parents(graph::NodeId v) const {
+    return dag.parents(v);
+  }
+  graph::NodeId global_id(graph::NodeId v) const { return v; }
+};
+
+/// The Step-2 seed label of member `v`: its explicit label, the 'd'
+/// marker if it is an unlabeled root, or nothing.
+template <typename View>
+std::optional<PropagatedMode> SeedLabel(const View& view, LabelView labels,
+                                        LocalId v) {
+  const std::optional<acm::Mode> explicit_label = labels[view.global_id(v)];
+  if (explicit_label.has_value()) return acm::ToPropagated(*explicit_label);
+  if (view.parents(v).empty()) return PropagatedMode::kDefault;
+  return std::nullopt;
+}
+
+/// Appends `source`'s entries into `dest` with distance + 1.
+void MergeShifted(const std::vector<RightsEntry>& source,
+                  std::vector<RightsEntry>* dest) {
+  for (const RightsEntry& e : source) {
+    dest->push_back(RightsEntry{e.dis + 1, e.mode, e.multiplicity});
+  }
+}
+
+/// Sorts by (dis, mode) and merges equal groups in place.
+void NormalizeEntries(std::vector<RightsEntry>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const RightsEntry& a, const RightsEntry& b) {
+              if (a.dis != b.dis) return a.dis < b.dis;
+              return a.mode < b.mode;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < entries->size(); ++i) {
+    if (out > 0 && (*entries)[out - 1].dis == (*entries)[i].dis &&
+        (*entries)[out - 1].mode == (*entries)[i].mode) {
+      (*entries)[out - 1].multiplicity = SatAdd(
+          (*entries)[out - 1].multiplicity, (*entries)[i].multiplicity);
+    } else {
+      (*entries)[out++] = (*entries)[i];
+    }
+  }
+  entries->resize(out);
+}
+
+RightsBag ToBag(std::vector<RightsEntry> entries) {
+  RightsBag bag;
+  for (const RightsEntry& e : entries) bag.Add(e.dis, e.mode, e.multiplicity);
+  bag.Normalize();
+  return bag;
+}
+
+void Observe(PropagateStats* stats, uint64_t tuples, uint32_t dis) {
+  if (stats == nullptr) return;
+  stats->tuples_processed = SatAdd(stats->tuples_processed, tuples);
+  stats->max_distance = std::max(stats->max_distance, dis);
+}
+
+template <typename View>
+std::vector<std::vector<RightsEntry>> AggregatedImpl(
+    const View& view, LabelView labels, const PropagateOptions& options,
+    PropagateStats* stats) {
+  const size_t n = view.size();
+  std::vector<std::vector<RightsEntry>> result(n);
+
+  // `forward[v]`: the entries that continue below v under the active
+  // propagation mode. For kBoth it aliases result[v]; the other modes
+  // diverge (see PropagationMode documentation).
+  std::vector<std::vector<RightsEntry>> forward(n);
+
+  // kFirstWins: number of root-paths to v with no labeled node
+  // strictly above v. Every root carries a seed (explicit or 'd'), so
+  // clean() is 1 on roots and 0 elsewhere; the general recurrence is
+  // kept for clarity and robustness.
+  std::vector<uint64_t> clean(n, 0);
+
+  for (LocalId v : view.topo()) {
+    const std::optional<PropagatedMode> seed = SeedLabel(view, labels, v);
+
+    std::vector<RightsEntry> arriving;
+    for (LocalId p : view.parents(v)) MergeShifted(forward[p], &arriving);
+    NormalizeEntries(&arriving);
+
+    switch (options.propagation_mode) {
+      case PropagationMode::kBoth: {
+        std::vector<RightsEntry>& bag = result[v];
+        if (seed.has_value()) bag.push_back(RightsEntry{0, *seed, 1});
+        bag.insert(bag.end(), arriving.begin(), arriving.end());
+        NormalizeEntries(&bag);
+        forward[v] = bag;
+        break;
+      }
+      case PropagationMode::kSecondWins: {
+        std::vector<RightsEntry>& bag = result[v];
+        if (seed.has_value()) bag.push_back(RightsEntry{0, *seed, 1});
+        bag.insert(bag.end(), arriving.begin(), arriving.end());
+        NormalizeEntries(&bag);
+        // A labeled node forwards only its own label; arrivals stop.
+        forward[v] = seed.has_value()
+                         ? std::vector<RightsEntry>{RightsEntry{0, *seed, 1}}
+                         : arriving;
+        break;
+      }
+      case PropagationMode::kFirstWins: {
+        if (view.parents(v).empty()) {
+          clean[v] = 1;
+        } else {
+          uint64_t c = 0;
+          for (LocalId p : view.parents(v)) {
+            if (!SeedLabel(view, labels, p).has_value()) {
+              c = SatAdd(c, clean[p]);
+            }
+          }
+          clean[v] = c;
+        }
+        std::vector<RightsEntry>& bag = result[v];
+        if (seed.has_value() && clean[v] > 0) {
+          bag.push_back(RightsEntry{0, *seed, clean[v]});
+        }
+        bag.insert(bag.end(), arriving.begin(), arriving.end());
+        NormalizeEntries(&bag);
+        forward[v] = bag;
+        break;
+      }
+    }
+    for (const RightsEntry& e : result[v]) Observe(stats, 1, e.dis);
+  }
+  return result;
+}
+
+}  // namespace
+
+RightsBag PropagateAggregated(const AncestorSubgraph& sub, LabelView labels,
+                              const PropagateOptions& options,
+                              PropagateStats* stats) {
+  std::vector<RightsBag> all = PropagateAggregatedAll(sub, labels, options,
+                                                      stats);
+  return std::move(all[sub.sink()]);
+}
+
+std::vector<RightsBag> PropagateAggregatedAll(const AncestorSubgraph& sub,
+                                              LabelView labels,
+                                              const PropagateOptions& options,
+                                              PropagateStats* stats) {
+  assert(labels.size() >= sub.dag().node_count());
+  std::vector<std::vector<RightsEntry>> raw =
+      AggregatedImpl(SubgraphView{sub}, labels, options, stats);
+  std::vector<RightsBag> bags;
+  bags.reserve(raw.size());
+  for (auto& entries : raw) bags.push_back(ToBag(std::move(entries)));
+  return bags;
+}
+
+std::vector<RightsBag> PropagateWholeDag(const graph::Dag& dag,
+                                         LabelView labels,
+                                         const PropagateOptions& options,
+                                         PropagateStats* stats) {
+  assert(labels.size() >= dag.node_count());
+  WholeDagView view{dag, dag.TopologicalOrder()};
+  std::vector<std::vector<RightsEntry>> raw =
+      AggregatedImpl(view, labels, options, stats);
+  std::vector<RightsBag> bags;
+  bags.reserve(raw.size());
+  for (auto& entries : raw) bags.push_back(ToBag(std::move(entries)));
+  return bags;
+}
+
+namespace {
+
+struct Tuple {
+  LocalId node;
+  uint32_t dis;
+  PropagatedMode mode;
+};
+
+StatusOr<std::vector<RightsBag>> LiteralImpl(const AncestorSubgraph& sub,
+                                             LabelView labels,
+                                             const PropagateOptions& options,
+                                             PropagateStats* stats,
+                                             uint64_t max_tuples,
+                                             bool collect_all) {
+  assert(labels.size() >= sub.dag().node_count());
+  const size_t n = sub.member_count();
+  const LocalId sink = sub.sink();
+  std::vector<RightsBag> bags(n);
+
+  uint64_t created = 0;
+  std::deque<Tuple> queue;
+  auto emit = [&](LocalId node, uint32_t dis,
+                  PropagatedMode mode) -> Status {
+    if (++created > max_tuples) {
+      return Status::FailedPrecondition(
+          "literal propagation exceeded max_tuples=" +
+          std::to_string(max_tuples) +
+          " (path explosion; use PropagateAggregated)");
+    }
+    Observe(stats, 1, dis);
+    if (collect_all || node == sink) bags[node].Add(dis, mode, 1);
+    if (node != sink) queue.push_back(Tuple{node, dis, mode});
+    return Status::OK();
+  };
+
+  // Seeds (Fig. 5 lines 3–5). Under kFirstWins only roots emit; every
+  // root is labeled (explicitly or by the 'd' marker), so any deeper
+  // label can never be "first" on its path.
+  for (LocalId v = 0; v < n; ++v) {
+    const std::optional<PropagatedMode> seed = SeedLabel(sub, labels, v);
+    if (!seed.has_value()) continue;
+    if (options.propagation_mode == PropagationMode::kFirstWins &&
+        !sub.parents(v).empty()) {
+      continue;
+    }
+    UCR_RETURN_IF_ERROR(emit(v, 0, *seed));
+  }
+
+  // Push every tuple down every outgoing edge (Fig. 5 lines 6–11).
+  while (!queue.empty()) {
+    const Tuple t = queue.front();
+    queue.pop_front();
+    if (options.propagation_mode == PropagationMode::kSecondWins &&
+        t.dis > 0 && SeedLabel(sub, labels, t.node).has_value()) {
+      continue;  // A more specific authorization replaces this one.
+    }
+    for (LocalId c : sub.children(t.node)) {
+      UCR_RETURN_IF_ERROR(emit(c, t.dis + 1, t.mode));
+    }
+  }
+
+  for (auto& bag : bags) bag.Normalize();
+  return bags;
+}
+
+}  // namespace
+
+StatusOr<RightsBag> PropagateLiteral(const AncestorSubgraph& sub,
+                                     LabelView labels,
+                                     const PropagateOptions& options,
+                                     PropagateStats* stats,
+                                     uint64_t max_tuples) {
+  UCR_ASSIGN_OR_RETURN(
+      std::vector<RightsBag> bags,
+      LiteralImpl(sub, labels, options, stats, max_tuples,
+                  /*collect_all=*/false));
+  return std::move(bags[sub.sink()]);
+}
+
+StatusOr<std::vector<RightsBag>> PropagateLiteralAll(
+    const AncestorSubgraph& sub, LabelView labels,
+    const PropagateOptions& options, PropagateStats* stats,
+    uint64_t max_tuples) {
+  return LiteralImpl(sub, labels, options, stats, max_tuples,
+                     /*collect_all=*/true);
+}
+
+}  // namespace ucr::core

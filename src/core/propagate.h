@@ -1,0 +1,120 @@
+#ifndef UCR_CORE_PROPAGATE_H_
+#define UCR_CORE_PROPAGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "acm/mode.h"
+#include "core/rights_bag.h"
+#include "graph/ancestor_subgraph.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief What happens when a propagating authorization meets another
+/// authorization on its path (the paper's future-work extension #3,
+/// §6). A node "has an authorization" if it carries an explicit label
+/// or is an unlabeled root carrying the 'd' default marker.
+enum class PropagationMode : uint8_t {
+  /// Both authorizations continue down the path — the paper's model
+  /// (Figs. 4–5, Tables 1/4). A source's label reaches the subject
+  /// once per directed path from the source.
+  kBoth = 0,
+
+  /// The first (more global) authorization on each path wins: a label
+  /// propagates only along paths with no labeled node above its
+  /// source. Because Step 2 marks every unlabeled root with 'd', every
+  /// root is labeled, so under this mode only root authorizations
+  /// propagate — including suppressing the subject's own explicit
+  /// label unless the subject is itself a root.
+  kFirstWins = 1,
+
+  /// The second (more specific) authorization on each path wins: a
+  /// label stops at the first labeled node strictly below its source,
+  /// so only labels with a label-free path to the subject arrive. The
+  /// subject's own label always survives (distance 0).
+  kSecondWins = 2,
+};
+
+/// Options shared by the propagation engines.
+struct PropagateOptions {
+  PropagationMode propagation_mode = PropagationMode::kBoth;
+};
+
+/// Work counters of one propagation run.
+struct PropagateStats {
+  /// Literal engine: tuples created (initial seeds + one per tuple
+  /// move along an edge). This is the paper's O(n + d) cost driver.
+  /// Aggregated engine: (dis, mode) group-merge operations performed.
+  uint64_t tuples_processed = 0;
+
+  /// Highest distance reached by any tuple.
+  uint32_t max_distance = 0;
+};
+
+/// Per-subject explicit labels for one (object, right) pair, indexed
+/// by *global* node id (see `acm::ExplicitAcm::ExtractLabels`).
+using LabelView = std::span<const std::optional<acm::Mode>>;
+
+/// \brief Production implementation of Function Propagate()
+/// (paper Fig. 5): computes the `allRights` bag of the sub-graph's
+/// sink in time polynomial in the sub-graph size.
+///
+/// Tuples are never materialized per path; instead each node carries
+/// its (distance, mode) -> multiplicity bag and parents' bags are
+/// merged in topological order. The result is tuple-for-tuple equal to
+/// the paper's per-path propagation (multiplicities included) at
+/// O(V * D * 3) space instead of the potentially exponential O(d).
+///
+/// `labels.size()` must equal the node count of the underlying graph.
+RightsBag PropagateAggregated(const graph::AncestorSubgraph& sub,
+                              LabelView labels,
+                              const PropagateOptions& options = {},
+                              PropagateStats* stats = nullptr);
+
+/// Full-relation variant: the bag of *every* member (the paper's
+/// relation P, Table 4), indexed by local id.
+std::vector<RightsBag> PropagateAggregatedAll(
+    const graph::AncestorSubgraph& sub, LabelView labels,
+    const PropagateOptions& options = {}, PropagateStats* stats = nullptr);
+
+/// \brief Paper-literal implementation of Function Propagate(): a
+/// breadth-first queue of individual tuples, each pushed down every
+/// edge (Fig. 5 lines 6–11). Exactly the paper's O(n + d) cost model —
+/// exponential on diamond stacks — so it exists for the cost-model
+/// benchmarks (Figs. 6, 7) and as a differential-testing oracle.
+///
+/// `max_tuples` guards against path explosion; exceeding it returns
+/// ResourceExhausted-like FailedPrecondition rather than looping for
+/// hours.
+StatusOr<RightsBag> PropagateLiteral(const graph::AncestorSubgraph& sub,
+                                     LabelView labels,
+                                     const PropagateOptions& options = {},
+                                     PropagateStats* stats = nullptr,
+                                     uint64_t max_tuples = UINT64_MAX);
+
+/// \brief Whole-hierarchy propagation: the `allRights` bag of *every*
+/// subject in one topological pass over the full graph.
+///
+/// For any subject v, propagation into v involves only v's ancestors,
+/// and the unlabeled roots of v's ancestor sub-graph are exactly the
+/// unlabeled roots of the whole hierarchy that are ancestors of v — so
+/// the per-subject bags computed here equal `PropagateAggregated` run
+/// on each subject's own sub-graph, at a fraction of the cost. This is
+/// the engine behind effective-matrix materialization.
+std::vector<RightsBag> PropagateWholeDag(const graph::Dag& dag,
+                                         LabelView labels,
+                                         const PropagateOptions& options = {},
+                                         PropagateStats* stats = nullptr);
+
+/// Full-relation variant of the literal engine (paper Table 4).
+StatusOr<std::vector<RightsBag>> PropagateLiteralAll(
+    const graph::AncestorSubgraph& sub, LabelView labels,
+    const PropagateOptions& options = {}, PropagateStats* stats = nullptr,
+    uint64_t max_tuples = UINT64_MAX);
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_PROPAGATE_H_

@@ -1,0 +1,209 @@
+#include "core/resolve.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ucr::core {
+
+namespace {
+
+using acm::Mode;
+using acm::PropagatedMode;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/// A (dis, mode) group after the default rule has been applied: only
+/// '+' and '-' survive (Fig. 4 lines 2–3).
+struct WorkingEntry {
+  uint32_t dis;
+  Mode mode;
+  uint64_t multiplicity;
+};
+
+/// Applies the default rule: drops 'd' groups (dRule = "0") or
+/// rewrites them to the default mode, merging with any equal-distance
+/// explicit group.
+std::vector<WorkingEntry> ApplyDefaultRule(const RightsBag& all_rights,
+                                           DefaultRule rule) {
+  std::vector<WorkingEntry> out;
+  for (const RightsEntry& e : all_rights.entries()) {
+    Mode mode;
+    if (e.mode == PropagatedMode::kDefault) {
+      if (rule == DefaultRule::kNone) continue;  // σ mode <> 'd' (line 2).
+      mode = rule == DefaultRule::kPositive ? Mode::kPositive
+                                            : Mode::kNegative;
+    } else {
+      mode = e.mode == PropagatedMode::kPositive ? Mode::kPositive
+                                                 : Mode::kNegative;
+    }
+    out.push_back(WorkingEntry{e.dis, mode, e.multiplicity});
+  }
+  // Merge groups made equal by the rewrite (bag union of multiplicities).
+  std::sort(out.begin(), out.end(),
+            [](const WorkingEntry& a, const WorkingEntry& b) {
+              if (a.dis != b.dis) return a.dis < b.dis;
+              return a.mode < b.mode;
+            });
+  size_t w = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (w > 0 && out[w - 1].dis == out[i].dis &&
+        out[w - 1].mode == out[i].mode) {
+      out[w - 1].multiplicity =
+          SatAdd(out[w - 1].multiplicity, out[i].multiplicity);
+    } else {
+      out[w++] = out[i];
+    }
+  }
+  out.resize(w);
+  return out;
+}
+
+/// σ dis = lRule(dis): the locality filter (Fig. 4 lines 5 and 7).
+std::vector<WorkingEntry> ApplyLocalityFilter(
+    const std::vector<WorkingEntry>& entries, LocalityRule rule) {
+  if (rule == LocalityRule::kIdentity || entries.empty()) return entries;
+  uint32_t target = entries.front().dis;
+  for (const WorkingEntry& e : entries) {
+    target = rule == LocalityRule::kMostSpecific ? std::min(target, e.dis)
+                                                 : std::max(target, e.dis);
+  }
+  std::vector<WorkingEntry> out;
+  for (const WorkingEntry& e : entries) {
+    if (e.dis == target) out.push_back(e);
+  }
+  return out;
+}
+
+struct Counts {
+  uint64_t positive = 0;
+  uint64_t negative = 0;
+};
+
+Counts CountModes(const std::vector<WorkingEntry>& entries) {
+  Counts c;
+  for (const WorkingEntry& e : entries) {
+    if (e.mode == Mode::kPositive) {
+      c.positive = SatAdd(c.positive, e.multiplicity);
+    } else {
+      c.negative = SatAdd(c.negative, e.multiplicity);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string ResolveTrace::AuthToString() const {
+  if (!auth_computed) return "n/a";
+  if (auth_has_positive && auth_has_negative) return "+,-";
+  if (auth_has_positive) return "+";
+  if (auth_has_negative) return "-";
+  return "{}";
+}
+
+std::string ResolveTrace::C1ToString() const {
+  return c1.has_value() ? std::to_string(*c1) : "n/a";
+}
+
+std::string ResolveTrace::C2ToString() const {
+  return c2.has_value() ? std::to_string(*c2) : "n/a";
+}
+
+acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
+                  ResolveTrace* trace) {
+  const Strategy s = strategy.Canonical();
+  ResolveTrace local_trace;
+  ResolveTrace& t = trace != nullptr ? *trace : local_trace;
+  t = ResolveTrace{};
+
+  const Mode preferred = s.preference_rule == PreferenceRule::kPositive
+                             ? Mode::kPositive
+                             : Mode::kNegative;
+
+  // Lines 1–3: propagation already happened; apply the default rule.
+  const std::vector<WorkingEntry> working =
+      ApplyDefaultRule(all_rights, s.default_rule);
+
+  // Lines 4–6: the majority policy, counting either the whole bag
+  // ("before", mnemonics M[LG]?P) or the locality-filtered bag
+  // ("after", mnemonics [LG]MP). A strict majority decides.
+  if (s.majority_rule != MajorityRule::kSkip) {
+    const Counts counts =
+        s.majority_rule == MajorityRule::kBefore
+            ? CountModes(working)
+            : CountModes(ApplyLocalityFilter(working, s.locality_rule));
+    t.c1 = counts.positive;
+    t.c2 = counts.negative;
+    if (counts.positive > counts.negative) {
+      t.result = Mode::kPositive;
+      t.returned_line = 6;
+      return t.result;
+    }
+    if (counts.negative > counts.positive) {
+      t.result = Mode::kNegative;
+      t.returned_line = 6;
+      return t.result;
+    }
+  }
+
+  // Lines 7–8: locality filter, then the Auth set of surviving modes.
+  const std::vector<WorkingEntry> surviving =
+      ApplyLocalityFilter(working, s.locality_rule);
+  t.auth_computed = true;
+  for (const WorkingEntry& e : surviving) {
+    if (e.mode == Mode::kPositive) t.auth_has_positive = true;
+    if (e.mode == Mode::kNegative) t.auth_has_negative = true;
+  }
+  if (t.auth_has_positive != t.auth_has_negative) {
+    t.result = t.auth_has_positive ? Mode::kPositive : Mode::kNegative;
+    t.returned_line = 8;
+    return t.result;
+  }
+
+  // Line 9: the preference rule settles everything else — a genuine
+  // conflict (both modes survive) or an empty set (no authorization
+  // derivable at all).
+  t.result = preferred;
+  t.returned_line = 9;
+  return t.result;
+}
+
+StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
+                                  const acm::ExplicitAcm& eacm,
+                                  graph::NodeId subject, acm::ObjectId object,
+                                  acm::RightId right, const Strategy& strategy,
+                                  const ResolveAccessOptions& options,
+                                  ResolveTrace* trace,
+                                  PropagateStats* stats) {
+  if (subject >= dag.node_count()) {
+    return Status::OutOfRange("subject id " + std::to_string(subject) +
+                              " out of range");
+  }
+  if (object >= eacm.object_count()) {
+    return Status::OutOfRange("object id out of range");
+  }
+  if (right >= eacm.right_count()) {
+    return Status::OutOfRange("right id out of range");
+  }
+
+  const graph::AncestorSubgraph sub(dag, subject);
+  const std::vector<std::optional<acm::Mode>> labels =
+      eacm.ExtractLabels(dag.node_count(), object, right);
+
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options.propagation_mode;
+
+  RightsBag all_rights;
+  if (options.use_literal_engine) {
+    UCR_ASSIGN_OR_RETURN(all_rights,
+                         PropagateLiteral(sub, labels, prop_options, stats,
+                                          options.literal_max_tuples));
+  } else {
+    all_rights = PropagateAggregated(sub, labels, prop_options, stats);
+  }
+  return Resolve(all_rights, strategy, trace);
+}
+
+}  // namespace ucr::core

@@ -1,0 +1,86 @@
+#ifndef UCR_CORE_RESOLVE_H_
+#define UCR_CORE_RESOLVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/propagate.h"
+#include "core/rights_bag.h"
+#include "core/strategy.h"
+#include "graph/dag.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief Execution record of one Resolve() run, mirroring the columns
+/// of the paper's Table 3: the majority counters, the Auth set, the
+/// derived mode, and which line of Fig. 4 returned.
+struct ResolveTrace {
+  /// Majority counters (Fig. 4 lines 4–5); unset when mRule = skip.
+  std::optional<uint64_t> c1;  ///< count of '+' tuples.
+  std::optional<uint64_t> c2;  ///< count of '-' tuples.
+
+  /// Whether the Auth set (Fig. 4 line 7) was computed, and its
+  /// contents if so.
+  bool auth_computed = false;
+  bool auth_has_positive = false;
+  bool auth_has_negative = false;
+
+  /// Line of Fig. 4 that produced the result: 6 (majority), 8 (single
+  /// surviving authorization), or 9 (preference).
+  int returned_line = 0;
+
+  /// The derived effective mode.
+  acm::Mode result = acm::Mode::kNegative;
+
+  /// Renders the Table 3 "Auth" cell: "n/a", "+", "-", or "+,-".
+  std::string AuthToString() const;
+  /// Renders the Table 3 counter cells: "n/a" or the number.
+  std::string C1ToString() const;
+  std::string C2ToString() const;
+};
+
+/// \brief Algorithm Resolve() (paper Fig. 4), steps after propagation:
+/// derives the effective mode for a subject whose propagated
+/// `allRights` bag is given.
+///
+/// Deterministic for every canonical strategy; a non-canonical
+/// strategy is normalized first. The algorithm never fails: the
+/// preference rule resolves every residual case, including an empty
+/// bag (a subject with no ancestors, no label, and no default policy).
+acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
+                  ResolveTrace* trace = nullptr);
+
+/// Options for the end-to-end `ResolveAccess` entry point.
+struct ResolveAccessOptions {
+  /// Propagation engine: the aggregated production engine (default) or
+  /// the paper-literal tuple queue (for cost-model experiments).
+  bool use_literal_engine = false;
+
+  /// Tuple budget for the literal engine (ignored by the aggregated
+  /// engine); see `PropagateLiteral`.
+  uint64_t literal_max_tuples = UINT64_MAX;
+
+  /// Propagation extension mode (paper future work #3).
+  PropagationMode propagation_mode = PropagationMode::kBoth;
+};
+
+/// \brief End-to-end conflict resolution for one ⟨subject, object,
+/// right⟩ triple: extracts the subject's ancestor sub-graph (Step 1),
+/// propagates labels (Steps 2–3), and resolves (Step 4).
+///
+/// Fails only on invalid ids or a literal-engine tuple-budget breach.
+StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
+                                  const acm::ExplicitAcm& eacm,
+                                  graph::NodeId subject, acm::ObjectId object,
+                                  acm::RightId right, const Strategy& strategy,
+                                  const ResolveAccessOptions& options = {},
+                                  ResolveTrace* trace = nullptr,
+                                  PropagateStats* stats = nullptr);
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_RESOLVE_H_

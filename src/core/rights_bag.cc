@@ -1,0 +1,62 @@
+#include "core/rights_bag.h"
+
+#include <algorithm>
+
+namespace ucr::core {
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+bool EntryLess(const RightsEntry& a, const RightsEntry& b) {
+  if (a.dis != b.dis) return a.dis < b.dis;
+  return a.mode < b.mode;
+}
+
+}  // namespace
+
+void RightsBag::Add(uint32_t dis, acm::PropagatedMode mode,
+                    uint64_t multiplicity) {
+  if (multiplicity == 0) return;
+  entries_.push_back(RightsEntry{dis, mode, multiplicity});
+}
+
+void RightsBag::Normalize() {
+  std::sort(entries_.begin(), entries_.end(), EntryLess);
+  size_t out = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].dis == entries_[i].dis &&
+        entries_[out - 1].mode == entries_[i].mode) {
+      entries_[out - 1].multiplicity =
+          SatAdd(entries_[out - 1].multiplicity, entries_[i].multiplicity);
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+uint64_t RightsBag::TotalTuples() const {
+  uint64_t total = 0;
+  for (const auto& e : entries_) total = SatAdd(total, e.multiplicity);
+  return total;
+}
+
+std::string RightsBag::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(entries_[i].dis);
+    out += ':';
+    out += acm::PropagatedModeToChar(entries_[i].mode);
+    if (entries_[i].multiplicity != 1) {
+      out += " x" + std::to_string(entries_[i].multiplicity);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ucr::core

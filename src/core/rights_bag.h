@@ -1,0 +1,67 @@
+#ifndef UCR_CORE_RIGHTS_BAG_H_
+#define UCR_CORE_RIGHTS_BAG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acm/mode.h"
+
+namespace ucr::core {
+
+/// \brief One group of equal tuples in the propagated `allRights`
+/// relation: (distance, mode) with a multiplicity.
+///
+/// The paper's relation has one tuple per (source label, propagation
+/// path); equal (dis, mode) pairs from different sources/paths are
+/// distinct tuples and count multiply in the majority policy, so the
+/// bag tracks multiplicities exactly.
+struct RightsEntry {
+  uint32_t dis = 0;
+  acm::PropagatedMode mode = acm::PropagatedMode::kDefault;
+  uint64_t multiplicity = 1;
+
+  bool operator==(const RightsEntry&) const = default;
+};
+
+/// \brief The `allRights` bag for one ⟨subject, object, right⟩ triple
+/// (paper Table 1): every authorization label reaching the subject,
+/// with per-path distances.
+///
+/// Normalized form: entries sorted by (dis, mode), no duplicate
+/// (dis, mode) pairs, no zero multiplicities.
+class RightsBag {
+ public:
+  RightsBag() = default;
+
+  /// Adds `multiplicity` tuples (dis, mode). Not normalized until
+  /// `Normalize()` is called.
+  void Add(uint32_t dis, acm::PropagatedMode mode, uint64_t multiplicity = 1);
+
+  /// Sorts and merges duplicate (dis, mode) groups.
+  void Normalize();
+
+  const std::vector<RightsEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Total tuple count (sum of multiplicities), saturating.
+  uint64_t TotalTuples() const;
+
+  /// Number of distinct (dis, mode) groups.
+  size_t GroupCount() const { return entries_.size(); }
+
+  bool operator==(const RightsBag& other) const {
+    return entries_ == other.entries_;
+  }
+
+  /// Renders "dis:mode xN" groups for diagnostics, e.g.
+  /// "{1:- , 1:d, 2:d, 1:+, 3:+, 3:d}".
+  std::string ToString() const;
+
+ private:
+  std::vector<RightsEntry> entries_;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_RIGHTS_BAG_H_

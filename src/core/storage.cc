@@ -1,0 +1,140 @@
+#include "core/storage.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "acm/acm.h"
+#include "graph/io.h"
+#include "util/string_util.h"
+
+namespace ucr::core {
+
+namespace {
+
+constexpr std::string_view kHeader = "# ucr system v1";
+constexpr std::string_view kHierarchySection = "[hierarchy]";
+constexpr std::string_view kAuthSection = "[authorizations]";
+
+}  // namespace
+
+std::string SaveSystemToText(const AccessControlSystem& system) {
+  std::ostringstream out;
+  out << kHeader << "\n";
+  out << "strategy " << system.strategy().ToMnemonic() << "\n";
+  out << kHierarchySection << "\n";
+  out << graph::ToEdgeListText(system.dag());
+  out << kAuthSection << "\n";
+  out << acm::ToText(system.eacm(), system.dag());
+  return out.str();
+}
+
+StatusOr<AccessControlSystem> LoadSystemFromText(std::string_view text,
+                                                 SystemOptions options) {
+  // Split the stream into the strategy line and the two sections;
+  // section bodies are parsed by their own modules.
+  std::optional<Strategy> strategy;
+  std::string hierarchy_text;
+  std::string auth_text;
+  enum class Section { kPreamble, kHierarchy, kAuthorizations };
+  Section section = Section::kPreamble;
+
+  size_t pos = 0;
+  size_t line_no = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view raw = text.substr(pos, end - pos);
+    const std::string_view line = Trim(raw);
+    pos = end + 1;
+    ++line_no;
+
+    auto error = [&](const std::string& what) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (line == kHierarchySection) {
+      section = Section::kHierarchy;
+      continue;
+    }
+    if (line == kAuthSection) {
+      if (section != Section::kHierarchy) {
+        return error("[authorizations] must follow [hierarchy]");
+      }
+      section = Section::kAuthorizations;
+      continue;
+    }
+    switch (section) {
+      case Section::kPreamble: {
+        if (line.empty() || line[0] == '#') break;
+        if (StartsWith(line, "strategy ")) {
+          auto parsed = ParseStrategy(Trim(line.substr(9)));
+          if (!parsed.ok()) return error(parsed.status().message());
+          strategy = *parsed;
+          break;
+        }
+        return error("unexpected content before [hierarchy]");
+      }
+      case Section::kHierarchy:
+        hierarchy_text.append(raw);
+        hierarchy_text.push_back('\n');
+        break;
+      case Section::kAuthorizations:
+        auth_text.append(raw);
+        auth_text.push_back('\n');
+        break;
+    }
+  }
+  if (section != Section::kAuthorizations) {
+    return Status::Corruption(
+        "missing [hierarchy] and/or [authorizations] section");
+  }
+
+  auto dag = graph::FromEdgeListText(hierarchy_text);
+  if (!dag.ok()) {
+    return Status::Corruption("hierarchy: " + dag.status().message());
+  }
+  auto eacm = acm::FromText(auth_text, *dag);
+  if (!eacm.ok()) {
+    return Status::Corruption("authorizations: " + eacm.status().message());
+  }
+
+  if (strategy.has_value()) options.default_strategy = *strategy;
+  AccessControlSystem system(std::move(dag).value(), options);
+  // Replay the parsed matrix through the facade to keep interning
+  // order identical to the file's sorted order.
+  for (const auto& e : eacm->SortedEntries()) {
+    const std::string& subject = system.dag().name(e.subject);
+    const Status status =
+        e.mode == acm::Mode::kPositive
+            ? system.Grant(subject, eacm->object_name(e.object),
+                           eacm->right_name(e.right))
+            : system.DenyAccess(subject, eacm->object_name(e.object),
+                                eacm->right_name(e.right));
+    if (!status.ok()) {
+      return Status::Corruption("authorizations: " + status.message());
+    }
+  }
+  return system;
+}
+
+Status SaveSystemToFile(const AccessControlSystem& system,
+                        const std::string& path) {
+  UCR_RETURN_IF_ERROR(graph::ValidateSerializable(system.dag()));
+  std::ofstream out(path);
+  if (!out) return Status::Corruption("cannot open for writing: " + path);
+  out << SaveSystemToText(system);
+  out.flush();
+  if (!out) return Status::Corruption("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<AccessControlSystem> LoadSystemFromFile(const std::string& path,
+                                                 SystemOptions options) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSystemFromText(buffer.str(), options);
+}
+
+}  // namespace ucr::core

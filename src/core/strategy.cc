@@ -1,0 +1,138 @@
+#include "core/strategy.h"
+
+#include <array>
+
+namespace ucr::core {
+
+namespace {
+
+// The eight "policy shapes" between the default prefix and the
+// preference suffix, in the enumeration order documented on
+// AllStrategies(). Each maps to (locality, majority).
+struct Shape {
+  const char* text;
+  LocalityRule locality;
+  MajorityRule majority;
+};
+
+constexpr std::array<Shape, 8> kShapes = {{
+    {"", LocalityRule::kIdentity, MajorityRule::kSkip},
+    {"M", LocalityRule::kIdentity, MajorityRule::kBefore},
+    {"L", LocalityRule::kMostSpecific, MajorityRule::kSkip},
+    {"G", LocalityRule::kMostGeneral, MajorityRule::kSkip},
+    {"LM", LocalityRule::kMostSpecific, MajorityRule::kAfter},
+    {"GM", LocalityRule::kMostGeneral, MajorityRule::kAfter},
+    {"ML", LocalityRule::kMostSpecific, MajorityRule::kBefore},
+    {"MG", LocalityRule::kMostGeneral, MajorityRule::kBefore},
+}};
+
+size_t ShapeIndexOf(const Strategy& s) {
+  for (size_t i = 0; i < kShapes.size(); ++i) {
+    if (kShapes[i].locality == s.locality_rule &&
+        kShapes[i].majority == s.majority_rule) {
+      return i;
+    }
+  }
+  return kShapes.size();  // The non-canonical alias.
+}
+
+}  // namespace
+
+bool Strategy::IsCanonical() const {
+  return !(majority_rule == MajorityRule::kAfter &&
+           locality_rule == LocalityRule::kIdentity);
+}
+
+Strategy Strategy::Canonical() const {
+  Strategy s = *this;
+  if (!s.IsCanonical()) s.majority_rule = MajorityRule::kBefore;
+  return s;
+}
+
+std::string Strategy::ToMnemonic() const {
+  const Strategy s = Canonical();
+  std::string out;
+  if (s.default_rule == DefaultRule::kPositive) out += "D+";
+  if (s.default_rule == DefaultRule::kNegative) out += "D-";
+  out += kShapes[ShapeIndexOf(s)].text;
+  out += 'P';
+  out += s.preference_rule == PreferenceRule::kPositive ? '+' : '-';
+  return out;
+}
+
+uint8_t Strategy::CanonicalIndex() const {
+  const Strategy s = Canonical();
+  const size_t d = static_cast<size_t>(s.default_rule);          // 0..2
+  const size_t shape = ShapeIndexOf(s);                          // 0..7
+  const size_t p = static_cast<size_t>(s.preference_rule);       // 0..1
+  return static_cast<uint8_t>((d * kShapes.size() + shape) * 2 + p);
+}
+
+StatusOr<Strategy> ParseStrategy(std::string_view mnemonic) {
+  std::string_view rest = mnemonic;
+  auto error = [&mnemonic](const std::string& what) {
+    return Status::InvalidArgument("strategy '" + std::string(mnemonic) +
+                                   "': " + what);
+  };
+
+  Strategy s;
+  if (rest.size() >= 2 && rest[0] == 'D') {
+    if (rest[1] == '+') {
+      s.default_rule = DefaultRule::kPositive;
+    } else if (rest[1] == '-') {
+      s.default_rule = DefaultRule::kNegative;
+    } else {
+      return error("'D' must be followed by '+' or '-'");
+    }
+    rest.remove_prefix(2);
+  }
+
+  if (rest.size() < 2 || rest[rest.size() - 2] != 'P') {
+    return error("must end with 'P+' or 'P-'");
+  }
+  const char pref = rest.back();
+  if (pref == '+') {
+    s.preference_rule = PreferenceRule::kPositive;
+  } else if (pref == '-') {
+    s.preference_rule = PreferenceRule::kNegative;
+  } else {
+    return error("must end with 'P+' or 'P-'");
+  }
+  rest.remove_suffix(2);
+
+  for (const Shape& shape : kShapes) {
+    if (rest == shape.text) {
+      s.locality_rule = shape.locality;
+      s.majority_rule = shape.majority;
+      return s;
+    }
+  }
+  return error("unknown policy shape '" + std::string(rest) +
+               "' (expected one of '', M, L, G, LM, GM, ML, MG)");
+}
+
+const std::vector<Strategy>& AllStrategies() {
+  static const std::vector<Strategy>& all = *new std::vector<Strategy>([] {
+    std::vector<Strategy> v;
+    v.reserve(48);
+    for (DefaultRule d : {DefaultRule::kNone, DefaultRule::kPositive,
+                          DefaultRule::kNegative}) {
+      for (const Shape& shape : kShapes) {
+        for (PreferenceRule p :
+             {PreferenceRule::kPositive, PreferenceRule::kNegative}) {
+          v.push_back(Strategy{d, shape.locality, shape.majority, p});
+        }
+      }
+    }
+    return v;
+  }());
+  return all;
+}
+
+namespace strategies {
+
+StatusOr<Strategy> DPlusLPMinus() { return ParseStrategy("D+LP-"); }
+
+}  // namespace strategies
+
+}  // namespace ucr::core

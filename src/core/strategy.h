@@ -1,0 +1,98 @@
+#ifndef UCR_CORE_STRATEGY_H_
+#define UCR_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// Default policy parameter (paper Fig. 4, `dRule`): how unlabeled
+/// root subjects are treated.
+enum class DefaultRule : uint8_t {
+  kNone = 0,      ///< "0" — drop default tuples (no default policy).
+  kPositive = 1,  ///< "+" — unlabeled roots default to grant.
+  kNegative = 2,  ///< "-" — unlabeled roots default to deny.
+};
+
+/// Locality policy parameter (`lRule`): which propagated tuples
+/// survive the distance filter.
+enum class LocalityRule : uint8_t {
+  kIdentity = 0,      ///< identity() — no locality policy; keep all rows.
+  kMostSpecific = 1,  ///< min() — nearest authorization wins ("L").
+  kMostGeneral = 2,   ///< max() — farthest authorization wins ("G", globality).
+};
+
+/// Majority policy parameter (`mRule`): when (if at all) tuples are
+/// counted and a strict majority decides.
+enum class MajorityRule : uint8_t {
+  kSkip = 0,    ///< No majority policy.
+  kBefore = 1,  ///< Count before the locality filter (mnemonics M[LG]?P).
+  kAfter = 2,   ///< Count after the locality filter (mnemonics [LG]MP).
+};
+
+/// Preference policy parameter (`pRule`): the final, deterministic
+/// arbiter. Always applied last; never optional.
+enum class PreferenceRule : uint8_t {
+  kPositive = 0,  ///< "+" wins remaining conflicts (open systems).
+  kNegative = 1,  ///< "-" wins remaining conflicts (closed systems).
+};
+
+/// \brief One combined conflict-resolution strategy instance — the
+/// four parameters of Algorithm Resolve() (paper Fig. 4).
+///
+/// Of the 3*3*3*2 = 54 raw parameter combinations, 48 are *canonical*
+/// strategy instances (paper §2.2): when no locality policy is present
+/// (`kIdentity`), counting before or after the no-op filter is the
+/// same strategy, so `kAfter` + `kIdentity` is normalized to `kBefore`.
+///
+/// Mnemonics follow the paper: optional `D+`/`D-`, then one of
+/// `LM`/`GM`/`ML`/`MG`/`L`/`G`/`M`/`` (L = most specific, G = most
+/// general; M's position encodes before/after), then `P+`/`P-`.
+/// Examples: "D+LMP-", "D-GP+", "MGP-", "P+".
+struct Strategy {
+  DefaultRule default_rule = DefaultRule::kNone;
+  LocalityRule locality_rule = LocalityRule::kIdentity;
+  MajorityRule majority_rule = MajorityRule::kSkip;
+  PreferenceRule preference_rule = PreferenceRule::kNegative;
+
+  bool operator==(const Strategy& other) const = default;
+
+  /// True iff the instance is one of the 48 canonical strategies
+  /// (i.e., not the `kAfter`+`kIdentity` alias).
+  bool IsCanonical() const;
+
+  /// Returns the canonical equivalent (normalizes the alias).
+  Strategy Canonical() const;
+
+  /// Renders the paper mnemonic, e.g. "D+LMP-".
+  std::string ToMnemonic() const;
+
+  /// Dense index of the canonical form in [0, 48); stable across runs.
+  /// Useful as a cache key component.
+  uint8_t CanonicalIndex() const;
+};
+
+/// Parses a paper mnemonic (see `Strategy`). Whitespace-intolerant and
+/// case-sensitive by design: mnemonics are identifiers.
+StatusOr<Strategy> ParseStrategy(std::string_view mnemonic);
+
+/// All 48 canonical strategy instances in a fixed, documented order:
+/// default rule (none, +, -) × policy shape (P, M, L, G, LM, GM, ML,
+/// MG) × preference (+, -). `AllStrategies()[s.CanonicalIndex()] == s`.
+const std::vector<Strategy>& AllStrategies();
+
+/// Named constants for the strategies the paper discusses explicitly.
+namespace strategies {
+/// "Denial takes precedence" with most-specific locality — the classic
+/// closed-system strategy (Bertino et al.'s weak/strong semantics is
+/// D+LP- in this framework, paper §5).
+StatusOr<Strategy> DPlusLPMinus();
+}  // namespace strategies
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_STRATEGY_H_

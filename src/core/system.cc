@@ -1,0 +1,268 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <optional>
+#include <thread>
+
+#include "core/propagate.h"
+
+namespace ucr::core {
+
+AccessControlSystem::AccessControlSystem(graph::Dag dag, SystemOptions options)
+    : dag_(std::move(dag)), options_(options) {
+  options_.default_strategy = options_.default_strategy.Canonical();
+}
+
+Status AccessControlSystem::SetMode(std::string_view subject,
+                                    std::string_view object,
+                                    std::string_view right, acm::Mode mode) {
+  const graph::NodeId s = dag_.FindNode(subject);
+  if (s == graph::kInvalidNode) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.InternObject(object));
+  UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.InternRight(right));
+  return eacm_.Set(s, o, r, mode);
+}
+
+Status AccessControlSystem::Grant(std::string_view subject,
+                                  std::string_view object,
+                                  std::string_view right) {
+  return SetMode(subject, object, right, acm::Mode::kPositive);
+}
+
+Status AccessControlSystem::DenyAccess(std::string_view subject,
+                                       std::string_view object,
+                                       std::string_view right) {
+  return SetMode(subject, object, right, acm::Mode::kNegative);
+}
+
+Status AccessControlSystem::RebuildHierarchy(graph::Dag replacement) {
+  dag_ = std::move(replacement);
+  // A membership change can alter any subject's ancestor set, so all
+  // derived state is suspect.
+  subgraph_cache_.Clear();
+  resolution_cache_.Clear();
+  return Status::OK();
+}
+
+Status AccessControlSystem::AddMembership(std::string_view parent,
+                                          std::string_view child) {
+  graph::DagBuilder builder;
+  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
+    builder.AddNode(dag_.name(v));  // Preserve existing ids.
+  }
+  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
+    for (graph::NodeId c : dag_.children(v)) {
+      UCR_RETURN_IF_ERROR(builder.AddEdgeById(v, c));
+    }
+  }
+  UCR_RETURN_IF_ERROR(builder.AddEdge(parent, child));
+  auto rebuilt = std::move(builder).Build();
+  if (!rebuilt.ok()) return rebuilt.status();  // Cycle: state unchanged.
+  return RebuildHierarchy(std::move(rebuilt).value());
+}
+
+Status AccessControlSystem::RemoveMembership(std::string_view parent,
+                                             std::string_view child) {
+  const graph::NodeId p = dag_.FindNode(parent);
+  const graph::NodeId c = dag_.FindNode(child);
+  if (p == graph::kInvalidNode || c == graph::kInvalidNode ||
+      !dag_.HasEdge(p, c)) {
+    return Status::NotFound("no membership " + std::string(parent) + " -> " +
+                            std::string(child));
+  }
+  graph::DagBuilder builder;
+  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
+    builder.AddNode(dag_.name(v));
+  }
+  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
+    for (graph::NodeId cc : dag_.children(v)) {
+      if (v == p && cc == c) continue;
+      UCR_RETURN_IF_ERROR(builder.AddEdgeById(v, cc));
+    }
+  }
+  auto rebuilt = std::move(builder).Build();
+  if (!rebuilt.ok()) return rebuilt.status();
+  return RebuildHierarchy(std::move(rebuilt).value());
+}
+
+Status AccessControlSystem::Revoke(std::string_view subject,
+                                   std::string_view object,
+                                   std::string_view right) {
+  const graph::NodeId s = dag_.FindNode(subject);
+  if (s == graph::kInvalidNode) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.FindObject(object));
+  UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.FindRight(right));
+  eacm_.Erase(s, o, r);
+  return Status::OK();
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccessByName(
+    std::string_view subject, std::string_view object,
+    std::string_view right) {
+  return CheckAccessByName(subject, object, right, options_.default_strategy);
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccessByName(
+    std::string_view subject, std::string_view object, std::string_view right,
+    const Strategy& strategy) {
+  const graph::NodeId s = dag_.FindNode(subject);
+  if (s == graph::kInvalidNode) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.FindObject(object));
+  UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.FindRight(right));
+  return CheckAccess(s, o, r, strategy);
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
+                                                     acm::ObjectId object,
+                                                     acm::RightId right,
+                                                     const Strategy& strategy) {
+  if (subject >= dag_.node_count()) {
+    return Status::OutOfRange("subject id out of range");
+  }
+  if (object >= eacm_.object_count() || right >= eacm_.right_count()) {
+    return Status::OutOfRange("object/right id out of range");
+  }
+  const Strategy canonical = strategy.Canonical();
+  // Cache entries are validated against the (object, right) column's
+  // own epoch, so edits to unrelated columns keep their cached
+  // decisions warm.
+  const uint64_t column_epoch = eacm_.ColumnEpoch(object, right);
+  if (options_.enable_resolution_cache) {
+    const std::optional<acm::Mode> cached = resolution_cache_.Lookup(
+        subject, object, right, canonical, column_epoch);
+    if (cached.has_value()) return *cached;
+  }
+
+  const std::vector<std::optional<acm::Mode>> labels =
+      eacm_.ExtractLabels(dag_.node_count(), object, right);
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options_.propagation_mode;
+  RightsBag all_rights;
+  if (options_.enable_subgraph_cache) {
+    all_rights = PropagateAggregated(subgraph_cache_.Get(dag_, subject),
+                                     labels, prop_options);
+  } else {
+    const graph::AncestorSubgraph sub(dag_, subject);
+    all_rights = PropagateAggregated(sub, labels, prop_options);
+  }
+  const acm::Mode mode = Resolve(all_rights, canonical);
+  if (options_.enable_resolution_cache) {
+    resolution_cache_.Store(subject, object, right, canonical, column_epoch,
+                            mode);
+  }
+  return mode;
+}
+
+StatusOr<std::vector<acm::Mode>> AccessControlSystem::CheckAccessBatch(
+    std::span<const AccessQuery> queries, const Strategy& strategy,
+    size_t threads) {
+  // Validate everything up front so worker threads cannot fail on ids.
+  for (const AccessQuery& q : queries) {
+    if (q.subject >= dag_.node_count() || q.object >= eacm_.object_count() ||
+        q.right >= eacm_.right_count()) {
+      return Status::OutOfRange("batch query references unknown ids");
+    }
+  }
+  std::vector<acm::Mode> results(queries.size(), acm::Mode::kNegative);
+
+  if (threads <= 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      UCR_ASSIGN_OR_RETURN(
+          results[i],
+          CheckAccess(queries[i].subject, queries[i].object,
+                      queries[i].right, strategy));
+    }
+    return results;
+  }
+
+  // Parallel path: const access to the hierarchy and matrix only.
+  const Strategy canonical = strategy.Canonical();
+  const size_t worker_count = std::min(threads, queries.size());
+  std::vector<std::thread> workers;
+  std::vector<Status> worker_status(worker_count);
+  workers.reserve(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    workers.emplace_back([&, w] {
+      ResolveAccessOptions resolve_options;
+      resolve_options.propagation_mode = options_.propagation_mode;
+      for (size_t i = w; i < queries.size(); i += worker_count) {
+        auto mode = ResolveAccess(dag_, eacm_, queries[i].subject,
+                                  queries[i].object, queries[i].right,
+                                  canonical, resolve_options);
+        if (!mode.ok()) {
+          worker_status[w] = mode.status();
+          return;
+        }
+        results[i] = *mode;
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (const Status& status : worker_status) {
+    UCR_RETURN_IF_ERROR(status);
+  }
+  return results;
+}
+
+StatusOr<std::vector<acm::Mode>>
+AccessControlSystem::CheckAccessAllStrategies(graph::NodeId subject,
+                                              acm::ObjectId object,
+                                              acm::RightId right) {
+  if (subject >= dag_.node_count()) {
+    return Status::OutOfRange("subject id out of range");
+  }
+  if (object >= eacm_.object_count() || right >= eacm_.right_count()) {
+    return Status::OutOfRange("object/right id out of range");
+  }
+  const std::vector<std::optional<acm::Mode>> labels =
+      eacm_.ExtractLabels(dag_.node_count(), object, right);
+  std::optional<graph::AncestorSubgraph> local_sub;
+  const graph::AncestorSubgraph* sub;
+  if (options_.enable_subgraph_cache) {
+    sub = &subgraph_cache_.Get(dag_, subject);
+  } else {
+    local_sub.emplace(dag_, subject);
+    sub = &*local_sub;
+  }
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options_.propagation_mode;
+  const RightsBag all_rights =
+      PropagateAggregated(*sub, labels, prop_options);
+
+  std::vector<acm::Mode> out;
+  out.reserve(AllStrategies().size());
+  for (const Strategy& s : AllStrategies()) {
+    out.push_back(Resolve(all_rights, s));
+  }
+  return out;
+}
+
+StatusOr<std::vector<acm::Mode>>
+AccessControlSystem::MaterializeEffectiveColumn(acm::ObjectId object,
+                                                acm::RightId right,
+                                                const Strategy& strategy) {
+  if (object >= eacm_.object_count() || right >= eacm_.right_count()) {
+    return Status::OutOfRange("object/right id out of range");
+  }
+  const std::vector<std::optional<acm::Mode>> labels =
+      eacm_.ExtractLabels(dag_.node_count(), object, right);
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options_.propagation_mode;
+  const std::vector<RightsBag> bags =
+      PropagateWholeDag(dag_, labels, prop_options);
+
+  std::vector<acm::Mode> column;
+  column.reserve(bags.size());
+  for (const RightsBag& bag : bags) {
+    column.push_back(Resolve(bag, strategy));
+  }
+  return column;
+}
+
+}  // namespace ucr::core

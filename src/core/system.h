@@ -1,0 +1,177 @@
+#ifndef UCR_CORE_SYSTEM_H_
+#define UCR_CORE_SYSTEM_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/cache.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "graph/dag.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// Options for `AccessControlSystem`.
+struct SystemOptions {
+  /// Memoize resolved decisions (invalidated on any explicit-matrix
+  /// change). The paper's future-work #1.
+  bool enable_resolution_cache = true;
+
+  /// Cache extracted ancestor sub-graphs (always safe: the hierarchy
+  /// is immutable).
+  bool enable_subgraph_cache = true;
+
+  /// Strategy used when a query does not name one. Reconfiguring this
+  /// at run time is the paper's headline capability: switching the
+  /// enterprise's conflict-resolution strategy without reinstalling
+  /// anything.
+  Strategy default_strategy;  // Zero-initialized: P- (closed preference).
+
+  /// Propagation extension mode (paper future-work #3) applied by all
+  /// of this system's queries and materializations.
+  PropagationMode propagation_mode = PropagationMode::kBoth;
+};
+
+/// \brief The user-facing facade: a subject hierarchy plus an explicit
+/// access control matrix, answering effective-authorization queries
+/// under any of the 48 conflict-resolution strategies.
+///
+/// Typical use:
+///
+///     auto system = AccessControlSystem::Create(std::move(dag));
+///     system->SetStrategy(ParseStrategy("D+LP-").value());
+///     system->Grant("payroll", "salary.xls", "read");
+///     system->DenyAccess("interns", "salary.xls", "read");
+///     bool ok = system->CheckAccessByName("alice", "salary.xls", "read");
+///
+/// Not thread-safe for concurrent mutation; concurrent read-only
+/// queries are safe once mutation stops *and* caches are disabled (the
+/// caches are not synchronized).
+class AccessControlSystem {
+ public:
+  /// Takes ownership of the hierarchy.
+  explicit AccessControlSystem(graph::Dag dag, SystemOptions options = {});
+
+  // Move-only: the caches reference internal state, and two live
+  // copies of one policy store invite divergence bugs.
+  AccessControlSystem(const AccessControlSystem&) = delete;
+  AccessControlSystem& operator=(const AccessControlSystem&) = delete;
+  AccessControlSystem(AccessControlSystem&&) = default;
+  AccessControlSystem& operator=(AccessControlSystem&&) = default;
+
+  const graph::Dag& dag() const { return dag_; }
+  const acm::ExplicitAcm& eacm() const { return eacm_; }
+
+  /// The strategy used by queries that do not name one.
+  const Strategy& strategy() const { return options_.default_strategy; }
+
+  /// Reconfigures the session strategy. Cached decisions keyed under
+  /// other strategies stay valid (the strategy is part of the key).
+  void SetStrategy(const Strategy& strategy) {
+    options_.default_strategy = strategy.Canonical();
+  }
+
+  /// Grants `right` on `object` to `subject` explicitly.
+  /// All three names are created/interned on first use except the
+  /// subject, which must exist in the hierarchy.
+  Status Grant(std::string_view subject, std::string_view object,
+               std::string_view right);
+
+  /// Denies `right` on `object` to `subject` explicitly.
+  Status DenyAccess(std::string_view subject, std::string_view object,
+                    std::string_view right);
+
+  /// Removes any explicit authorization for the triple.
+  Status Revoke(std::string_view subject, std::string_view object,
+                std::string_view right);
+
+  /// Effective decision for a triple under the session strategy.
+  StatusOr<acm::Mode> CheckAccessByName(std::string_view subject,
+                                        std::string_view object,
+                                        std::string_view right);
+
+  /// Effective decision under an explicit strategy.
+  StatusOr<acm::Mode> CheckAccessByName(std::string_view subject,
+                                        std::string_view object,
+                                        std::string_view right,
+                                        const Strategy& strategy);
+
+  /// Id-based query (fast path).
+  StatusOr<acm::Mode> CheckAccess(graph::NodeId subject, acm::ObjectId object,
+                                  acm::RightId right,
+                                  const Strategy& strategy);
+
+  /// \brief Adds a membership edge `parent -> child` to the hierarchy
+  /// at run time (new hires, reorganizations). Both subjects may be
+  /// new (created on first mention). Fails if the edge would create a
+  /// cycle or already exists; on failure the hierarchy is unchanged.
+  ///
+  /// Hierarchy edits invalidate *all* derived state: both caches are
+  /// cleared (unlike explicit-matrix edits, whose effects are column-
+  /// scoped, a membership change can affect any column).
+  Status AddMembership(std::string_view parent, std::string_view child);
+
+  /// Removes a membership edge. Fails if absent. Invalidates all
+  /// derived state, like AddMembership. Subjects are never removed —
+  /// a node that loses its last membership becomes a root.
+  Status RemoveMembership(std::string_view parent, std::string_view child);
+
+  /// One access query of a batch.
+  struct AccessQuery {
+    graph::NodeId subject = 0;
+    acm::ObjectId object = 0;
+    acm::RightId right = 0;
+  };
+
+  /// \brief Resolves a batch of queries under one strategy, optionally
+  /// on several threads. Results align positionally with `queries`.
+  ///
+  /// The hierarchy and the explicit matrix are immutable during the
+  /// call, so multi-threaded execution is safe; it bypasses the
+  /// (unsynchronized) caches and resolves each query from scratch,
+  /// which still wins once the batch is large. `threads` = 0 or 1 runs
+  /// inline and uses the caches.
+  StatusOr<std::vector<acm::Mode>> CheckAccessBatch(
+      std::span<const AccessQuery> queries, const Strategy& strategy,
+      size_t threads = 1);
+
+  /// Decisions for one triple under all 48 canonical strategies, in
+  /// `AllStrategies()` order. Demonstrates the parametric algorithm:
+  /// one propagation, 48 resolutions.
+  StatusOr<std::vector<acm::Mode>> CheckAccessAllStrategies(
+      graph::NodeId subject, acm::ObjectId object, acm::RightId right);
+
+  /// \brief One column of the *effective* access control matrix: the
+  /// derived mode of every subject for (object, right) under
+  /// `strategy`, indexed by node id. Computed with the whole-graph
+  /// propagation engine in one topological pass.
+  StatusOr<std::vector<acm::Mode>> MaterializeEffectiveColumn(
+      acm::ObjectId object, acm::RightId right, const Strategy& strategy);
+
+  /// Cache observability.
+  const ResolutionCache& resolution_cache() const { return resolution_cache_; }
+  const SubgraphCache& subgraph_cache() const { return subgraph_cache_; }
+
+ private:
+  Status SetMode(std::string_view subject, std::string_view object,
+                 std::string_view right, acm::Mode mode);
+
+  /// Rebuilds the hierarchy from an edited edge set; rolls back on
+  /// cycle rejection. Clears caches on success.
+  Status RebuildHierarchy(graph::Dag replacement);
+
+  graph::Dag dag_;
+  acm::ExplicitAcm eacm_;
+  SystemOptions options_;
+  ResolutionCache resolution_cache_;
+  SubgraphCache subgraph_cache_;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_SYSTEM_H_

@@ -1,0 +1,133 @@
+#include "graph/ancestor_subgraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+namespace ucr::graph {
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+}  // namespace
+
+AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink) : dag_(&dag) {
+  assert(sink < dag.node_count());
+
+  // Reverse BFS from the sink over parent edges discovers the member
+  // set in deterministic order; the discovery order is also convenient
+  // because we later want the sink's local id.
+  std::unordered_map<NodeId, LocalId> local;
+  std::deque<NodeId> queue;
+  auto discover = [&](NodeId g) -> LocalId {
+    auto [it, inserted] =
+        local.try_emplace(g, static_cast<LocalId>(members_.size()));
+    if (inserted) {
+      members_.push_back(g);
+      queue.push_back(g);
+    }
+    return it->second;
+  };
+  sink_local_ = discover(sink);
+  while (!queue.empty()) {
+    NodeId g = queue.front();
+    queue.pop_front();
+    for (NodeId p : dag.parents(g)) discover(p);
+  }
+
+  const size_t n = members_.size();
+
+  // Build intra-subgraph adjacency (CSR). Every parent of a member is a
+  // member, so parent lists copy verbatim; child lists are filtered.
+  child_offsets_.assign(1, 0);
+  parent_offsets_.assign(1, 0);
+  for (LocalId v = 0; v < n; ++v) {
+    const NodeId g = members_[v];
+    for (NodeId c : dag.children(g)) {
+      auto it = local.find(c);
+      if (it != local.end()) children_.push_back(it->second);
+    }
+    child_offsets_.push_back(children_.size());
+    for (NodeId p : dag.parents(g)) {
+      parents_.push_back(local.at(p));
+    }
+    parent_offsets_.push_back(parents_.size());
+  }
+  edge_count_ = children_.size();
+  assert(parents_.size() == children_.size());
+
+  for (LocalId v = 0; v < n; ++v) {
+    if (parents(v).empty()) roots_.push_back(v);
+  }
+
+  // Topological order (Kahn, FIFO: deterministic).
+  {
+    std::vector<size_t> indegree(n);
+    std::deque<LocalId> ready;
+    for (LocalId v = 0; v < n; ++v) {
+      indegree[v] = parents(v).size();
+      if (indegree[v] == 0) ready.push_back(v);
+    }
+    topo_.reserve(n);
+    while (!ready.empty()) {
+      LocalId v = ready.front();
+      ready.pop_front();
+      topo_.push_back(v);
+      for (LocalId c : children(v)) {
+        if (--indegree[c] == 0) ready.push_back(c);
+      }
+    }
+    assert(topo_.size() == n && "subgraph of a DAG must be acyclic");
+  }
+
+  // Distance and path DP in reverse topological order: children are
+  // finalized before their parents.
+  shortest_dist_.assign(n, 0);
+  longest_dist_.assign(n, 0);
+  path_count_.assign(n, 0);
+  total_path_len_.assign(n, 0);
+  path_count_[sink_local_] = 1;  // The empty path.
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    const LocalId v = *it;
+    if (v == sink_local_) continue;
+    uint32_t sd = UINT32_MAX;
+    uint32_t ld = 0;
+    uint64_t pc = 0;
+    uint64_t tl = 0;
+    for (LocalId c : children(v)) {
+      sd = std::min(sd, shortest_dist_[c] + 1);
+      ld = std::max(ld, longest_dist_[c] + 1);
+      pc = SatAdd(pc, path_count_[c]);
+      // Each path through c is one edge longer than the path from c.
+      tl = SatAdd(tl, SatAdd(total_path_len_[c], path_count_[c]));
+    }
+    // Every non-sink member reaches the sink, so it has children in H.
+    assert(!children(v).empty());
+    shortest_dist_[v] = sd;
+    longest_dist_[v] = ld;
+    path_count_[v] = pc;
+    total_path_len_[v] = tl;
+  }
+  for (LocalId r : roots_) depth_ = std::max(depth_, longest_dist_[r]);
+
+  // Retain the lookup table for ToLocal() queries.
+  local_index_ = std::move(local);
+}
+
+LocalId AncestorSubgraph::ToLocal(NodeId id) const {
+  auto it = local_index_.find(id);
+  return it == local_index_.end() ? kInvalidNode : it->second;
+}
+
+uint64_t AncestorSubgraph::TotalPathLength(
+    std::span<const LocalId> sources) const {
+  uint64_t total = 0;
+  for (LocalId v : sources) total = SatAdd(total, total_path_len_[v]);
+  return total;
+}
+
+}  // namespace ucr::graph

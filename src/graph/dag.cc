@@ -1,0 +1,136 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace ucr::graph {
+
+NodeId Dag::FindNode(std::string_view node_name) const {
+  auto it = name_to_id_.find(std::string(node_name));
+  return it == name_to_id_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<NodeId> Dag::Roots() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (is_root(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::Sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (is_sink(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool Dag::HasEdge(NodeId parent, NodeId child) const {
+  auto kids = children(parent);
+  return std::find(kids.begin(), kids.end(), child) != kids.end();
+}
+
+std::vector<NodeId> Dag::TopologicalOrder() const {
+  // Kahn's algorithm with a FIFO queue: deterministic order given the
+  // deterministic id assignment of DagBuilder.
+  std::vector<size_t> indegree(node_count());
+  for (NodeId v = 0; v < node_count(); ++v) {
+    indegree[v] = parents(v).size();
+  }
+  std::deque<NodeId> ready;
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (NodeId c : children(v)) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  return order;  // Complete by construction: Dag is acyclic.
+}
+
+NodeId DagBuilder::AddNode(std::string_view name) {
+  auto [it, inserted] =
+      name_to_id_.try_emplace(std::string(name), static_cast<NodeId>(names_.size()));
+  if (inserted) {
+    names_.emplace_back(name);
+    adj_children_.emplace_back();
+    adj_parents_.emplace_back();
+  }
+  return it->second;
+}
+
+Status DagBuilder::AddEdge(std::string_view parent, std::string_view child) {
+  const NodeId p = AddNode(parent);
+  const NodeId c = AddNode(child);
+  return AddEdgeById(p, c);
+}
+
+Status DagBuilder::AddEdgeById(NodeId parent, NodeId child) {
+  if (parent >= names_.size() || child >= names_.size()) {
+    return Status::OutOfRange("AddEdgeById: unknown node id");
+  }
+  if (parent == child) {
+    return Status::InvalidArgument("self-loop on node '" + names_[parent] +
+                                   "'");
+  }
+  auto& kids = adj_children_[parent];
+  if (std::find(kids.begin(), kids.end(), child) != kids.end()) {
+    return Status::AlreadyExists("duplicate edge " + names_[parent] + " -> " +
+                                 names_[child]);
+  }
+  kids.push_back(child);
+  adj_parents_[child].push_back(parent);
+  ++edge_count_;
+  return Status::OK();
+}
+
+StatusOr<Dag> DagBuilder::Build() && {
+  // Cycle check via Kahn's algorithm on the adjacency lists.
+  const size_t n = names_.size();
+  std::vector<size_t> indegree(n);
+  for (size_t v = 0; v < n; ++v) indegree[v] = adj_parents_[v].size();
+  std::deque<NodeId> ready;
+  for (size_t v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(static_cast<NodeId>(v));
+  }
+  size_t visited = 0;
+  while (!ready.empty()) {
+    NodeId v = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (NodeId c : adj_children_[v]) {
+      if (--indegree[c] == 0) ready.push_back(c);
+    }
+  }
+  if (visited != n) {
+    return Status::InvalidArgument(
+        "graph contains a cycle; subject hierarchies must be acyclic");
+  }
+
+  Dag dag;
+  dag.edge_count_ = edge_count_;
+  dag.names_ = std::move(names_);
+  dag.name_to_id_ = std::move(name_to_id_);
+  dag.child_offsets_.assign(1, 0);
+  dag.parent_offsets_.assign(1, 0);
+  dag.child_offsets_.reserve(n + 1);
+  dag.parent_offsets_.reserve(n + 1);
+  for (size_t v = 0; v < n; ++v) {
+    dag.children_.insert(dag.children_.end(), adj_children_[v].begin(),
+                         adj_children_[v].end());
+    dag.child_offsets_.push_back(dag.children_.size());
+    dag.parents_.insert(dag.parents_.end(), adj_parents_[v].begin(),
+                        adj_parents_[v].end());
+    dag.parent_offsets_.push_back(dag.parents_.size());
+  }
+  return dag;
+}
+
+}  // namespace ucr::graph

@@ -1,0 +1,143 @@
+#ifndef UCR_GRAPH_DAG_H_
+#define UCR_GRAPH_DAG_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ucr::graph {
+
+/// Dense identifier of a subject node within one `Dag`.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// \brief Immutable directed acyclic graph of subjects.
+///
+/// Nodes represent subjects (individuals and groups); a directed edge
+/// `u -> v` means "v is a member of group u" (paper §2.1): labels
+/// propagate downward along edges. Individuals are sinks; top-level
+/// groups are roots. The structure is guaranteed acyclic — `DagBuilder`
+/// is the only way to construct one and rejects cycles.
+///
+/// `Dag` is an immutable value type: cheap to move, copyable, safe to
+/// share across threads for reads.
+class Dag {
+ public:
+  /// Constructs an empty graph (0 nodes). Useful as a placeholder.
+  Dag() = default;
+
+  Dag(const Dag&) = default;
+  Dag& operator=(const Dag&) = default;
+  Dag(Dag&&) = default;
+  Dag& operator=(Dag&&) = default;
+
+  /// Number of nodes.
+  size_t node_count() const { return names_.size(); }
+
+  /// Number of edges.
+  size_t edge_count() const { return edge_count_; }
+
+  /// Name of node `id`. Requires `id < node_count()`.
+  const std::string& name(NodeId id) const { return names_[id]; }
+
+  /// Id for `name`, or `kInvalidNode` if absent.
+  NodeId FindNode(std::string_view node_name) const;
+
+  /// Children of `id` (members of group `id`), in insertion order.
+  std::span<const NodeId> children(NodeId id) const {
+    return {children_.data() + child_offsets_[id],
+            child_offsets_[id + 1] - child_offsets_[id]};
+  }
+
+  /// Parents of `id` (groups `id` belongs to), in insertion order.
+  std::span<const NodeId> parents(NodeId id) const {
+    return {parents_.data() + parent_offsets_[id],
+            parent_offsets_[id + 1] - parent_offsets_[id]};
+  }
+
+  bool is_root(NodeId id) const { return parents(id).empty(); }
+  bool is_sink(NodeId id) const { return children(id).empty(); }
+
+  /// All root node ids, ascending.
+  std::vector<NodeId> Roots() const;
+
+  /// All sink node ids, ascending.
+  std::vector<NodeId> Sinks() const;
+
+  /// True iff edge `parent -> child` exists. O(out-degree(parent)).
+  bool HasEdge(NodeId parent, NodeId child) const;
+
+  /// A topological order (parents before children). Stable across runs.
+  std::vector<NodeId> TopologicalOrder() const;
+
+ private:
+  friend class DagBuilder;
+
+  size_t edge_count_ = 0;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  // CSR adjacency: children_[child_offsets_[v] .. child_offsets_[v+1])
+  std::vector<size_t> child_offsets_{0};
+  std::vector<NodeId> children_;
+  std::vector<size_t> parent_offsets_{0};
+  std::vector<NodeId> parents_;
+};
+
+/// \brief Incremental, validating constructor of `Dag`.
+///
+/// Usage:
+///
+///     DagBuilder b;
+///     b.AddEdge("S1", "S3");   // nodes auto-created on first mention
+///     auto dag = b.Build();    // StatusOr — fails on a cycle
+///
+/// Node ids are assigned in first-mention order, so a fixed sequence of
+/// calls yields identical ids on every platform (experiments depend on
+/// this determinism).
+class DagBuilder {
+ public:
+  DagBuilder() = default;
+
+  // One builder produces one graph; copying half-built state is a
+  // likely bug, so the type is move-only.
+  DagBuilder(const DagBuilder&) = delete;
+  DagBuilder& operator=(const DagBuilder&) = delete;
+  DagBuilder(DagBuilder&&) = default;
+  DagBuilder& operator=(DagBuilder&&) = default;
+
+  /// Adds a node (no-op if present). Returns its id.
+  NodeId AddNode(std::string_view name);
+
+  /// Adds edge `parent -> child`, creating missing nodes.
+  /// Fails on self-loops and duplicate edges.
+  Status AddEdge(std::string_view parent, std::string_view child);
+
+  /// Id-based overload; both ids must already exist.
+  Status AddEdgeById(NodeId parent, NodeId child);
+
+  /// Number of nodes added so far.
+  size_t node_count() const { return names_.size(); }
+
+  /// Validates acyclicity and produces the immutable graph.
+  /// The builder is left in a valid empty-ish state afterwards; reuse
+  /// for a second graph is not supported.
+  StatusOr<Dag> Build() &&;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::vector<std::vector<NodeId>> adj_children_;
+  std::vector<std::vector<NodeId>> adj_parents_;
+  size_t edge_count_ = 0;
+};
+
+}  // namespace ucr::graph
+
+#endif  // UCR_GRAPH_DAG_H_

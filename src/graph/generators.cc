@@ -1,0 +1,117 @@
+#include "graph/generators.h"
+
+#include <vector>
+
+namespace ucr::graph {
+
+StatusOr<Dag> GenerateKDag(size_t n, Random& rng) {
+  if (n < 2) {
+    return Status::InvalidArgument("KDAG requires at least 2 nodes");
+  }
+  // A complete DAG is a random permutation of nodes with all forward
+  // edges. We name nodes by their position in the order so the single
+  // root is K0 and the single sink is K<n-1>; the randomness is in
+  // which "identity" lands at which position, which is irrelevant to
+  // the structure, so we simply consume the permutation draw to keep
+  // the stream position of `rng` faithful to a permutation-based
+  // implementation (and future-proof against adding node payloads).
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(perm);
+
+  DagBuilder builder;
+  for (size_t i = 0; i < n; ++i) {
+    builder.AddNode("K" + std::to_string(i));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      UCR_RETURN_IF_ERROR(builder.AddEdgeById(i, j));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Dag> GenerateLayeredDag(const LayeredDagOptions& options,
+                                 Random& rng) {
+  if (options.layers == 0 || options.nodes_per_layer == 0) {
+    return Status::InvalidArgument(
+        "layered DAG requires at least one layer and one node per layer");
+  }
+  const size_t layers = options.layers;
+  const size_t width = options.nodes_per_layer;
+
+  DagBuilder builder;
+  auto node_name = [&](size_t layer, size_t j) {
+    return "L" + std::to_string(layer) + "N" + std::to_string(j);
+  };
+  for (size_t layer = 0; layer < layers; ++layer) {
+    for (size_t j = 0; j < width; ++j) builder.AddNode(node_name(layer, j));
+  }
+  auto id_of = [&](size_t layer, size_t j) {
+    return static_cast<NodeId>(layer * width + j);
+  };
+
+  for (size_t layer = 1; layer < layers; ++layer) {
+    for (size_t j = 0; j < width; ++j) {
+      const NodeId child = id_of(layer, j);
+      bool has_parent = false;
+      for (size_t p = 0; p < width; ++p) {
+        if (rng.Bernoulli(options.edge_probability)) {
+          UCR_RETURN_IF_ERROR(builder.AddEdgeById(id_of(layer - 1, p), child));
+          has_parent = true;
+        }
+      }
+      if (!has_parent) {
+        // Guarantee downward connectivity with one random parent.
+        const size_t p = static_cast<size_t>(rng.Uniform(width));
+        UCR_RETURN_IF_ERROR(builder.AddEdgeById(id_of(layer - 1, p), child));
+      }
+      // Skip edges create same-endpoint paths of unequal length.
+      for (size_t above = 2; above <= layer; ++above) {
+        if (rng.Bernoulli(options.skip_edge_probability)) {
+          const size_t p = static_cast<size_t>(rng.Uniform(width));
+          Status s = builder.AddEdgeById(id_of(layer - above, p), child);
+          // A duplicate skip edge is harmless; any other failure is not.
+          if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+        }
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Dag> GenerateRandomTree(size_t n, Random& rng) {
+  if (n == 0) {
+    return Status::InvalidArgument("tree requires at least one node");
+  }
+  DagBuilder builder;
+  for (size_t i = 0; i < n; ++i) builder.AddNode("T" + std::to_string(i));
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent = static_cast<NodeId>(rng.Uniform(v));
+    UCR_RETURN_IF_ERROR(builder.AddEdgeById(parent, v));
+  }
+  return std::move(builder).Build();
+}
+
+StatusOr<Dag> GenerateDiamondStack(size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("diamond stack requires k >= 1");
+  }
+  DagBuilder builder;
+  std::string top = "D0t";
+  builder.AddNode(top);
+  for (size_t i = 0; i < k; ++i) {
+    const std::string a = "D" + std::to_string(i) + "a";
+    const std::string b = "D" + std::to_string(i) + "b";
+    const std::string bottom =
+        i + 1 == k ? std::string("Dsink") : "D" + std::to_string(i + 1) + "t";
+    UCR_RETURN_IF_ERROR(builder.AddEdge(top, a));
+    UCR_RETURN_IF_ERROR(builder.AddEdge(top, b));
+    UCR_RETURN_IF_ERROR(builder.AddEdge(a, bottom));
+    UCR_RETURN_IF_ERROR(builder.AddEdge(b, bottom));
+    top = bottom;
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ucr::graph

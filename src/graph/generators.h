@@ -1,0 +1,64 @@
+#ifndef UCR_GRAPH_GENERATORS_H_
+#define UCR_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/dag.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ucr::graph {
+
+/// \brief Generates `KDAG(n)`: a random *complete* DAG (paper §4).
+///
+/// `n` nodes, one root, one sink, and an edge between every pair of
+/// nodes directed so as to prevent cycles — i.e. the nodes are placed
+/// in a uniformly random linear order and every edge points from the
+/// earlier to the later node. Such graphs contain far more paths than
+/// typical subject hierarchies (the path count from root to sink is
+/// 2^(n-2)), which is exactly why the paper uses them as stress tests.
+///
+/// Node names are "K0" (root) .. "K<n-1>" (sink) in position order.
+/// Requires n >= 2.
+StatusOr<Dag> GenerateKDag(size_t n, Random& rng);
+
+/// Options for `GenerateLayeredDag`.
+struct LayeredDagOptions {
+  size_t layers = 4;            ///< Number of layers (>= 1).
+  size_t nodes_per_layer = 8;   ///< Nodes in each layer (>= 1).
+  /// Probability of an edge from a node in layer i to a node in layer
+  /// i+1. Each node is additionally guaranteed one parent in the layer
+  /// above (except layer 0) so the graph stays connected downward.
+  double edge_probability = 0.3;
+  /// Probability of a "skip" edge jumping over at least one layer,
+  /// giving paths of different lengths between the same endpoints —
+  /// required to exercise the locality policy on non-tree data.
+  double skip_edge_probability = 0.05;
+};
+
+/// \brief Generates a layered random DAG resembling an organizational
+/// hierarchy: layer 0 holds top-level groups, the last layer holds
+/// individuals (sinks). Names are "L<i>N<j>".
+StatusOr<Dag> GenerateLayeredDag(const LayeredDagOptions& options,
+                                 Random& rng);
+
+/// \brief Generates a random tree with `n` nodes; node 0 ("T0") is the
+/// root and each other node receives one uniformly random parent among
+/// earlier nodes. Trees are the degenerate hierarchy shape prior work
+/// handled; used as a baseline structure in tests. Requires n >= 1.
+StatusOr<Dag> GenerateRandomTree(size_t n, Random& rng);
+
+/// \brief Generates a stack of `k` diamonds:
+///
+///     top -> a_i, b_i -> bottom_i (= top of diamond i+1) ...
+///
+/// The number of root-to-sink paths is 2^k with only 3k+1 nodes — the
+/// adversarial shape from the paper's §3.3 worst-case analysis.
+/// Names: "D<i>t" (top of diamond i), "D<i>a", "D<i>b", sink "Dsink".
+/// Requires k >= 1.
+StatusOr<Dag> GenerateDiamondStack(size_t k);
+
+}  // namespace ucr::graph
+
+#endif  // UCR_GRAPH_GENERATORS_H_

@@ -1,0 +1,116 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ucr::graph {
+
+std::string ToEdgeListText(const Dag& dag) {
+  std::ostringstream out;
+  out << "# ucr subject hierarchy: " << dag.node_count() << " nodes, "
+      << dag.edge_count() << " edges\n";
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    out << "node " << dag.name(v) << "\n";
+  }
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      out << "edge " << dag.name(v) << " " << dag.name(c) << "\n";
+    }
+  }
+  return out.str();
+}
+
+StatusOr<Dag> FromEdgeListText(std::string_view text) {
+  DagBuilder builder;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(pos, end - pos));
+    pos = end + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    std::vector<std::string> fields;
+    for (auto& f : Split(line, ' ')) {
+      if (!f.empty()) fields.push_back(std::move(f));
+    }
+    auto error = [&](const std::string& what) {
+      return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                what);
+    };
+    if (fields[0] == "node") {
+      if (fields.size() != 2) return error("expected 'node <name>'");
+      builder.AddNode(fields[1]);
+    } else if (fields[0] == "edge") {
+      if (fields.size() != 3) return error("expected 'edge <parent> <child>'");
+      Status s = builder.AddEdge(fields[1], fields[2]);
+      if (!s.ok()) return error(s.message());
+    } else {
+      return error("unknown directive '" + fields[0] + "'");
+    }
+  }
+  auto result = std::move(builder).Build();
+  if (!result.ok()) {
+    return Status::Corruption("graph invalid: " + result.status().message());
+  }
+  return result;
+}
+
+std::string ToDot(const Dag& dag) {
+  std::ostringstream out;
+  out << "digraph subjects {\n  rankdir=TB;\n";
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    out << "  \"" << dag.name(v) << "\";\n";
+  }
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      out << "  \"" << dag.name(v) << "\" -> \"" << dag.name(c) << "\";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+bool IsSerializableName(std::string_view name) {
+  if (name.empty() || name[0] == '#') return false;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+Status ValidateSerializable(const Dag& dag) {
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    if (!IsSerializableName(dag.name(v))) {
+      return Status::InvalidArgument(
+          "node name '" + dag.name(v) +
+          "' cannot be serialized (whitespace, empty, or leading '#')");
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteEdgeListFile(const Dag& dag, const std::string& path) {
+  UCR_RETURN_IF_ERROR(ValidateSerializable(dag));
+  std::ofstream out(path);
+  if (!out) return Status::Corruption("cannot open for writing: " + path);
+  out << ToEdgeListText(dag);
+  out.flush();
+  if (!out) return Status::Corruption("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Dag> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromEdgeListText(buffer.str());
+}
+
+}  // namespace ucr::graph

@@ -1,0 +1,50 @@
+#ifndef UCR_GRAPH_IO_H_
+#define UCR_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "graph/dag.h"
+#include "util/status.h"
+
+namespace ucr::graph {
+
+/// \brief Serializes `dag` in the ucr edge-list text format:
+///
+///     # comment
+///     node <name>            (declares an isolated or ordering-pinned node)
+///     edge <parent> <child>
+///
+/// Every node is declared before any edge mentions it, so parsing the
+/// output reproduces identical node ids.
+std::string ToEdgeListText(const Dag& dag);
+
+/// \brief Parses the edge-list text format produced by
+/// `ToEdgeListText` (or written by hand). Unknown directives, missing
+/// fields, and cycles are reported as errors with a line number.
+StatusOr<Dag> FromEdgeListText(std::string_view text);
+
+/// \brief Renders `dag` in Graphviz DOT syntax (edges parent -> child).
+/// Handy for eyeballing small hierarchies such as the paper's Fig. 1.
+std::string ToDot(const Dag& dag);
+
+/// True iff `name` survives the space-delimited text formats: no
+/// whitespace, not empty, and no leading '#'.
+bool IsSerializableName(std::string_view name);
+
+/// Checks every node name of `dag` with `IsSerializableName`; names
+/// that would corrupt the text formats are reported before any write
+/// happens.
+Status ValidateSerializable(const Dag& dag);
+
+/// Writes `ToEdgeListText(dag)` to `path`. Fails on I/O errors or
+/// non-serializable node names.
+Status WriteEdgeListFile(const Dag& dag, const std::string& path);
+
+/// Reads and parses an edge-list file.
+StatusOr<Dag> ReadEdgeListFile(const std::string& path);
+
+}  // namespace ucr::graph
+
+#endif  // UCR_GRAPH_IO_H_

@@ -1,0 +1,258 @@
+#include "relalg/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ucr::relalg {
+
+namespace {
+
+size_t HashRowKey(const Row& row, const std::vector<size_t>& indices) {
+  size_t h = 0x9E3779B97F4A7C15ull;
+  for (size_t i : indices) {
+    h = h * 1099511628211ull ^ row[i].Hash();
+  }
+  return h;
+}
+
+bool KeysEqual(const Row& a, const std::vector<size_t>& ai, const Row& b,
+               const std::vector<size_t>& bi) {
+  for (size_t k = 0; k < ai.size(); ++k) {
+    if (!(a[ai[k]] == b[bi[k]])) return false;
+  }
+  return true;
+}
+
+StatusOr<size_t> RequireAttribute(const Relation& rel,
+                                  std::string_view attribute) {
+  const size_t idx = rel.schema().IndexOf(attribute);
+  if (idx == Schema::npos) {
+    return Status::InvalidArgument("unknown attribute '" +
+                                   std::string(attribute) + "' in schema [" +
+                                   rel.schema().ToString() + "]");
+  }
+  return idx;
+}
+
+}  // namespace
+
+Relation Select(const Relation& input, const RowPredicate& predicate) {
+  Relation out(input.schema());
+  for (const auto& r : input.rows()) {
+    if (predicate(r)) out.AppendUnchecked(r);
+  }
+  return out;
+}
+
+StatusOr<Relation> SelectEquals(const Relation& input,
+                                std::string_view attribute,
+                                const Value& value) {
+  UCR_ASSIGN_OR_RETURN(const size_t idx, RequireAttribute(input, attribute));
+  return Select(input, [idx, &value](const Row& r) { return r[idx] == value; });
+}
+
+StatusOr<Relation> SelectNotEquals(const Relation& input,
+                                   std::string_view attribute,
+                                   const Value& value) {
+  UCR_ASSIGN_OR_RETURN(const size_t idx, RequireAttribute(input, attribute));
+  return Select(input,
+                [idx, &value](const Row& r) { return !(r[idx] == value); });
+}
+
+StatusOr<Relation> Project(const Relation& input,
+                           const std::vector<std::string>& attributes) {
+  std::vector<size_t> indices;
+  std::vector<Schema::Attribute> out_attrs;
+  for (const auto& name : attributes) {
+    UCR_ASSIGN_OR_RETURN(const size_t idx, RequireAttribute(input, name));
+    indices.push_back(idx);
+    out_attrs.push_back(input.schema().attribute(idx));
+  }
+  Relation out{Schema(std::move(out_attrs))};
+  for (const auto& r : input.rows()) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(r[idx]);
+    out.AppendUnchecked(std::move(projected));
+  }
+  return out;
+}
+
+StatusOr<Relation> Rename(const Relation& input, std::string_view from,
+                          std::string_view to) {
+  UCR_ASSIGN_OR_RETURN(const size_t idx, RequireAttribute(input, from));
+  if (input.schema().IndexOf(to) != Schema::npos) {
+    return Status::InvalidArgument("attribute '" + std::string(to) +
+                                   "' already exists");
+  }
+  std::vector<Schema::Attribute> attrs;
+  for (size_t i = 0; i < input.schema().size(); ++i) {
+    attrs.push_back(input.schema().attribute(i));
+  }
+  attrs[idx].name = std::string(to);
+  Relation out{Schema(std::move(attrs))};
+  for (const auto& r : input.rows()) out.AppendUnchecked(r);
+  return out;
+}
+
+Relation NaturalJoin(const Relation& left, const Relation& right) {
+  const std::vector<std::string> common =
+      left.schema().CommonAttributes(right.schema());
+
+  std::vector<size_t> left_keys;
+  std::vector<size_t> right_keys;
+  for (const auto& name : common) {
+    left_keys.push_back(left.schema().IndexOf(name));
+    right_keys.push_back(right.schema().IndexOf(name));
+  }
+
+  // Output schema: all of left, then right's non-shared attributes.
+  std::vector<Schema::Attribute> attrs;
+  std::vector<size_t> right_extra;
+  for (size_t i = 0; i < left.schema().size(); ++i) {
+    attrs.push_back(left.schema().attribute(i));
+  }
+  for (size_t i = 0; i < right.schema().size(); ++i) {
+    if (left.schema().IndexOf(right.schema().attribute(i).name) ==
+        Schema::npos) {
+      attrs.push_back(right.schema().attribute(i));
+      right_extra.push_back(i);
+    }
+  }
+  Relation out{Schema(std::move(attrs))};
+
+  // Hash join: build on the right input.
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < right.size(); ++i) {
+    buckets[HashRowKey(right.row(i), right_keys)].push_back(i);
+  }
+  for (const auto& lrow : left.rows()) {
+    auto it = buckets.find(HashRowKey(lrow, left_keys));
+    if (it == buckets.end()) continue;
+    for (size_t ri : it->second) {
+      const Row& rrow = right.row(ri);
+      if (!KeysEqual(lrow, left_keys, rrow, right_keys)) continue;
+      Row joined = lrow;
+      for (size_t i : right_extra) joined.push_back(rrow[i]);
+      out.AppendUnchecked(std::move(joined));
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> Union(const Relation& left, const Relation& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("union schema mismatch: [" +
+                                   left.schema().ToString() + "] vs [" +
+                                   right.schema().ToString() + "]");
+  }
+  Relation out(left.schema());
+  for (const auto& r : left.rows()) out.AppendUnchecked(r);
+  for (const auto& r : right.rows()) out.AppendUnchecked(r);
+  return out;
+}
+
+StatusOr<Relation> Difference(const Relation& left, const Relation& right) {
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("difference schema mismatch: [" +
+                                   left.schema().ToString() + "] vs [" +
+                                   right.schema().ToString() + "]");
+  }
+  std::vector<size_t> all_cols(left.schema().size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+
+  std::unordered_map<size_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < right.size(); ++i) {
+    buckets[HashRowKey(right.row(i), all_cols)].push_back(i);
+  }
+  auto present_in_right = [&](const Row& r) {
+    auto it = buckets.find(HashRowKey(r, all_cols));
+    if (it == buckets.end()) return false;
+    for (size_t ri : it->second) {
+      if (KeysEqual(r, all_cols, right.row(ri), all_cols)) return true;
+    }
+    return false;
+  };
+
+  Relation out(left.schema());
+  for (const auto& r : left.rows()) {
+    if (!present_in_right(r)) out.AppendUnchecked(r);
+  }
+  return out;
+}
+
+Relation Distinct(const Relation& input) {
+  std::vector<size_t> all_cols(input.schema().size());
+  for (size_t i = 0; i < all_cols.size(); ++i) all_cols[i] = i;
+
+  Relation out(input.schema());
+  std::unordered_map<size_t, std::vector<size_t>> emitted;
+  for (const auto& r : input.rows()) {
+    const size_t h = HashRowKey(r, all_cols);
+    auto& bucket = emitted[h];
+    bool duplicate = false;
+    for (size_t oi : bucket) {
+      if (KeysEqual(r, all_cols, out.row(oi), all_cols)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      bucket.push_back(out.size());
+      out.AppendUnchecked(r);
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> ExtendConstant(const Relation& input,
+                                  std::string_view name, const Value& value) {
+  if (input.schema().IndexOf(name) != Schema::npos) {
+    return Status::InvalidArgument("attribute '" + std::string(name) +
+                                   "' already exists");
+  }
+  std::vector<Schema::Attribute> attrs;
+  for (size_t i = 0; i < input.schema().size(); ++i) {
+    attrs.push_back(input.schema().attribute(i));
+  }
+  attrs.push_back(Schema::Attribute{std::string(name), value.type()});
+  Relation out{Schema(std::move(attrs))};
+  for (const auto& r : input.rows()) {
+    Row extended = r;
+    extended.push_back(value);
+    out.AppendUnchecked(std::move(extended));
+  }
+  return out;
+}
+
+namespace {
+
+StatusOr<std::optional<int64_t>> ExtremeInt(const Relation& input,
+                                            std::string_view attribute,
+                                            bool want_min) {
+  UCR_ASSIGN_OR_RETURN(const size_t idx, RequireAttribute(input, attribute));
+  if (input.schema().attribute(idx).type != ValueType::kInt) {
+    return Status::InvalidArgument("attribute '" + std::string(attribute) +
+                                   "' is not an int");
+  }
+  std::optional<int64_t> best;
+  for (const auto& r : input.rows()) {
+    const int64_t v = r[idx].AsInt();
+    if (!best.has_value() || (want_min ? v < *best : v > *best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+StatusOr<std::optional<int64_t>> MinInt(const Relation& input,
+                                        std::string_view attribute) {
+  return ExtremeInt(input, attribute, /*want_min=*/true);
+}
+
+StatusOr<std::optional<int64_t>> MaxInt(const Relation& input,
+                                        std::string_view attribute) {
+  return ExtremeInt(input, attribute, /*want_min=*/false);
+}
+
+}  // namespace ucr::relalg

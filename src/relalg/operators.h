@@ -1,0 +1,79 @@
+#ifndef UCR_RELALG_OPERATORS_H_
+#define UCR_RELALG_OPERATORS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relalg/relation.h"
+#include "util/status.h"
+
+namespace ucr::relalg {
+
+/// Row predicate used by Select; sees the input relation's row layout.
+using RowPredicate = std::function<bool(const Row&)>;
+
+/// σ — rows of `input` satisfying `predicate` (duplicates preserved).
+Relation Select(const Relation& input, const RowPredicate& predicate);
+
+/// σ attr = value. Fails if `attribute` is absent.
+StatusOr<Relation> SelectEquals(const Relation& input,
+                                std::string_view attribute,
+                                const Value& value);
+
+/// σ attr <> value.
+StatusOr<Relation> SelectNotEquals(const Relation& input,
+                                   std::string_view attribute,
+                                   const Value& value);
+
+/// Π — bag projection onto `attributes` (order given; duplicates kept,
+/// as in the paper's Π_mode on allRights which may yield {+,+,-}).
+StatusOr<Relation> Project(const Relation& input,
+                           const std::vector<std::string>& attributes);
+
+/// Renames attribute `from` to `to`. Fails if `from` is absent or `to`
+/// already exists.
+StatusOr<Relation> Rename(const Relation& input, std::string_view from,
+                          std::string_view to);
+
+/// ⋈ — natural join on all shared attribute names (hash join; bag
+/// semantics: result multiplicity is the product of input
+/// multiplicities). With no shared attributes this is the cartesian
+/// product.
+Relation NaturalJoin(const Relation& left, const Relation& right);
+
+/// ∪ — bag union (concatenation). Fails on schema mismatch.
+StatusOr<Relation> Union(const Relation& left, const Relation& right);
+
+/// − over single bags with *set* semantics on the right side: keeps
+/// rows of `left` that do not appear anywhere in `right` (every
+/// occurrence removed). This matches the paper's root computation
+/// (Fig. 5 line 4), where the operands are logically sets of subjects.
+StatusOr<Relation> Difference(const Relation& left, const Relation& right);
+
+/// Collapses duplicate rows (bag -> set).
+Relation Distinct(const Relation& input);
+
+/// Appends a new attribute `name` holding the constant `value` on
+/// every row (the generalized-projection constant column the paper's
+/// Fig. 5 uses for the iteration counter `i`). Fails if `name`
+/// already exists.
+StatusOr<Relation> ExtendConstant(const Relation& input,
+                                  std::string_view name, const Value& value);
+
+/// COUNT(*) — bag cardinality (the paper's Π_count()).
+inline size_t Count(const Relation& input) { return input.size(); }
+
+/// Minimum of an int attribute; nullopt when empty.
+StatusOr<std::optional<int64_t>> MinInt(const Relation& input,
+                                        std::string_view attribute);
+
+/// Maximum of an int attribute; nullopt when empty.
+StatusOr<std::optional<int64_t>> MaxInt(const Relation& input,
+                                        std::string_view attribute);
+
+}  // namespace ucr::relalg
+
+#endif  // UCR_RELALG_OPERATORS_H_

@@ -1,0 +1,89 @@
+#include "relalg/relation.h"
+
+#include <algorithm>
+
+#include "util/table_printer.h"
+
+namespace ucr::relalg {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {}
+
+size_t Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return npos;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attributes_.size() != other.attributes_.size()) return false;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name != other.attributes_[i].name ||
+        attributes_[i].type != other.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> Schema::CommonAttributes(const Schema& other) const {
+  std::vector<std::string> out;
+  for (const auto& attr : attributes_) {
+    if (other.IndexOf(attr.name) != npos) out.push_back(attr.name);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += attributes_[i].type == ValueType::kInt ? ":int" : ":str";
+  }
+  return out;
+}
+
+Status Relation::Append(Row row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch: row has " + std::to_string(row.size()) +
+        " values, schema has " + std::to_string(schema_.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.attribute(i).type) {
+      return Status::InvalidArgument("type mismatch in attribute '" +
+                                     schema_.attribute(i).name + "'");
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Relation::SortRows() {
+  std::sort(rows_.begin(), rows_.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  });
+}
+
+std::string Relation::ToString() const {
+  std::vector<std::string> headers;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    headers.push_back(schema_.attribute(i).name);
+  }
+  TablePrinter printer(std::move(headers));
+  for (const auto& r : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(r.size());
+    for (const auto& v : r) cells.push_back(v.ToString());
+    printer.AddRow(std::move(cells));
+  }
+  return printer.ToString();
+}
+
+}  // namespace ucr::relalg

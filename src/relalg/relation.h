@@ -1,0 +1,108 @@
+#ifndef UCR_RELALG_RELATION_H_
+#define UCR_RELALG_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relalg/value.h"
+#include "util/status.h"
+
+namespace ucr::relalg {
+
+/// A tuple: one value per schema attribute, in schema order.
+using Row = std::vector<Value>;
+
+/// \brief Ordered list of named, typed attributes.
+class Schema {
+ public:
+  struct Attribute {
+    std::string name;
+    ValueType type;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t size() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `name`, or npos.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(std::string_view name) const;
+
+  bool operator==(const Schema& other) const;
+
+  /// Attribute names shared with `other`, in this schema's order.
+  std::vector<std::string> CommonAttributes(const Schema& other) const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+/// \brief A relation with *bag* (multiset) semantics.
+///
+/// The paper's `allRights` relation is a bag: after the default rule
+/// rewrites 'd' tuples (Fig. 4 line 3) the relation may contain equal
+/// tuples, and the majority policy counts them multiply (the paper's
+/// own D-MP- trace reports c2 = 4 on Table 1, which is only reachable
+/// with duplicate counting). All operators below therefore preserve
+/// duplicates; `Distinct()` collapses them on demand.
+///
+/// The engine is deliberately small and row-oriented: it exists to
+/// transcribe the paper's Figs. 4–5 operator-for-operator as the
+/// reference implementation, not to compete with the native one.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a tuple. Fails if arity or types mismatch the schema.
+  Status Append(Row row);
+
+  /// Appends without validation; callers must guarantee conformance.
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// In-place update: rows satisfying `predicate` get `column` set to
+  /// `value` (the paper's `update allRights set mode=dRule where ...`).
+  /// Returns the number of rows updated. `column` must exist and the
+  /// value type must match.
+  template <typename Predicate>
+  size_t Update(std::string_view column, const Value& value,
+                Predicate predicate) {
+    const size_t idx = schema_.IndexOf(column);
+    size_t updated = 0;
+    for (auto& r : rows_) {
+      if (predicate(r)) {
+        r[idx] = value;
+        ++updated;
+      }
+    }
+    return updated;
+  }
+
+  /// Sorts rows lexicographically — output determinism for tests and
+  /// printing only; relations are semantically unordered.
+  void SortRows();
+
+  /// Renders an aligned ASCII table of the relation.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ucr::relalg
+
+#endif  // UCR_RELALG_RELATION_H_

@@ -1,0 +1,26 @@
+#include "relalg/value.h"
+
+#include <functional>
+
+namespace ucr::relalg {
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_int()) {
+    // Distinguish int 1 from string "1" by salting the type.
+    return std::hash<int64_t>{}(AsInt()) * 0x9E3779B97F4A7C15ull + 1;
+  }
+  return std::hash<std::string>{}(AsString()) * 0x9E3779B97F4A7C15ull + 2;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (type() != other.type()) return type() < other.type();
+  if (is_int()) return AsInt() < other.AsInt();
+  return AsString() < other.AsString();
+}
+
+}  // namespace ucr::relalg

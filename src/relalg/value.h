@@ -1,0 +1,61 @@
+#ifndef UCR_RELALG_VALUE_H_
+#define UCR_RELALG_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ucr::relalg {
+
+/// Attribute type of a relational column.
+enum class ValueType : uint8_t {
+  kInt = 0,
+  kString = 1,
+};
+
+/// \brief A single attribute value: 64-bit integer or string.
+///
+/// Two types are all the paper's relations need (distances are
+/// integers; subjects, objects, rights, and modes are symbols). The
+/// type is a thin wrapper over std::variant with hashing and printing,
+/// so relations can be joined and displayed generically.
+class Value {
+ public:
+  Value() : data_(int64_t{0}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(data_) ? ValueType::kInt
+                                                  : ValueType::kString;
+  }
+
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Renders the value for table output ("3", "User", ...).
+  std::string ToString() const;
+
+  /// Stable hash, suitable for hash joins.
+  size_t Hash() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+
+  /// Total order: ints before strings, then natural order within type.
+  /// Used only for deterministic output ordering, not semantics.
+  bool operator<(const Value& other) const;
+
+ private:
+  std::variant<int64_t, std::string> data_;
+};
+
+}  // namespace ucr::relalg
+
+#endif  // UCR_RELALG_VALUE_H_

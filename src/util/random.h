@@ -1,0 +1,59 @@
+#ifndef UCR_UTIL_RANDOM_H_
+#define UCR_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ucr {
+
+/// \brief Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// The standard `<random>` engines are not guaranteed to produce the
+/// same streams across library implementations; experiments must be
+/// bit-reproducible across platforms, so the library carries its own
+/// generator. Not cryptographically secure, and not thread-safe —
+/// use one instance per thread.
+class Random {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams everywhere.
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Returns a uniformly distributed integer in [0, bound).
+  /// `bound` must be positive. Uses rejection sampling (no modulo bias).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi] inclusive.
+  /// Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Fisher–Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  /// If k >= n, returns a permutation of all n indices.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_RANDOM_H_

@@ -1,0 +1,64 @@
+#ifndef UCR_UTIL_STATS_H_
+#define UCR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ucr {
+
+/// \brief Streaming univariate summary statistics (Welford's method).
+///
+/// Numerically stable for long runs; O(1) per observation. Used by the
+/// benchmark harnesses to aggregate repeated trials.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  size_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double Variance() const;
+
+  /// Square root of Variance().
+  double StdDev() const;
+
+  /// Smallest observation; +inf when empty.
+  double Min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_;
+  double max_;
+};
+
+/// \brief Returns the q-quantile (0 <= q <= 1) of `values` by linear
+/// interpolation between order statistics. Returns 0 for empty input.
+/// Copies and sorts internally; intended for end-of-run reporting.
+double Quantile(std::vector<double> values, double q);
+
+/// \brief Ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< Coefficient of determination.
+};
+
+/// Fits a line through (x[i], y[i]). Requires x.size() == y.size() and
+/// at least two points; returns a default (zero) fit otherwise.
+LinearFit FitLine(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_STATS_H_

@@ -1,0 +1,154 @@
+#ifndef UCR_UTIL_STATUS_H_
+#define UCR_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ucr {
+
+/// \brief Error taxonomy for the ucr library.
+///
+/// The library reports recoverable failures through `Status` /
+/// `StatusOr<T>` rather than exceptions, following the conventions of
+/// production database codebases.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed value.
+  kNotFound,          ///< Referenced subject/object/right does not exist.
+  kAlreadyExists,     ///< Duplicate insertion (node, edge, authorization).
+  kFailedPrecondition,///< Operation not valid in the current state.
+  kOutOfRange,        ///< Index or id beyond the valid range.
+  kCorruption,        ///< Persistent data failed to parse.
+  kUnimplemented,     ///< Feature intentionally not supported.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries
+/// a message only on error. It must be inspected; ignoring an error
+/// status silently is a bug in the caller.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Mirrors the `StatusOr` idiom: `ok()` guards access to `value()`.
+/// Accessing the value of a failed result aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success path reads naturally).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status.ok()` is a
+  /// caller bug: a successful StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() called on errored StatusOr");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() called on errored StatusOr");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() called on errored StatusOr");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller; continues otherwise.
+#define UCR_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ucr::Status ucr_status_ = (expr);          \
+    if (!ucr_status_.ok()) return ucr_status_;   \
+  } while (false)
+
+#define UCR_MACRO_CONCAT_IMPL(a, b) a##b
+#define UCR_MACRO_CONCAT(a, b) UCR_MACRO_CONCAT_IMPL(a, b)
+
+#define UCR_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                              \
+  if (!var.ok()) return var.status();             \
+  lhs = std::move(var).value()
+
+/// Assigns the value of a `StatusOr` expression to `lhs`, or propagates
+/// its error to the caller.
+#define UCR_ASSIGN_OR_RETURN(lhs, expr) \
+  UCR_ASSIGN_OR_RETURN_IMPL(UCR_MACRO_CONCAT(ucr_statusor_, __LINE__), lhs, \
+                            expr)
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_STATUS_H_

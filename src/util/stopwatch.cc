@@ -1,0 +1,4 @@
+#include "util/stopwatch.h"
+
+// Header-only; this translation unit exists so the target has a stable
+// archive member and the header is compiled standalone at least once.

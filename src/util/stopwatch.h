@@ -1,0 +1,45 @@
+#ifndef UCR_UTIL_STOPWATCH_H_
+#define UCR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ucr {
+
+/// \brief Monotonic wall-clock stopwatch for experiment timing.
+///
+/// Uses `steady_clock`; resolution is platform-dependent but at worst
+/// tens of nanoseconds on the platforms we target. Benchmarks that need
+/// statistical treatment should sample many runs (see `stats.h`).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds (fractional).
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// Elapsed time in milliseconds (fractional).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_STOPWATCH_H_

@@ -1,0 +1,43 @@
+#ifndef UCR_UTIL_TABLE_PRINTER_H_
+#define UCR_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ucr {
+
+/// \brief Renders rows of strings as an aligned ASCII table.
+///
+/// Benchmark binaries use this to print the paper's tables in a shape
+/// directly comparable to the publication. Example output:
+///
+///     subject | object | right | dis | mode
+///     --------+--------+-------+-----+-----
+///     User    | obj    | read  | 1   | -
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as headers.
+  /// Extra cells are dropped, missing cells render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Number of data rows added.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Returns the formatted table as a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_TABLE_PRINTER_H_

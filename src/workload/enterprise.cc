@@ -1,0 +1,139 @@
+#include "workload/enterprise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/ancestor_subgraph.h"
+
+namespace ucr::workload {
+
+namespace {
+
+/// Picks an index in [0, n) with probability proportional to
+/// (level[i]+1)^bias — deeper nodes are likelier targets.
+size_t PickBiased(const std::vector<size_t>& candidates,
+                  const std::vector<size_t>& level, double bias, Random& rng) {
+  if (bias <= 0.0) {
+    return candidates[rng.Uniform(candidates.size())];
+  }
+  double total = 0.0;
+  for (size_t c : candidates) {
+    total += std::pow(static_cast<double>(level[c] + 1), bias);
+  }
+  double pick = rng.NextDouble() * total;
+  for (size_t c : candidates) {
+    pick -= std::pow(static_cast<double>(level[c] + 1), bias);
+    if (pick <= 0.0) return c;
+  }
+  return candidates.back();
+}
+
+}  // namespace
+
+StatusOr<graph::Dag> GenerateEnterpriseHierarchy(
+    const EnterpriseOptions& options, Random& rng) {
+  if (options.top_level_groups == 0 ||
+      options.groups < options.top_level_groups) {
+    return Status::InvalidArgument(
+        "need at least one top-level group and groups >= top_level_groups");
+  }
+  if (options.individuals == 0) {
+    return Status::InvalidArgument("need at least one individual");
+  }
+  if (options.max_group_depth == 0) {
+    return Status::InvalidArgument("max_group_depth must be >= 1");
+  }
+
+  graph::DagBuilder builder;
+  const size_t n_groups = options.groups;
+  const size_t n_users = options.individuals;
+
+  // Node layout: groups first (roots among them), then users.
+  // level[] holds each node's depth; edges only go to strictly deeper
+  // nodes, guaranteeing acyclicity.
+  std::vector<size_t> level(n_groups + n_users, 0);
+  for (size_t i = 0; i < options.top_level_groups; ++i) {
+    builder.AddNode("dept" + std::to_string(i));
+  }
+  for (size_t i = options.top_level_groups; i < n_groups; ++i) {
+    builder.AddNode("grp" + std::to_string(i));
+  }
+  for (size_t i = 0; i < n_users; ++i) {
+    builder.AddNode("user" + std::to_string(i));
+  }
+
+  // Primary membership for nested groups: parent among groups created
+  // earlier (guaranteeing a connected, level-consistent nesting).
+  // Depths spread across 1..max_group_depth because parents are drawn
+  // from all earlier groups, shallow and deep alike.
+  for (size_t g = options.top_level_groups; g < n_groups; ++g) {
+    const size_t parent = rng.Uniform(g);  // Any earlier group.
+    if (level[parent] >= options.max_group_depth - 1) {
+      // Too deep to nest under; attach to a random root instead.
+      const size_t root = rng.Uniform(options.top_level_groups);
+      UCR_RETURN_IF_ERROR(builder.AddEdgeById(
+          static_cast<graph::NodeId>(root), static_cast<graph::NodeId>(g)));
+      level[g] = 1;
+    } else {
+      UCR_RETURN_IF_ERROR(builder.AddEdgeById(
+          static_cast<graph::NodeId>(parent), static_cast<graph::NodeId>(g)));
+      level[g] = level[parent] + 1;
+    }
+  }
+
+  // Primary membership for users, biased toward deep groups.
+  std::vector<size_t> all_groups(n_groups);
+  for (size_t i = 0; i < n_groups; ++i) all_groups[i] = i;
+  for (size_t u = 0; u < n_users; ++u) {
+    const size_t user_node = n_groups + u;
+    const size_t parent =
+        PickBiased(all_groups, level, options.depth_bias, rng);
+    UCR_RETURN_IF_ERROR(
+        builder.AddEdgeById(static_cast<graph::NodeId>(parent),
+                            static_cast<graph::NodeId>(user_node)));
+    level[user_node] = level[parent] + 1;
+  }
+
+  // Extra memberships up to the edge target: a random node joins a
+  // random *shallower* group (level order keeps the graph acyclic).
+  const size_t primary_edges = (n_groups - options.top_level_groups) + n_users;
+  size_t extra_needed = options.target_edges > primary_edges
+                            ? options.target_edges - primary_edges
+                            : 0;
+  size_t attempts = extra_needed * 20 + 100;  // Duplicate-draw headroom.
+  while (extra_needed > 0 && attempts-- > 0) {
+    const size_t child = rng.Uniform(n_groups + n_users);
+    if (level[child] == 0) continue;  // Roots have no parents.
+    const size_t parent = rng.Uniform(n_groups);
+    if (level[parent] >= level[child]) continue;  // Keep edges downward.
+    Status s = builder.AddEdgeById(static_cast<graph::NodeId>(parent),
+                                   static_cast<graph::NodeId>(child));
+    if (s.code() == StatusCode::kAlreadyExists) continue;
+    UCR_RETURN_IF_ERROR(s);
+    --extra_needed;
+  }
+
+  return std::move(builder).Build();
+}
+
+EnterpriseStats ComputeEnterpriseStats(const graph::Dag& dag) {
+  EnterpriseStats stats;
+  stats.nodes = dag.node_count();
+  stats.edges = dag.edge_count();
+  stats.roots = dag.Roots().size();
+  const std::vector<graph::NodeId> sinks = dag.Sinks();
+  stats.sinks = sinks.size();
+  stats.min_sink_depth = UINT32_MAX;
+  stats.max_sink_depth = 0;
+  for (graph::NodeId sink : sinks) {
+    const graph::AncestorSubgraph sub(dag, sink);
+    stats.min_sink_depth = std::min(stats.min_sink_depth, sub.depth());
+    stats.max_sink_depth = std::max(stats.max_sink_depth, sub.depth());
+  }
+  if (sinks.empty()) stats.min_sink_depth = 0;
+  return stats;
+}
+
+}  // namespace ucr::workload

@@ -1,0 +1,72 @@
+#ifndef UCR_WORKLOAD_ENTERPRISE_H_
+#define UCR_WORKLOAD_ENTERPRISE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/dag.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ucr::workload {
+
+/// Options for `GenerateEnterpriseHierarchy`. The defaults reproduce
+/// the published shape statistics of the Livelink installation the
+/// paper evaluated (§4): >8000 nodes, ~22,000 edges, 1582 sinks
+/// (individual users), induced sub-graph depths ranging 1–11.
+struct EnterpriseOptions {
+  /// Individual users — the sinks of the hierarchy.
+  size_t individuals = 1582;
+
+  /// Group nodes (departments, teams, roles, mailing lists, ...).
+  size_t groups = 6500;
+
+  /// Top-level groups (roots): org-level containers.
+  size_t top_level_groups = 60;
+
+  /// Maximum nesting level of groups. Users attach below groups, so
+  /// induced sub-graph depths reach max_group_depth + 1.
+  size_t max_group_depth = 10;
+
+  /// Target number of edges. Primary membership contributes one edge
+  /// per non-root node; the remainder are extra memberships (a group
+  /// or user belonging to several groups), which is what makes real
+  /// subject hierarchies DAGs rather than trees.
+  size_t target_edges = 22000;
+
+  /// Bias of membership toward deep (specific) groups, mimicking real
+  /// installations where most users sit in leaf teams. 0 = uniform.
+  double depth_bias = 1.5;
+};
+
+/// Shape statistics of a generated hierarchy, for validation against
+/// the paper's published numbers.
+struct EnterpriseStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t sinks = 0;
+  size_t roots = 0;
+  uint32_t min_sink_depth = 0;  ///< Depth of the shallowest user sub-graph.
+  uint32_t max_sink_depth = 0;  ///< Depth of the deepest user sub-graph.
+};
+
+/// \brief Generates a synthetic enterprise subject hierarchy standing
+/// in for the proprietary Livelink data (see DESIGN.md, Substitution).
+///
+/// Construction is levelized — every edge points from a shallower
+/// group to a strictly deeper node — so acyclicity holds by
+/// construction (and is re-validated by DagBuilder). Deterministic
+/// given `rng`'s seed.
+///
+/// Node names: "dept<i>" for roots, "grp<i>" for nested groups,
+/// "user<i>" for individuals.
+StatusOr<graph::Dag> GenerateEnterpriseHierarchy(
+    const EnterpriseOptions& options, Random& rng);
+
+/// Computes shape statistics (extracts every sink's sub-graph; O(sinks
+/// × subgraph) — intended for tests and reporting, not hot paths).
+EnterpriseStats ComputeEnterpriseStats(const graph::Dag& dag);
+
+}  // namespace ucr::workload
+
+#endif  // UCR_WORKLOAD_ENTERPRISE_H_

@@ -1,0 +1,91 @@
+#include "workload/query_stream.h"
+
+#include <cmath>
+
+namespace ucr::workload {
+
+StatusOr<std::vector<core::AccessControlSystem::AccessQuery>>
+GenerateQueryStream(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                    const QueryStreamOptions& options) {
+  if (eacm.object_count() == 0 || eacm.right_count() == 0) {
+    return Status::FailedPrecondition(
+        "the matrix has no objects/rights to query");
+  }
+  std::vector<graph::NodeId> candidates =
+      options.sinks_only ? dag.Sinks() : [&] {
+        std::vector<graph::NodeId> all(dag.node_count());
+        for (graph::NodeId v = 0; v < dag.node_count(); ++v) all[v] = v;
+        return all;
+      }();
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("no candidate subjects");
+  }
+  if (options.distribution == SubjectDistribution::kHotSet &&
+      (options.hot_set_size == 0 || options.hot_fraction < 0.0 ||
+       options.hot_fraction > 1.0)) {
+    return Status::InvalidArgument("malformed hot-set parameters");
+  }
+
+  Random rng(options.seed);
+
+  // Per-distribution subject sampler.
+  std::vector<graph::NodeId> hot;
+  std::vector<double> zipf_cdf;
+  switch (options.distribution) {
+    case SubjectDistribution::kUniform:
+      break;
+    case SubjectDistribution::kHotSet:
+      for (size_t i = 0; i < options.hot_set_size; ++i) {
+        hot.push_back(candidates[rng.Uniform(candidates.size())]);
+      }
+      break;
+    case SubjectDistribution::kZipf: {
+      // Candidate rank = position after a deterministic shuffle, so
+      // the hot ranks are not correlated with node ids.
+      rng.Shuffle(candidates);
+      double total = 0.0;
+      zipf_cdf.reserve(candidates.size());
+      for (size_t r = 0; r < candidates.size(); ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1),
+                                options.zipf_exponent);
+        zipf_cdf.push_back(total);
+      }
+      for (double& c : zipf_cdf) c /= total;
+      break;
+    }
+  }
+
+  auto draw_subject = [&]() -> graph::NodeId {
+    switch (options.distribution) {
+      case SubjectDistribution::kUniform:
+        return candidates[rng.Uniform(candidates.size())];
+      case SubjectDistribution::kHotSet:
+        if (rng.Bernoulli(options.hot_fraction)) {
+          return hot[rng.Uniform(hot.size())];
+        }
+        return candidates[rng.Uniform(candidates.size())];
+      case SubjectDistribution::kZipf: {
+        const double u = rng.NextDouble();
+        const auto it =
+            std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+        const size_t rank = it == zipf_cdf.end()
+                                ? zipf_cdf.size() - 1
+                                : static_cast<size_t>(it - zipf_cdf.begin());
+        return candidates[rank];
+      }
+    }
+    return candidates.front();
+  };
+
+  std::vector<core::AccessControlSystem::AccessQuery> queries;
+  queries.reserve(options.count);
+  for (size_t q = 0; q < options.count; ++q) {
+    queries.push_back(core::AccessControlSystem::AccessQuery{
+        draw_subject(),
+        static_cast<acm::ObjectId>(rng.Uniform(eacm.object_count())),
+        static_cast<acm::RightId>(rng.Uniform(eacm.right_count()))});
+  }
+  return queries;
+}
+
+}  // namespace ucr::workload

@@ -1,0 +1,49 @@
+#ifndef UCR_WORKLOAD_QUERY_STREAM_H_
+#define UCR_WORKLOAD_QUERY_STREAM_H_
+
+#include <vector>
+
+#include "acm/acm.h"
+#include "core/system.h"
+#include "graph/dag.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace ucr::workload {
+
+/// How query subjects are drawn.
+enum class SubjectDistribution {
+  kUniform = 0,  ///< Every candidate subject equally likely.
+  kHotSet = 1,   ///< A small hot set takes most of the traffic.
+  kZipf = 2,     ///< Rank-r candidate drawn with weight 1/r^s.
+};
+
+/// Options for `GenerateQueryStream`.
+struct QueryStreamOptions {
+  size_t count = 10000;
+  SubjectDistribution distribution = SubjectDistribution::kHotSet;
+
+  /// kHotSet: size of the hot set and the fraction of queries it gets.
+  size_t hot_set_size = 16;
+  double hot_fraction = 0.8;
+
+  /// kZipf: the exponent (1.0 = classic Zipf).
+  double zipf_exponent = 1.0;
+
+  /// Restrict subjects to sinks (individuals), like real check traffic.
+  bool sinks_only = true;
+
+  uint64_t seed = 1;
+};
+
+/// \brief Generates a deterministic access-check workload against a
+/// populated system: subjects drawn per `distribution`, objects and
+/// rights uniformly over the matrix's interned ids. Requires at least
+/// one object and right to exist.
+StatusOr<std::vector<core::AccessControlSystem::AccessQuery>>
+GenerateQueryStream(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                    const QueryStreamOptions& options);
+
+}  // namespace ucr::workload
+
+#endif  // UCR_WORKLOAD_QUERY_STREAM_H_

@@ -1,0 +1,130 @@
+#include "graph/ancestor_subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+Dag Build(std::initializer_list<std::pair<const char*, const char*>> edges,
+          std::initializer_list<const char*> extra_nodes = {}) {
+  DagBuilder b;
+  for (const char* n : extra_nodes) b.AddNode(n);
+  for (const auto& [p, c] : edges) EXPECT_TRUE(b.AddEdge(p, c).ok());
+  auto dag = std::move(b).Build();
+  EXPECT_TRUE(dag.ok());
+  return std::move(dag).value();
+}
+
+TEST(AncestorSubgraphTest, ExcludesNonAncestors) {
+  // X is a sibling branch; Y is a descendant of the sink.
+  const Dag dag = Build({{"r", "a"}, {"r", "x"}, {"a", "s"}, {"s", "y"}});
+  const AncestorSubgraph sub(dag, dag.FindNode("s"));
+  EXPECT_EQ(sub.member_count(), 3u);  // r, a, s.
+  EXPECT_EQ(sub.ToLocal(dag.FindNode("x")), kInvalidNode);
+  EXPECT_EQ(sub.ToLocal(dag.FindNode("y")), kInvalidNode);
+  EXPECT_NE(sub.ToLocal(dag.FindNode("r")), kInvalidNode);
+}
+
+TEST(AncestorSubgraphTest, SinkIsSoleSink) {
+  const Dag dag = Build({{"r", "a"}, {"r", "b"}, {"a", "s"}, {"b", "s"},
+                         {"a", "b"}});
+  const AncestorSubgraph sub(dag, dag.FindNode("s"));
+  for (LocalId v = 0; v < sub.member_count(); ++v) {
+    if (v == sub.sink()) {
+      EXPECT_TRUE(sub.children(v).empty());
+    } else {
+      EXPECT_FALSE(sub.children(v).empty())
+          << "non-sink member must keep a path to the sink";
+    }
+  }
+}
+
+TEST(AncestorSubgraphTest, IsolatedSubjectIsItsOwnRoot) {
+  const Dag dag = Build({{"a", "b"}}, {"lonely"});
+  const AncestorSubgraph sub(dag, dag.FindNode("lonely"));
+  EXPECT_EQ(sub.member_count(), 1u);
+  EXPECT_EQ(sub.edge_count(), 0u);
+  ASSERT_EQ(sub.roots().size(), 1u);
+  EXPECT_EQ(sub.roots()[0], sub.sink());
+  EXPECT_EQ(sub.depth(), 0u);
+  EXPECT_EQ(sub.path_count(sub.sink()), 1u);
+  EXPECT_EQ(sub.total_path_length(sub.sink()), 0u);
+}
+
+TEST(AncestorSubgraphTest, DistancesOnDiamond) {
+  const Dag dag = Build({{"t", "a"}, {"t", "b"}, {"a", "s"}, {"b", "s"},
+                         {"t", "s"}});
+  const AncestorSubgraph sub(dag, dag.FindNode("s"));
+  const LocalId t = sub.ToLocal(dag.FindNode("t"));
+  EXPECT_EQ(sub.shortest_distance_to_sink(t), 1u);  // Direct edge.
+  EXPECT_EQ(sub.longest_distance_to_sink(t), 2u);   // Via a or b.
+  EXPECT_EQ(sub.path_count(t), 3u);                 // Direct, via a, via b.
+  EXPECT_EQ(sub.total_path_length(t), 1u + 2u + 2u);
+  EXPECT_EQ(sub.depth(), 2u);
+}
+
+TEST(AncestorSubgraphTest, PathCountExplodesOnDiamondStack) {
+  Random rng(1);
+  auto dag = GenerateDiamondStack(20);
+  ASSERT_TRUE(dag.ok());
+  const NodeId sink = dag->FindNode("Dsink");
+  const AncestorSubgraph sub(*dag, sink);
+  const LocalId top = sub.ToLocal(dag->FindNode("D0t"));
+  EXPECT_EQ(sub.path_count(top), 1ull << 20);
+  EXPECT_EQ(sub.depth(), 40u);  // Two edges per diamond.
+}
+
+TEST(AncestorSubgraphTest, PathCountSaturatesInsteadOfOverflowing) {
+  auto dag = GenerateDiamondStack(70);  // 2^70 > UINT64_MAX paths.
+  ASSERT_TRUE(dag.ok());
+  const AncestorSubgraph sub(*dag, dag->FindNode("Dsink"));
+  const LocalId top = sub.ToLocal(dag->FindNode("D0t"));
+  EXPECT_EQ(sub.path_count(top), UINT64_MAX);
+  EXPECT_EQ(sub.total_path_length(top), UINT64_MAX);
+}
+
+TEST(AncestorSubgraphTest, TopologicalOrderIsComplete) {
+  Random rng(5);
+  auto dag = GenerateLayeredDag({.layers = 5, .nodes_per_layer = 6}, rng);
+  ASSERT_TRUE(dag.ok());
+  for (NodeId sink : dag->Sinks()) {
+    const AncestorSubgraph sub(*dag, sink);
+    EXPECT_EQ(sub.topological_order().size(), sub.member_count());
+    // Parents appear before children.
+    std::vector<size_t> pos(sub.member_count());
+    for (size_t i = 0; i < sub.topological_order().size(); ++i) {
+      pos[sub.topological_order()[i]] = i;
+    }
+    for (LocalId v = 0; v < sub.member_count(); ++v) {
+      for (LocalId c : sub.children(v)) EXPECT_LT(pos[v], pos[c]);
+    }
+  }
+}
+
+TEST(AncestorSubgraphTest, TotalPathLengthSumsSources) {
+  const Dag dag = Build({{"t", "a"}, {"t", "b"}, {"a", "s"}, {"b", "s"}});
+  const AncestorSubgraph sub(dag, dag.FindNode("s"));
+  const LocalId t = sub.ToLocal(dag.FindNode("t"));
+  const LocalId a = sub.ToLocal(dag.FindNode("a"));
+  std::vector<LocalId> sources{t, a};
+  // t: two paths of length 2 => 4; a: one path of length 1 => 1.
+  EXPECT_EQ(sub.TotalPathLength(sources), 5u);
+}
+
+TEST(AncestorSubgraphTest, GlobalLocalRoundTrip) {
+  Random rng(11);
+  auto dag = GenerateLayeredDag({.layers = 4, .nodes_per_layer = 5}, rng);
+  ASSERT_TRUE(dag.ok());
+  const NodeId sink = dag->Sinks().front();
+  const AncestorSubgraph sub(*dag, sink);
+  for (LocalId v = 0; v < sub.member_count(); ++v) {
+    EXPECT_EQ(sub.ToLocal(sub.global_id(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace ucr::graph

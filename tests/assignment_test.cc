@@ -1,0 +1,172 @@
+#include "acm/assignment.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::acm {
+namespace {
+
+struct Fixture {
+  graph::Dag dag;
+  ExplicitAcm eacm;
+  ObjectId obj;
+  RightId read;
+};
+
+Fixture MakeFixture(size_t kdag_n, uint64_t seed) {
+  Random rng(seed);
+  auto dag = graph::GenerateKDag(kdag_n, rng);
+  EXPECT_TRUE(dag.ok());
+  Fixture f{std::move(dag).value(), {}, 0, 0};
+  f.obj = f.eacm.InternObject("obj").value();
+  f.read = f.eacm.InternRight("read").value();
+  return f;
+}
+
+TEST(AssignmentTest, LabelsExpectedFraction) {
+  Fixture f = MakeFixture(40, 1);  // 780 edges.
+  Random rng(2);
+  RandomAssignmentOptions opt;
+  opt.authorization_rate = 0.10;
+  auto summary =
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->edges_selected, 78u);
+  // Source dedup can only shrink the set.
+  EXPECT_LE(summary->subjects_labeled, summary->edges_selected);
+  EXPECT_GT(summary->subjects_labeled, 0u);
+  EXPECT_EQ(f.eacm.size(), summary->subjects_labeled);
+}
+
+TEST(AssignmentTest, TinyRateStillLabelsOneSubject) {
+  Fixture f = MakeFixture(10, 3);
+  Random rng(4);
+  RandomAssignmentOptions opt;
+  opt.authorization_rate = 1e-6;
+  auto summary =
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->subjects_labeled, 1u);
+}
+
+TEST(AssignmentTest, ExactNegativeFractions) {
+  for (double neg : {0.0, 0.01, 0.5, 1.0}) {
+    Fixture f = MakeFixture(40, 5);
+    Random rng(6);
+    RandomAssignmentOptions opt;
+    opt.authorization_rate = 0.10;
+    opt.negative_fraction = neg;
+    auto summary =
+        AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm);
+    ASSERT_TRUE(summary.ok());
+    const auto counts = f.eacm.CountLabels(f.obj, f.read);
+    EXPECT_EQ(counts.negative, summary->negatives);
+    EXPECT_EQ(counts.negative,
+              static_cast<size_t>(std::llround(
+                  neg * static_cast<double>(summary->subjects_labeled))));
+    EXPECT_EQ(counts.positive + counts.negative, summary->subjects_labeled);
+  }
+}
+
+TEST(AssignmentTest, SamePlacementDifferentSignsAcrossSeeds) {
+  // Re-running with the same RNG seed must label the same subjects, so
+  // negative-fraction sweeps vary placement signs only (the Fig. 7(a)
+  // protocol).
+  Fixture f1 = MakeFixture(30, 7);
+  Fixture f2 = MakeFixture(30, 7);
+  RandomAssignmentOptions opt;
+  opt.authorization_rate = 0.08;
+  opt.negative_fraction = 0.01;
+  Random rng1(8);
+  ASSERT_TRUE(AssignRandomAuthorizations(f1.dag, f1.obj, f1.read, opt, rng1,
+                                         &f1.eacm)
+                  .ok());
+  opt.negative_fraction = 1.0;
+  Random rng2(8);
+  ASSERT_TRUE(AssignRandomAuthorizations(f2.dag, f2.obj, f2.read, opt, rng2,
+                                         &f2.eacm)
+                  .ok());
+  const auto e1 = f1.eacm.SortedEntries();
+  const auto e2 = f2.eacm.SortedEntries();
+  ASSERT_EQ(e1.size(), e2.size());
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].subject, e2[i].subject);
+  }
+}
+
+TEST(AssignmentTest, EdgeSamplingBiasesTowardHighFanout) {
+  // A star: hub -> leaf0..leaf199, plus a long chain c0 -> ... -> c9
+  // hanging off the hub so the chain nodes have out-degree 1. The hub
+  // holds 200 of 210 edges, so it should be labeled almost always.
+  graph::DagBuilder b;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(b.AddEdge("hub", "leaf" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(b.AddEdge("c0", "c1").ok());
+  for (int i = 1; i < 9; ++i) {
+    ASSERT_TRUE(
+        b.AddEdge("c" + std::to_string(i), "c" + std::to_string(i + 1)).ok());
+  }
+  ASSERT_TRUE(b.AddEdge("c9", "hub").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+
+  int hub_labeled = 0;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    ExplicitAcm eacm;
+    const ObjectId o = eacm.InternObject("obj").value();
+    const RightId r = eacm.InternRight("read").value();
+    Random rng(seed);
+    RandomAssignmentOptions opt;
+    opt.authorization_rate = 0.01;  // ~2 edges.
+    ASSERT_TRUE(
+        AssignRandomAuthorizations(*dag, o, r, opt, rng, &eacm).ok());
+    if (eacm.Get(dag->FindNode("hub"), o, r).has_value()) ++hub_labeled;
+  }
+  EXPECT_GT(hub_labeled, 40);  // 200/210 edge share => ~49/50 expected.
+}
+
+TEST(AssignmentTest, ValidatesArguments) {
+  Fixture f = MakeFixture(10, 9);
+  Random rng(10);
+  RandomAssignmentOptions opt;
+  opt.authorization_rate = 0.0;
+  EXPECT_FALSE(
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm)
+          .ok());
+  opt.authorization_rate = 1.5;
+  EXPECT_FALSE(
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm)
+          .ok());
+  opt.authorization_rate = 0.1;
+  opt.negative_fraction = -0.1;
+  EXPECT_FALSE(
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, &f.eacm)
+          .ok());
+  opt.negative_fraction = 0.5;
+  EXPECT_FALSE(
+      AssignRandomAuthorizations(f.dag, f.obj, f.read, opt, rng, nullptr)
+          .ok());
+}
+
+TEST(AssignmentTest, FailsOnEdgelessGraph) {
+  graph::DagBuilder b;
+  b.AddNode("only");
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  ExplicitAcm eacm;
+  const ObjectId o = eacm.InternObject("obj").value();
+  const RightId r = eacm.InternRight("read").value();
+  Random rng(11);
+  EXPECT_EQ(AssignRandomAuthorizations(*dag, o, r, {}, rng, &eacm)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ucr::acm

@@ -1,0 +1,102 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "core/strategy.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+
+Strategy S(const char* mnemonic) { return ParseStrategy(mnemonic).value(); }
+
+TEST(ResolutionCacheTest, MissThenHit) {
+  ResolutionCache cache;
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("D+LP-"), 5), std::nullopt);
+  cache.Store(1, 0, 0, S("D+LP-"), 5, Mode::kPositive);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("D+LP-"), 5), Mode::kPositive);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResolutionCacheTest, EpochChangeInvalidates) {
+  ResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 5, Mode::kNegative);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("P-"), 6), std::nullopt);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u) << "stale entry must be evicted";
+}
+
+TEST(ResolutionCacheTest, KeysDistinguishAllComponents) {
+  ResolutionCache cache;
+  cache.Store(1, 2, 3, S("P-"), 0, Mode::kNegative);
+  EXPECT_EQ(cache.Lookup(2, 2, 3, S("P-"), 0), std::nullopt);  // Subject.
+  EXPECT_EQ(cache.Lookup(1, 3, 3, S("P-"), 0), std::nullopt);  // Object.
+  EXPECT_EQ(cache.Lookup(1, 2, 4, S("P-"), 0), std::nullopt);  // Right.
+  EXPECT_EQ(cache.Lookup(1, 2, 3, S("P+"), 0), std::nullopt);  // Strategy.
+  EXPECT_EQ(cache.Lookup(1, 2, 3, S("P-"), 0), Mode::kNegative);
+}
+
+TEST(ResolutionCacheTest, NonCanonicalStrategySharesEntry) {
+  ResolutionCache cache;
+  Strategy alias;
+  alias.majority_rule = MajorityRule::kAfter;  // Identity+after alias.
+  cache.Store(1, 0, 0, alias, 0, Mode::kPositive);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, alias.Canonical(), 0), Mode::kPositive);
+}
+
+TEST(ResolutionCacheTest, ClearDropsEverything) {
+  ResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 0, Mode::kNegative);
+  cache.Store(2, 0, 0, S("P-"), 0, Mode::kPositive);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("P-"), 0), std::nullopt);
+}
+
+TEST(ResolutionCacheTest, StoreOverwritesForNewEpoch) {
+  ResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 0, Mode::kNegative);
+  cache.Store(1, 0, 0, S("P-"), 1, Mode::kPositive);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("P-"), 1), Mode::kPositive);
+}
+
+TEST(SubgraphCacheTest, ExtractsOnceAndReuses) {
+  const PaperExample ex = MakePaperExample();
+  SubgraphCache cache;
+  const graph::AncestorSubgraph& first = cache.Get(ex.dag, ex.user);
+  const graph::AncestorSubgraph& second = cache.Get(ex.dag, ex.user);
+  EXPECT_EQ(&first, &second) << "cached sub-graph must be shared";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.member_count(), 6u);
+}
+
+TEST(SubgraphCacheTest, DistinctSubjectsDistinctEntries) {
+  const PaperExample ex = MakePaperExample();
+  SubgraphCache cache;
+  cache.Get(ex.dag, ex.user);
+  cache.Get(ex.dag, ex.dag.FindNode("S5"));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SubgraphCacheTest, ReferencesSurviveRehash) {
+  // References returned earlier must stay valid as the cache grows
+  // (unique_ptr indirection); fill with many subjects and re-check.
+  const PaperExample ex = MakePaperExample();
+  SubgraphCache cache;
+  const graph::AncestorSubgraph& user_sub = cache.Get(ex.dag, ex.user);
+  const size_t members_before = user_sub.member_count();
+  for (graph::NodeId v = 0; v < ex.dag.node_count(); ++v) {
+    cache.Get(ex.dag, v);
+  }
+  EXPECT_EQ(user_sub.member_count(), members_before);
+  EXPECT_EQ(&cache.Get(ex.dag, ex.user), &user_sub);
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,183 @@
+// Exact validation of the paper's §3.3 cost accounting. The paper
+// bounds Propagate() by O(n + d) with d = total length of all paths
+// from every source to the subject. The literal queue actually creates
+// one tuple per *distinct path prefix*, which equals d only when the
+// descent below each source is tree-shaped and is strictly smaller
+// when full paths share prefixes — so the tests pin the exact
+// prefix-count oracle and the paper's bound.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acm/mode.h"
+#include "core/propagate.h"
+#include "graph/ancestor_subgraph.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+using graph::AncestorSubgraph;
+using graph::LocalId;
+
+using Labels = std::vector<std::optional<Mode>>;
+
+struct CostBreakdown {
+  uint64_t seeds = 0;
+  uint64_t prefixes = 0;  // Distinct nonempty paths from every source.
+  uint64_t d = 0;         // Paper metric: total full-path length.
+};
+
+/// Counts every distinct nonempty path starting at `v` (each is one
+/// tuple move of the literal engine). Exponential; small graphs only.
+uint64_t CountPathPrefixes(const AncestorSubgraph& sub, LocalId v) {
+  uint64_t count = 0;
+  for (LocalId c : sub.children(v)) {
+    count += 1 + CountPathPrefixes(sub, c);
+  }
+  return count;
+}
+
+CostBreakdown ExpectedCost(const AncestorSubgraph& sub,
+                           const Labels& labels) {
+  CostBreakdown cost;
+  for (LocalId v = 0; v < sub.member_count(); ++v) {
+    const bool seeded = labels[sub.global_id(v)].has_value() ||
+                        sub.parents(v).empty();
+    if (!seeded) continue;
+    ++cost.seeds;
+    cost.prefixes += CountPathPrefixes(sub, v);
+    cost.d += sub.total_path_length(v);
+  }
+  return cost;
+}
+
+Labels RandomLabels(const graph::Dag& dag, double rate, Random& rng) {
+  Labels labels(dag.node_count());
+  for (size_t v = 0; v < dag.node_count(); ++v) {
+    if (rng.Bernoulli(rate)) {
+      labels[v] = rng.Bernoulli(0.5) ? Mode::kPositive : Mode::kNegative;
+    }
+  }
+  return labels;
+}
+
+TEST(CostModelTest, LiteralWorkEqualsSeedsPlusPrefixesOnRandomGraphs) {
+  Random rng(1212);
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::LayeredDagOptions opt;
+    opt.layers = 2 + static_cast<size_t>(rng.Uniform(4));
+    opt.nodes_per_layer = 2 + static_cast<size_t>(rng.Uniform(6));
+    opt.skip_edge_probability = 0.2;
+    auto dag = graph::GenerateLayeredDag(opt, rng);
+    ASSERT_TRUE(dag.ok());
+    const Labels labels = RandomLabels(*dag, 0.25, rng);
+    for (graph::NodeId sink : dag->Sinks()) {
+      const AncestorSubgraph sub(*dag, sink);
+      const CostBreakdown expected = ExpectedCost(sub, labels);
+      PropagateStats stats;
+      ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &stats).ok());
+      EXPECT_EQ(stats.tuples_processed, expected.seeds + expected.prefixes)
+          << "trial " << trial << " sink " << dag->name(sink);
+      // The paper's O(n + d) bound holds with room to spare.
+      EXPECT_LE(stats.tuples_processed, expected.seeds + expected.d)
+          << "trial " << trial << " sink " << dag->name(sink);
+    }
+  }
+}
+
+TEST(CostModelTest, LiteralWorkOnTreesEqualsThePaperMetricExactly) {
+  // On trees every full path has unshared prefixes below the source,
+  // so the prefix count *equals* d and the paper's accounting is
+  // tight.
+  Random rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto dag = graph::GenerateRandomTree(40, rng);
+    ASSERT_TRUE(dag.ok());
+    const Labels labels = RandomLabels(*dag, 0.3, rng);
+    for (graph::NodeId sink : dag->Sinks()) {
+      const AncestorSubgraph sub(*dag, sink);
+      const CostBreakdown expected = ExpectedCost(sub, labels);
+      EXPECT_EQ(expected.prefixes, expected.d) << "tree property";
+      PropagateStats stats;
+      ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &stats).ok());
+      EXPECT_EQ(stats.tuples_processed, expected.seeds + expected.d);
+    }
+  }
+}
+
+TEST(CostModelTest, PrefixSharingMakesLiteralCheaperThanDOnKDags) {
+  // On a complete DAG full paths share prefixes heavily: the engine's
+  // work sits well under the published bound.
+  Random rng(78);
+  auto dag = graph::GenerateKDag(12, rng);
+  ASSERT_TRUE(dag.ok());
+  const AncestorSubgraph sub(*dag, static_cast<graph::NodeId>(11));
+  Labels labels(12);
+  labels[0] = Mode::kPositive;
+  const CostBreakdown expected = ExpectedCost(sub, labels);
+  PropagateStats stats;
+  ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &stats).ok());
+  EXPECT_EQ(stats.tuples_processed, expected.seeds + expected.prefixes);
+  EXPECT_LT(stats.tuples_processed * 2, expected.seeds + expected.d)
+      << "sharing should save at least half on KDAG(12)";
+}
+
+TEST(CostModelTest, MaxDistanceEqualsDeepestContributingPath) {
+  Random rng(88);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto dag = graph::GenerateLayeredDag(
+        {.layers = 4, .nodes_per_layer = 4, .skip_edge_probability = 0.2},
+        rng);
+    ASSERT_TRUE(dag.ok());
+    const Labels labels = RandomLabels(*dag, 0.3, rng);
+    const graph::NodeId sink = dag->Sinks().front();
+    const AncestorSubgraph sub(*dag, sink);
+    uint32_t deepest = 0;
+    for (LocalId v = 0; v < sub.member_count(); ++v) {
+      if (labels[sub.global_id(v)].has_value() || sub.parents(v).empty()) {
+        deepest = std::max(deepest, sub.longest_distance_to_sink(v));
+      }
+    }
+    PropagateStats stats;
+    ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &stats).ok());
+    EXPECT_EQ(stats.max_distance, deepest) << "trial " << trial;
+  }
+}
+
+TEST(CostModelTest, AggregatedWorkIsPolynomialWhereLiteralExplodes) {
+  // The same query on a diamond stack: literal work doubles per
+  // diamond; aggregated group-work grows linearly. This is the
+  // quantitative heart of the engine split.
+  Labels empty;
+  uint64_t previous_literal = 0;
+  uint64_t previous_groups = 0;
+  for (size_t k : {size_t{8}, size_t{10}, size_t{12}}) {
+    auto dag = graph::GenerateDiamondStack(k);
+    ASSERT_TRUE(dag.ok());
+    Labels labels(dag->node_count());
+    labels[dag->FindNode("D0t")] = Mode::kPositive;
+    const AncestorSubgraph sub(*dag, dag->FindNode("Dsink"));
+
+    PropagateStats literal;
+    ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &literal).ok());
+    PropagateStats aggregated;
+    PropagateAggregated(sub, labels, {}, &aggregated);
+
+    if (previous_literal > 0) {
+      EXPECT_GT(literal.tuples_processed, previous_literal * 3)
+          << "literal work ~quadruples per +2 diamonds";
+      EXPECT_LT(aggregated.tuples_processed, previous_groups * 2)
+          << "aggregated work grows gently";
+    }
+    previous_literal = literal.tuples_processed;
+    previous_groups = aggregated.tuples_processed;
+  }
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,138 @@
+#include "graph/dag.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ucr::graph {
+namespace {
+
+Dag BuildSmall() {
+  DagBuilder b;
+  EXPECT_TRUE(b.AddEdge("A", "B").ok());
+  EXPECT_TRUE(b.AddEdge("A", "C").ok());
+  EXPECT_TRUE(b.AddEdge("B", "D").ok());
+  EXPECT_TRUE(b.AddEdge("C", "D").ok());
+  auto dag = std::move(b).Build();
+  EXPECT_TRUE(dag.ok());
+  return std::move(dag).value();
+}
+
+TEST(DagBuilderTest, NodesGetSequentialIdsInFirstMentionOrder) {
+  DagBuilder b;
+  EXPECT_EQ(b.AddNode("x"), 0u);
+  EXPECT_EQ(b.AddNode("y"), 1u);
+  EXPECT_EQ(b.AddNode("x"), 0u);  // Idempotent.
+  EXPECT_EQ(b.node_count(), 2u);
+}
+
+TEST(DagBuilderTest, RejectsSelfLoop) {
+  DagBuilder b;
+  const Status s = b.AddEdge("a", "a");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagBuilderTest, RejectsDuplicateEdge) {
+  DagBuilder b;
+  EXPECT_TRUE(b.AddEdge("a", "b").ok());
+  EXPECT_EQ(b.AddEdge("a", "b").code(), StatusCode::kAlreadyExists);
+}
+
+TEST(DagBuilderTest, RejectsUnknownIds) {
+  DagBuilder b;
+  b.AddNode("a");
+  EXPECT_EQ(b.AddEdgeById(0, 5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DagBuilderTest, DetectsTwoNodeCycle) {
+  DagBuilder b;
+  EXPECT_TRUE(b.AddEdge("a", "b").ok());
+  EXPECT_TRUE(b.AddEdge("b", "a").ok());  // Edge itself is fine...
+  auto dag = std::move(b).Build();        // ...the cycle fails at Build.
+  EXPECT_FALSE(dag.ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DagBuilderTest, DetectsLongCycle) {
+  DagBuilder b;
+  EXPECT_TRUE(b.AddEdge("a", "b").ok());
+  EXPECT_TRUE(b.AddEdge("b", "c").ok());
+  EXPECT_TRUE(b.AddEdge("c", "d").ok());
+  EXPECT_TRUE(b.AddEdge("d", "b").ok());
+  EXPECT_FALSE(std::move(b).Build().ok());
+}
+
+TEST(DagBuilderTest, EmptyGraphBuilds) {
+  DagBuilder b;
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 0u);
+  EXPECT_EQ(dag->edge_count(), 0u);
+}
+
+TEST(DagTest, AdjacencyAndDegrees) {
+  const Dag dag = BuildSmall();
+  EXPECT_EQ(dag.node_count(), 4u);
+  EXPECT_EQ(dag.edge_count(), 4u);
+
+  const NodeId a = dag.FindNode("A");
+  const NodeId d = dag.FindNode("D");
+  EXPECT_EQ(dag.children(a).size(), 2u);
+  EXPECT_EQ(dag.parents(a).size(), 0u);
+  EXPECT_EQ(dag.children(d).size(), 0u);
+  EXPECT_EQ(dag.parents(d).size(), 2u);
+  EXPECT_TRUE(dag.is_root(a));
+  EXPECT_TRUE(dag.is_sink(d));
+  EXPECT_FALSE(dag.is_sink(a));
+}
+
+TEST(DagTest, FindNodeMissReturnsInvalid) {
+  const Dag dag = BuildSmall();
+  EXPECT_EQ(dag.FindNode("nope"), kInvalidNode);
+}
+
+TEST(DagTest, HasEdge) {
+  const Dag dag = BuildSmall();
+  EXPECT_TRUE(dag.HasEdge(dag.FindNode("A"), dag.FindNode("B")));
+  EXPECT_FALSE(dag.HasEdge(dag.FindNode("B"), dag.FindNode("A")));
+  EXPECT_FALSE(dag.HasEdge(dag.FindNode("A"), dag.FindNode("D")));
+}
+
+TEST(DagTest, RootsAndSinks) {
+  const Dag dag = BuildSmall();
+  EXPECT_EQ(dag.Roots(), std::vector<NodeId>{dag.FindNode("A")});
+  EXPECT_EQ(dag.Sinks(), std::vector<NodeId>{dag.FindNode("D")});
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  const Dag dag = BuildSmall();
+  const std::vector<NodeId> order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), dag.node_count());
+  std::vector<size_t> position(dag.node_count());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId c : dag.children(v)) {
+      EXPECT_LT(position[v], position[c]);
+    }
+  }
+}
+
+TEST(DagTest, IsolatedNodeIsRootAndSink) {
+  DagBuilder b;
+  b.AddNode("lonely");
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_TRUE(dag->is_root(0));
+  EXPECT_TRUE(dag->is_sink(0));
+}
+
+TEST(DagTest, CopySemantics) {
+  const Dag dag = BuildSmall();
+  const Dag copy = dag;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(copy.node_count(), dag.node_count());
+  EXPECT_EQ(copy.FindNode("B"), dag.FindNode("B"));
+}
+
+}  // namespace
+}  // namespace ucr::graph

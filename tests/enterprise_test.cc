@@ -1,0 +1,109 @@
+#include "workload/enterprise.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/ancestor_subgraph.h"
+#include "util/random.h"
+
+namespace ucr::workload {
+namespace {
+
+EnterpriseOptions SmallOptions() {
+  EnterpriseOptions opt;
+  opt.individuals = 120;
+  opt.groups = 300;
+  opt.top_level_groups = 8;
+  opt.max_group_depth = 6;
+  opt.target_edges = 900;
+  return opt;
+}
+
+TEST(EnterpriseTest, SmallHierarchyShape) {
+  Random rng(1);
+  auto dag = GenerateEnterpriseHierarchy(SmallOptions(), rng);
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  EXPECT_EQ(dag->node_count(), 420u);
+  // Edge target is met up to duplicate-draw shortfall.
+  EXPECT_GE(dag->edge_count(), 850u);
+  EXPECT_LE(dag->edge_count(), 900u);
+  // All users are sinks; groups may incidentally be childless, so the
+  // sink count is at least the user count... in fact users never get
+  // children, so:
+  EXPECT_GE(dag->Sinks().size(), 120u);
+  EXPECT_LE(dag->Roots().size(), 8u);
+}
+
+TEST(EnterpriseTest, UsersAreSinksAndNamed) {
+  Random rng(2);
+  auto dag = GenerateEnterpriseHierarchy(SmallOptions(), rng);
+  ASSERT_TRUE(dag.ok());
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (dag->name(v).rfind("user", 0) == 0) {
+      EXPECT_TRUE(dag->is_sink(v)) << dag->name(v);
+      EXPECT_FALSE(dag->is_root(v)) << "users always belong to a group";
+    }
+  }
+}
+
+TEST(EnterpriseTest, DeterministicForSeed) {
+  Random rng1(3);
+  Random rng2(3);
+  auto a = GenerateEnterpriseHierarchy(SmallOptions(), rng1);
+  auto b = GenerateEnterpriseHierarchy(SmallOptions(), rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->edge_count(), b->edge_count());
+  for (graph::NodeId v = 0; v < a->node_count(); ++v) {
+    ASSERT_EQ(a->children(v).size(), b->children(v).size());
+  }
+}
+
+TEST(EnterpriseTest, ValidatesOptions) {
+  Random rng(4);
+  EnterpriseOptions opt = SmallOptions();
+  opt.top_level_groups = 0;
+  EXPECT_FALSE(GenerateEnterpriseHierarchy(opt, rng).ok());
+  opt = SmallOptions();
+  opt.groups = 2;
+  opt.top_level_groups = 8;
+  EXPECT_FALSE(GenerateEnterpriseHierarchy(opt, rng).ok());
+  opt = SmallOptions();
+  opt.individuals = 0;
+  EXPECT_FALSE(GenerateEnterpriseHierarchy(opt, rng).ok());
+  opt = SmallOptions();
+  opt.max_group_depth = 0;
+  EXPECT_FALSE(GenerateEnterpriseHierarchy(opt, rng).ok());
+}
+
+TEST(EnterpriseTest, StatsReflectShape) {
+  Random rng(5);
+  auto dag = GenerateEnterpriseHierarchy(SmallOptions(), rng);
+  ASSERT_TRUE(dag.ok());
+  const EnterpriseStats stats = ComputeEnterpriseStats(*dag);
+  EXPECT_EQ(stats.nodes, dag->node_count());
+  EXPECT_EQ(stats.edges, dag->edge_count());
+  EXPECT_EQ(stats.sinks, dag->Sinks().size());
+  EXPECT_EQ(stats.roots, dag->Roots().size());
+  EXPECT_GE(stats.min_sink_depth, 1u);
+  EXPECT_LE(stats.max_sink_depth, 7u);  // max_group_depth + 1.
+  EXPECT_GE(stats.max_sink_depth, stats.min_sink_depth);
+}
+
+// The Livelink-scale defaults must reproduce the published shape:
+// >8000 nodes, ~22,000 edges, 1582 sinks, depths within 1..11.
+TEST(EnterpriseTest, DefaultsMatchPublishedLivelinkShape) {
+  Random rng(6);
+  auto dag = GenerateEnterpriseHierarchy({}, rng);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_GT(dag->node_count(), 8000u);
+  EXPECT_NEAR(static_cast<double>(dag->edge_count()), 22000.0, 300.0);
+  EXPECT_GE(dag->Sinks().size(), 1582u);
+
+  const EnterpriseStats stats = ComputeEnterpriseStats(*dag);
+  EXPECT_GE(stats.min_sink_depth, 1u);
+  EXPECT_LE(stats.max_sink_depth, 11u);
+  EXPECT_GE(stats.max_sink_depth, 8u) << "deep nesting should occur";
+}
+
+}  // namespace
+}  // namespace ucr::workload

@@ -1,0 +1,124 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/ancestor_subgraph.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+TEST(KDagTest, CompleteStructure) {
+  Random rng(1);
+  auto dag = GenerateKDag(10, rng);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 10u);
+  EXPECT_EQ(dag->edge_count(), 45u);  // C(10, 2).
+  EXPECT_EQ(dag->Roots().size(), 1u);
+  EXPECT_EQ(dag->Sinks().size(), 1u);
+  EXPECT_EQ(dag->name(dag->Roots()[0]), "K0");
+  EXPECT_EQ(dag->name(dag->Sinks()[0]), "K9");
+}
+
+TEST(KDagTest, EveryPairConnected) {
+  Random rng(2);
+  auto dag = GenerateKDag(7, rng);
+  ASSERT_TRUE(dag.ok());
+  for (NodeId i = 0; i < 7; ++i) {
+    for (NodeId j = i + 1; j < 7; ++j) {
+      EXPECT_TRUE(dag->HasEdge(i, j) || dag->HasEdge(j, i));
+    }
+  }
+}
+
+TEST(KDagTest, RootToSinkPathsAreExponential) {
+  Random rng(3);
+  auto dag = GenerateKDag(12, rng);
+  ASSERT_TRUE(dag.ok());
+  const AncestorSubgraph sub(*dag, dag->Sinks()[0]);
+  const LocalId root = sub.ToLocal(dag->Roots()[0]);
+  EXPECT_EQ(sub.path_count(root), 1ull << 10);  // 2^(n-2).
+}
+
+TEST(KDagTest, RejectsTooSmall) {
+  Random rng(4);
+  EXPECT_FALSE(GenerateKDag(1, rng).ok());
+  EXPECT_TRUE(GenerateKDag(2, rng).ok());
+}
+
+TEST(LayeredDagTest, ShapeAndConnectivity) {
+  Random rng(5);
+  LayeredDagOptions opt;
+  opt.layers = 5;
+  opt.nodes_per_layer = 7;
+  auto dag = GenerateLayeredDag(opt, rng);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 35u);
+  // Every non-layer-0 node has at least one parent (connectivity
+  // guarantee), so roots are only in layer 0.
+  EXPECT_LE(dag->Roots().size(), 7u);
+  for (NodeId r : dag->Roots()) {
+    EXPECT_EQ(dag->name(r).substr(0, 2), "L0");
+  }
+}
+
+TEST(LayeredDagTest, RejectsZeroDimensions) {
+  Random rng(6);
+  EXPECT_FALSE(GenerateLayeredDag({.layers = 0}, rng).ok());
+  EXPECT_FALSE(
+      GenerateLayeredDag({.layers = 2, .nodes_per_layer = 0}, rng).ok());
+}
+
+TEST(LayeredDagTest, DeterministicForSeed) {
+  Random rng1(7);
+  Random rng2(7);
+  auto a = GenerateLayeredDag({}, rng1);
+  auto b = GenerateLayeredDag({}, rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->edge_count(), b->edge_count());
+  for (NodeId v = 0; v < a->node_count(); ++v) {
+    ASSERT_EQ(a->children(v).size(), b->children(v).size());
+    for (size_t i = 0; i < a->children(v).size(); ++i) {
+      EXPECT_EQ(a->children(v)[i], b->children(v)[i]);
+    }
+  }
+}
+
+TEST(RandomTreeTest, TreeInvariants) {
+  Random rng(8);
+  auto dag = GenerateRandomTree(50, rng);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 50u);
+  EXPECT_EQ(dag->edge_count(), 49u);
+  EXPECT_EQ(dag->Roots().size(), 1u);
+  // Every non-root has exactly one parent.
+  for (NodeId v = 1; v < 50; ++v) {
+    EXPECT_EQ(dag->parents(v).size(), 1u);
+  }
+}
+
+TEST(RandomTreeTest, SingleNode) {
+  Random rng(9);
+  auto dag = GenerateRandomTree(1, rng);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 1u);
+  EXPECT_EQ(dag->edge_count(), 0u);
+}
+
+TEST(DiamondStackTest, Shape) {
+  auto dag = GenerateDiamondStack(3);
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 10u);  // 3k + 1.
+  EXPECT_EQ(dag->edge_count(), 12u);  // 4 per diamond.
+  EXPECT_EQ(dag->Roots().size(), 1u);
+  EXPECT_EQ(dag->Sinks().size(), 1u);
+  EXPECT_EQ(dag->name(dag->Sinks()[0]), "Dsink");
+}
+
+TEST(DiamondStackTest, RejectsZero) {
+  EXPECT_FALSE(GenerateDiamondStack(0).ok());
+}
+
+}  // namespace
+}  // namespace ucr::graph

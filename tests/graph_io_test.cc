@@ -1,0 +1,103 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesStructureAndIds) {
+  Random rng(1);
+  auto original = GenerateLayeredDag({.layers = 3, .nodes_per_layer = 4}, rng);
+  ASSERT_TRUE(original.ok());
+
+  const std::string text = ToEdgeListText(*original);
+  auto parsed = FromEdgeListText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->node_count(), original->node_count());
+  EXPECT_EQ(parsed->edge_count(), original->edge_count());
+  for (NodeId v = 0; v < original->node_count(); ++v) {
+    EXPECT_EQ(parsed->name(v), original->name(v)) << "id stability";
+    ASSERT_EQ(parsed->children(v).size(), original->children(v).size());
+    for (size_t i = 0; i < original->children(v).size(); ++i) {
+      EXPECT_EQ(parsed->children(v)[i], original->children(v)[i]);
+    }
+  }
+}
+
+TEST(GraphIoTest, ParsesHandWrittenInput) {
+  auto dag = FromEdgeListText(
+      "# a comment\n"
+      "\n"
+      "node isolated\n"
+      "edge a b\n"
+      "edge a c\n");
+  ASSERT_TRUE(dag.ok());
+  EXPECT_EQ(dag->node_count(), 4u);
+  EXPECT_EQ(dag->edge_count(), 2u);
+  EXPECT_EQ(dag->FindNode("isolated"), 0u);
+}
+
+TEST(GraphIoTest, ReportsLineNumbersOnErrors) {
+  auto bad = FromEdgeListText("node a\nedge a\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsUnknownDirective) {
+  auto bad = FromEdgeListText("vertex a\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("unknown directive"),
+            std::string::npos);
+}
+
+TEST(GraphIoTest, RejectsCycle) {
+  auto bad = FromEdgeListText("edge a b\nedge b a\n");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+TEST(GraphIoTest, RejectsDuplicateEdgeWithLocation) {
+  auto bad = FromEdgeListText("edge a b\nedge a b\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, DotOutputContainsAllEdges) {
+  DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("g1", "u1").ok());
+  ASSERT_TRUE(b.AddEdge("g1", "u2").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  const std::string dot = ToDot(*dag);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"g1\" -> \"u1\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"g1\" -> \"u2\";"), std::string::npos);
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Random rng(2);
+  auto dag = GenerateRandomTree(20, rng);
+  ASSERT_TRUE(dag.ok());
+  const std::string path = ::testing::TempDir() + "/ucr_graph_io_test.sdag";
+  ASSERT_TRUE(WriteEdgeListFile(*dag, path).ok());
+  auto reread = ReadEdgeListFile(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->node_count(), 20u);
+  EXPECT_EQ(reread->edge_count(), 19u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  auto missing = ReadEdgeListFile("/nonexistent/definitely/not/here.sdag");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ucr::graph

@@ -1,0 +1,177 @@
+// Randomized structural invariants of the graph substrate — the
+// quantities (path counts, distances, the d metric) that the paper's
+// complexity analysis and Figures 6/7 are built on.
+
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+Dag RandomDag(Random& rng) {
+  LayeredDagOptions opt;
+  opt.layers = 2 + static_cast<size_t>(rng.Uniform(4));
+  opt.nodes_per_layer = 2 + static_cast<size_t>(rng.Uniform(5));
+  opt.edge_probability = 0.35;
+  opt.skip_edge_probability = 0.2;
+  auto dag = GenerateLayeredDag(opt, rng);
+  EXPECT_TRUE(dag.ok());
+  return std::move(dag).value();
+}
+
+/// Brute-force path statistics from `source` to `sink` over the Dag.
+struct PathStats {
+  uint64_t count = 0;
+  uint64_t total_length = 0;
+  uint32_t shortest = UINT32_MAX;
+  uint32_t longest = 0;
+};
+
+PathStats BruteForce(const Dag& dag, NodeId source, NodeId sink) {
+  PathStats stats;
+  std::function<void(NodeId, uint32_t)> dfs = [&](NodeId v, uint32_t len) {
+    if (v == sink) {
+      ++stats.count;
+      stats.total_length += len;
+      stats.shortest = std::min(stats.shortest, len);
+      stats.longest = std::max(stats.longest, len);
+      return;
+    }
+    for (NodeId c : dag.children(v)) dfs(c, len + 1);
+  };
+  dfs(source, 0);
+  return stats;
+}
+
+TEST(GraphPropertyTest, SubgraphMetricsMatchBruteForce) {
+  Random rng(123);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Dag dag = RandomDag(rng);
+    for (NodeId sink : dag.Sinks()) {
+      const AncestorSubgraph sub(dag, sink);
+      for (LocalId v = 0; v < sub.member_count(); ++v) {
+        const PathStats expected =
+            BruteForce(dag, sub.global_id(v), sink);
+        ASSERT_GT(expected.count, 0u)
+            << "every member must reach the sink";
+        EXPECT_EQ(sub.path_count(v), expected.count);
+        EXPECT_EQ(sub.total_path_length(v), expected.total_length);
+        EXPECT_EQ(sub.shortest_distance_to_sink(v), expected.shortest);
+        EXPECT_EQ(sub.longest_distance_to_sink(v), expected.longest);
+      }
+    }
+  }
+}
+
+TEST(GraphPropertyTest, MembershipEqualsReverseReachability) {
+  Random rng(456);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Dag dag = RandomDag(rng);
+    const NodeId sink = dag.Sinks().front();
+    const AncestorSubgraph sub(dag, sink);
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      const bool reaches = BruteForce(dag, v, sink).count > 0;
+      EXPECT_EQ(sub.ToLocal(v) != kInvalidNode, reaches) << dag.name(v);
+    }
+  }
+}
+
+TEST(GraphPropertyTest, KDagClosedForms) {
+  // KDAG(n): paths from position i to the sink are 2^(n-i-2) (each
+  // intermediate node independently on/off the path), total C(n,2)
+  // edges, and the root-to-sink shortest/longest paths are 1 / n-1.
+  Random rng(789);
+  for (size_t n : {size_t{5}, size_t{8}, size_t{11}}) {
+    auto dag = GenerateKDag(n, rng);
+    ASSERT_TRUE(dag.ok());
+    const NodeId sink = static_cast<NodeId>(n - 1);
+    const AncestorSubgraph sub(*dag, sink);
+    EXPECT_EQ(sub.member_count(), n);
+    EXPECT_EQ(dag->edge_count(), n * (n - 1) / 2);
+    for (NodeId i = 0; i + 1 < n; ++i) {
+      const LocalId local = sub.ToLocal(i);
+      const uint64_t expected =
+          i + 2 <= n ? (1ull << (n - i - 2)) : 1ull;
+      EXPECT_EQ(sub.path_count(local), expected) << "position " << i;
+      EXPECT_EQ(sub.shortest_distance_to_sink(local), 1u);
+      EXPECT_EQ(sub.longest_distance_to_sink(local), n - 1 - i);
+    }
+  }
+}
+
+TEST(GraphPropertyTest, TopoOrderAgreesBetweenDagAndSubgraph) {
+  Random rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag dag = RandomDag(rng);
+    // Whole-graph order respects edges (checked in dag_test); here:
+    // the sub-graph orders of all sinks are consistent projections.
+    for (NodeId sink : dag.Sinks()) {
+      const AncestorSubgraph sub(dag, sink);
+      std::vector<size_t> pos(sub.member_count());
+      for (size_t i = 0; i < sub.topological_order().size(); ++i) {
+        pos[sub.topological_order()[i]] = i;
+      }
+      for (LocalId v = 0; v < sub.member_count(); ++v) {
+        for (LocalId c : sub.children(v)) {
+          EXPECT_LT(pos[v], pos[c]);
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphPropertyTest, RootsPartitionBySinkReachability) {
+  // Every root of a sink's sub-graph is a root of the full graph, and
+  // every full-graph root that reaches the sink appears.
+  Random rng(654);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag dag = RandomDag(rng);
+    const NodeId sink = dag.Sinks().back();
+    const AncestorSubgraph sub(dag, sink);
+    size_t reaching_roots = 0;
+    for (NodeId r : dag.Roots()) {
+      if (BruteForce(dag, r, sink).count > 0) ++reaching_roots;
+    }
+    // The sink itself can be a root only in degenerate graphs.
+    size_t sub_roots = sub.roots().size();
+    EXPECT_EQ(sub_roots, reaching_roots == 0 ? 1 : reaching_roots);
+    for (LocalId r : sub.roots()) {
+      if (sub.global_id(r) != sink) {
+        EXPECT_TRUE(dag.is_root(sub.global_id(r)));
+      }
+    }
+  }
+}
+
+TEST(GraphPropertyTest, EdgeCountConsistency) {
+  Random rng(987);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag dag = RandomDag(rng);
+    size_t total_children = 0;
+    size_t total_parents = 0;
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      total_children += dag.children(v).size();
+      total_parents += dag.parents(v).size();
+    }
+    EXPECT_EQ(total_children, dag.edge_count());
+    EXPECT_EQ(total_parents, dag.edge_count());
+    // Parent/child lists are mutually consistent.
+    for (NodeId v = 0; v < dag.node_count(); ++v) {
+      for (NodeId c : dag.children(v)) {
+        auto parents = dag.parents(c);
+        EXPECT_NE(std::find(parents.begin(), parents.end(), v),
+                  parents.end());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucr::graph

@@ -1,0 +1,155 @@
+// Robustness fuzzing of every text-format loader: random mutations of
+// valid inputs (byte flips, truncations, line shuffles, duplications)
+// must always produce either a successful parse or a clean error —
+// never a crash, hang, or invariant break in the parsed result.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acm/acm.h"
+#include "core/mixed_system.h"
+#include "core/paper_example.h"
+#include "core/storage.h"
+#include "core/system.h"
+#include "graph/io.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace ucr {
+namespace {
+
+std::string Mutate(const std::string& input, Random& rng) {
+  std::string out = input;
+  switch (rng.Uniform(5)) {
+    case 0: {  // Byte flip.
+      if (out.empty()) break;
+      const size_t pos = static_cast<size_t>(rng.Uniform(out.size()));
+      out[pos] = static_cast<char>(' ' + rng.Uniform(95));
+      break;
+    }
+    case 1: {  // Truncation.
+      out.resize(static_cast<size_t>(rng.Uniform(out.size() + 1)));
+      break;
+    }
+    case 2: {  // Delete one line.
+      std::vector<std::string> lines = Split(out, '\n');
+      if (lines.empty()) break;
+      lines.erase(lines.begin() +
+                  static_cast<long>(rng.Uniform(lines.size())));
+      out = Join(lines, "\n");
+      break;
+    }
+    case 3: {  // Duplicate one line.
+      std::vector<std::string> lines = Split(out, '\n');
+      if (lines.empty()) break;
+      const size_t pick = static_cast<size_t>(rng.Uniform(lines.size()));
+      lines.insert(lines.begin() + static_cast<long>(pick), lines[pick]);
+      out = Join(lines, "\n");
+      break;
+    }
+    case 4: {  // Shuffle all lines.
+      std::vector<std::string> lines = Split(out, '\n');
+      rng.Shuffle(lines);
+      out = Join(lines, "\n");
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(LoaderFuzzTest, GraphLoaderNeverCrashes) {
+  const core::PaperExample ex = core::MakePaperExample();
+  const std::string valid = graph::ToEdgeListText(ex.dag);
+  Random rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    for (uint64_t i = 0; i <= rng.Uniform(3); ++i) {
+      mutated = Mutate(mutated, rng);
+    }
+    auto result = graph::FromEdgeListText(mutated);
+    if (result.ok()) {
+      // A successful parse must uphold the structure invariants.
+      EXPECT_EQ(result->TopologicalOrder().size(), result->node_count());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(LoaderFuzzTest, AcmLoaderNeverCrashes) {
+  const core::PaperExample ex = core::MakePaperExample();
+  const std::string valid = acm::ToText(ex.eacm, ex.dag);
+  Random rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string mutated = Mutate(valid, rng);
+    auto result = acm::FromText(mutated, ex.dag);
+    if (result.ok()) {
+      EXPECT_LE(result->size(), ex.eacm.size() + 2);
+    }
+  }
+}
+
+TEST(LoaderFuzzTest, SystemLoaderNeverCrashes) {
+  core::PaperExample ex = core::MakePaperExample();
+  core::AccessControlSystem system(std::move(ex.dag));
+  ASSERT_TRUE(system.Grant("S2", "obj", "read").ok());
+  ASSERT_TRUE(system.DenyAccess("S5", "obj", "read").ok());
+  const std::string valid = core::SaveSystemToText(system);
+  Random rng(3);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    for (uint64_t i = 0; i <= rng.Uniform(2); ++i) {
+      mutated = Mutate(mutated, rng);
+    }
+    auto result = core::LoadSystemFromText(mutated);
+    if (result.ok()) {
+      // Loaded systems must be fully functional.
+      for (const core::Strategy& s : core::AllStrategies()) {
+        auto mode = result->CheckAccessByName("User", "obj", "read", s);
+        if (!mode.ok()) break;  // Names may have mutated away; fine.
+      }
+    }
+  }
+}
+
+TEST(LoaderFuzzTest, MixedSystemLoaderNeverCrashes) {
+  auto subjects = graph::FromEdgeListText("edge g u\n");
+  auto objects = graph::FromEdgeListText("edge folder doc\n");
+  ASSERT_TRUE(subjects.ok());
+  ASSERT_TRUE(objects.ok());
+  core::MixedAccessControlSystem mixed(std::move(subjects).value(),
+                                       std::move(objects).value());
+  ASSERT_TRUE(mixed.Grant("g", "folder", "read").ok());
+  const std::string valid = core::SaveMixedSystemToText(mixed);
+  Random rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::string mutated = Mutate(valid, rng);
+    auto result = core::LoadMixedSystemFromText(mutated);
+    if (result.ok()) {
+      EXPECT_LE(result->authorization_count(), 3u);
+    }
+  }
+}
+
+TEST(SerializationGuardTest, NamesWithWhitespaceRejectedBeforeWrite) {
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("ok", "has space").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  EXPECT_FALSE(graph::IsSerializableName("has space"));
+  EXPECT_FALSE(graph::IsSerializableName(""));
+  EXPECT_FALSE(graph::IsSerializableName("#comment"));
+  EXPECT_TRUE(graph::IsSerializableName("Payroll_Team-2.0"));
+  EXPECT_EQ(graph::ValidateSerializable(*dag).code(),
+            StatusCode::kInvalidArgument);
+  const std::string path = ::testing::TempDir() + "/ucr_guard_test.sdag";
+  EXPECT_FALSE(graph::WriteEdgeListFile(*dag, path).ok());
+
+  core::AccessControlSystem system(std::move(dag).value());
+  EXPECT_FALSE(core::SaveSystemToFile(system, path).ok());
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,154 @@
+// Monotonicity of the whole framework: adding a positive explicit
+// authorization can only preserve or *expand* effective access — it
+// never revokes anyone, under any of the 48 strategies (and dually,
+// adding a denial never grants anyone). Sketch of why: a new '+' only
+// adds positive tuples and can only replace root 'd' markers; at every
+// decision point of Fig. 4 (majority counts, locality-filtered level,
+// Auth set) extra positive weight can flip '-' to '+' but never the
+// reverse. These tests probe the claim with randomized hierarchies —
+// a counterexample would mean one of the policies silently privileges
+// removal, which would be a real framework finding.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acm/acm.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+
+struct Trial {
+  graph::Dag dag;
+  acm::ExplicitAcm eacm;
+  acm::ObjectId obj;
+  acm::RightId right;
+};
+
+Trial MakeTrial(Random& rng) {
+  auto dag = graph::GenerateLayeredDag(
+      {.layers = 2 + static_cast<size_t>(rng.Uniform(3)),
+       .nodes_per_layer = 2 + static_cast<size_t>(rng.Uniform(4)),
+       .skip_edge_probability = 0.25},
+      rng);
+  EXPECT_TRUE(dag.ok());
+  Trial t{std::move(dag).value(), {}, 0, 0};
+  t.obj = t.eacm.InternObject("obj").value();
+  t.right = t.eacm.InternRight("read").value();
+  for (graph::NodeId v = 0; v < t.dag.node_count(); ++v) {
+    if (rng.Bernoulli(0.25)) {
+      EXPECT_TRUE(t.eacm
+                      .Set(v, t.obj, t.right,
+                           rng.Bernoulli(0.5) ? Mode::kPositive
+                                              : Mode::kNegative)
+                      .ok());
+    }
+  }
+  return t;
+}
+
+std::vector<Mode> AllDecisions(const Trial& t, const Strategy& s) {
+  std::vector<Mode> out;
+  for (graph::NodeId v = 0; v < t.dag.node_count(); ++v) {
+    auto mode = ResolveAccess(t.dag, t.eacm, v, t.obj, t.right, s);
+    EXPECT_TRUE(mode.ok());
+    out.push_back(*mode);
+  }
+  return out;
+}
+
+TEST(MonotonicityTest, AddingAGrantNeverRevokesAnyone) {
+  Random rng(31415);
+  for (int trial = 0; trial < 12; ++trial) {
+    Trial t = MakeTrial(rng);
+    // Pick an unlabeled subject and grant it.
+    graph::NodeId target = graph::kInvalidNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto v =
+          static_cast<graph::NodeId>(rng.Uniform(t.dag.node_count()));
+      if (!t.eacm.Get(v, t.obj, t.right).has_value()) {
+        target = v;
+        break;
+      }
+    }
+    if (target == graph::kInvalidNode) continue;
+
+    for (const Strategy& s : AllStrategies()) {
+      const std::vector<Mode> before = AllDecisions(t, s);
+      ASSERT_TRUE(t.eacm.Set(target, t.obj, t.right, Mode::kPositive).ok());
+      const std::vector<Mode> after = AllDecisions(t, s);
+      for (size_t v = 0; v < before.size(); ++v) {
+        EXPECT_FALSE(before[v] == Mode::kPositive &&
+                     after[v] == Mode::kNegative)
+            << "granting " << t.dag.name(target) << " revoked "
+            << t.dag.name(static_cast<graph::NodeId>(v)) << " under "
+            << s.ToMnemonic();
+      }
+      ASSERT_TRUE(t.eacm.Erase(target, t.obj, t.right));
+    }
+  }
+}
+
+TEST(MonotonicityTest, AddingADenialNeverGrantsAnyone) {
+  Random rng(27182);
+  for (int trial = 0; trial < 12; ++trial) {
+    Trial t = MakeTrial(rng);
+    graph::NodeId target = graph::kInvalidNode;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto v =
+          static_cast<graph::NodeId>(rng.Uniform(t.dag.node_count()));
+      if (!t.eacm.Get(v, t.obj, t.right).has_value()) {
+        target = v;
+        break;
+      }
+    }
+    if (target == graph::kInvalidNode) continue;
+
+    for (const Strategy& s : AllStrategies()) {
+      const std::vector<Mode> before = AllDecisions(t, s);
+      ASSERT_TRUE(t.eacm.Set(target, t.obj, t.right, Mode::kNegative).ok());
+      const std::vector<Mode> after = AllDecisions(t, s);
+      for (size_t v = 0; v < before.size(); ++v) {
+        EXPECT_FALSE(before[v] == Mode::kNegative &&
+                     after[v] == Mode::kPositive)
+            << "denying " << t.dag.name(target) << " granted "
+            << t.dag.name(static_cast<graph::NodeId>(v)) << " under "
+            << s.ToMnemonic();
+      }
+      ASSERT_TRUE(t.eacm.Erase(target, t.obj, t.right));
+    }
+  }
+}
+
+// Corollary at the strategy level, on the unchanged matrix: relaxing
+// only the preference from '-' to '+' never revokes (tested already in
+// audit_test via RankStrategies counts; here per subject).
+TEST(MonotonicityTest, PreferenceRelaxationIsPerSubjectMonotone) {
+  Random rng(16180);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Trial t = MakeTrial(rng);
+    for (const Strategy& s : AllStrategies()) {
+      if (s.preference_rule != PreferenceRule::kNegative) continue;
+      Strategy relaxed = s;
+      relaxed.preference_rule = PreferenceRule::kPositive;
+      const std::vector<Mode> strict = AllDecisions(t, s);
+      const std::vector<Mode> open = AllDecisions(t, relaxed);
+      for (size_t v = 0; v < strict.size(); ++v) {
+        EXPECT_FALSE(strict[v] == Mode::kPositive &&
+                     open[v] == Mode::kNegative)
+            << s.ToMnemonic() << " -> " << relaxed.ToMnemonic() << " at "
+            << t.dag.name(static_cast<graph::NodeId>(v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucr::core

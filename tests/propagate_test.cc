@@ -1,0 +1,332 @@
+#include "core/propagate.h"
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acm/mode.h"
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+using acm::PropagatedMode;
+using graph::AncestorSubgraph;
+using graph::Dag;
+using graph::LocalId;
+
+using Labels = std::vector<std::optional<Mode>>;
+
+std::optional<PropagatedMode> SeedOf(const AncestorSubgraph& sub,
+                                     const Labels& labels, LocalId v) {
+  if (labels[sub.global_id(v)].has_value()) {
+    return acm::ToPropagated(*labels[sub.global_id(v)]);
+  }
+  if (sub.parents(v).empty()) return PropagatedMode::kDefault;
+  return std::nullopt;
+}
+
+/// Brute-force oracle: enumerates every path explicitly and applies
+/// the per-path propagation rule. Exponential; small graphs only.
+RightsBag OracleBag(const AncestorSubgraph& sub, const Labels& labels,
+                    PropagationMode mode) {
+  RightsBag bag;
+  const LocalId sink = sub.sink();
+
+  // DFS from `node` toward the sink; `blocked` becomes true when the
+  // path crosses a labeled intermediate node (kSecondWins only).
+  std::function<void(LocalId, uint32_t, PropagatedMode, bool)> dfs =
+      [&](LocalId node, uint32_t dist, PropagatedMode label, bool blocked) {
+        if (node == sink) {
+          if (!blocked) bag.Add(dist, label, 1);
+          return;
+        }
+        bool next_blocked = blocked;
+        if (mode == PropagationMode::kSecondWins && dist > 0 &&
+            SeedOf(sub, labels, node).has_value()) {
+          next_blocked = true;  // A more specific label replaces this one.
+        }
+        for (LocalId c : sub.children(node)) {
+          dfs(c, dist + 1, label, next_blocked);
+        }
+      };
+
+  for (LocalId v = 0; v < sub.member_count(); ++v) {
+    const std::optional<PropagatedMode> seed = SeedOf(sub, labels, v);
+    if (!seed.has_value()) continue;
+    if (mode == PropagationMode::kFirstWins && !sub.parents(v).empty()) {
+      continue;  // Only roots are "first" — every root carries a seed.
+    }
+    dfs(v, 0, *seed, /*blocked=*/false);
+  }
+  bag.Normalize();
+  return bag;
+}
+
+Labels RandomLabels(const Dag& dag, double rate, Random& rng) {
+  Labels labels(dag.node_count());
+  for (size_t v = 0; v < dag.node_count(); ++v) {
+    if (rng.Bernoulli(rate)) {
+      labels[v] = rng.Bernoulli(0.5) ? Mode::kPositive : Mode::kNegative;
+    }
+  }
+  return labels;
+}
+
+TEST(PropagateTest, SingleUnlabeledNodeGetsDefault) {
+  graph::DagBuilder b;
+  b.AddNode("only");
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  const AncestorSubgraph sub(*dag, 0);
+  const Labels labels(1);
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  ASSERT_EQ(bag.GroupCount(), 1u);
+  EXPECT_EQ(bag.entries()[0].dis, 0u);
+  EXPECT_EQ(bag.entries()[0].mode, PropagatedMode::kDefault);
+}
+
+TEST(PropagateTest, SingleLabeledNodeKeepsItsLabel) {
+  graph::DagBuilder b;
+  b.AddNode("only");
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  const AncestorSubgraph sub(*dag, 0);
+  Labels labels(1);
+  labels[0] = Mode::kNegative;
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  ASSERT_EQ(bag.GroupCount(), 1u);
+  EXPECT_EQ(bag.entries()[0].mode, PropagatedMode::kNegative);
+  EXPECT_EQ(bag.entries()[0].dis, 0u);
+}
+
+TEST(PropagateTest, SubjectOwnLabelAtDistanceZero) {
+  // The query subject's own explicit label must appear at distance 0 —
+  // the documented fix to Fig. 5's seed join (see relalg_impl.h).
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("g", "u").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(2);
+  labels[dag->FindNode("u")] = Mode::kPositive;
+  labels[dag->FindNode("g")] = Mode::kNegative;
+  const AncestorSubgraph sub(*dag, dag->FindNode("u"));
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  RightsBag expected;
+  expected.Add(0, PropagatedMode::kPositive);
+  expected.Add(1, PropagatedMode::kNegative);
+  expected.Normalize();
+  EXPECT_EQ(bag, expected) << bag.ToString();
+}
+
+TEST(PropagateTest, MultiplicityOnDiamond) {
+  // Two same-length paths from one source yield one group with
+  // multiplicity 2 — per-path bag semantics.
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("t", "a").ok());
+  ASSERT_TRUE(b.AddEdge("t", "b").ok());
+  ASSERT_TRUE(b.AddEdge("a", "s").ok());
+  ASSERT_TRUE(b.AddEdge("b", "s").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(4);
+  labels[dag->FindNode("t")] = Mode::kPositive;
+  const AncestorSubgraph sub(*dag, dag->FindNode("s"));
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  ASSERT_EQ(bag.GroupCount(), 1u);
+  EXPECT_EQ(bag.entries()[0].dis, 2u);
+  EXPECT_EQ(bag.entries()[0].multiplicity, 2u);
+}
+
+TEST(PropagateTest, DiamondStackMultiplicityIsExponential) {
+  auto dag = graph::GenerateDiamondStack(16);
+  ASSERT_TRUE(dag.ok());
+  Labels labels(dag->node_count());
+  labels[dag->FindNode("D0t")] = Mode::kPositive;
+  const AncestorSubgraph sub(*dag, dag->FindNode("Dsink"));
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  // The top's label reaches the sink along 2^16 paths of length 32;
+  // a/b nodes are unlabeled non-roots, so nothing else propagates.
+  ASSERT_EQ(bag.GroupCount(), 1u);
+  EXPECT_EQ(bag.entries()[0].dis, 32u);
+  EXPECT_EQ(bag.entries()[0].multiplicity, 1u << 16);
+}
+
+TEST(PropagateTest, LiteralBudgetGuardTrips) {
+  auto dag = graph::GenerateDiamondStack(24);
+  ASSERT_TRUE(dag.ok());
+  Labels labels(dag->node_count());
+  labels[dag->FindNode("D0t")] = Mode::kPositive;
+  const AncestorSubgraph sub(*dag, dag->FindNode("Dsink"));
+  auto result = PropagateLiteral(sub, labels, {}, nullptr,
+                                 /*max_tuples=*/10'000);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PropagateTest, LiteralStatsCountSeedsPlusMoves) {
+  // g -> u: one explicit label on g, u unlabeled non-root. Seeds: g's
+  // label (1). Moves: g->u (1). Total tuples processed: 2.
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("g", "u").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(2);
+  labels[dag->FindNode("g")] = Mode::kPositive;
+  const AncestorSubgraph sub(*dag, dag->FindNode("u"));
+  PropagateStats stats;
+  ASSERT_TRUE(PropagateLiteral(sub, labels, {}, &stats).ok());
+  EXPECT_EQ(stats.tuples_processed, 2u);
+  EXPECT_EQ(stats.max_distance, 1u);
+}
+
+class PropagationModeTest
+    : public ::testing::TestWithParam<PropagationMode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModes, PropagationModeTest,
+                         ::testing::Values(PropagationMode::kBoth,
+                                           PropagationMode::kFirstWins,
+                                           PropagationMode::kSecondWins),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case PropagationMode::kBoth:
+                               return "Both";
+                             case PropagationMode::kFirstWins:
+                               return "FirstWins";
+                             case PropagationMode::kSecondWins:
+                               return "SecondWins";
+                           }
+                           return "Unknown";
+                         });
+
+// Differential test: aggregated engine == literal engine == path-
+// enumeration oracle, for every propagation mode, on random graphs.
+TEST_P(PropagationModeTest, EnginesAgreeWithOracleOnRandomGraphs) {
+  const PropagationMode mode = GetParam();
+  Random rng(20250705);
+  for (int trial = 0; trial < 40; ++trial) {
+    graph::LayeredDagOptions opt;
+    opt.layers = 2 + static_cast<size_t>(rng.Uniform(4));
+    opt.nodes_per_layer = 2 + static_cast<size_t>(rng.Uniform(4));
+    opt.edge_probability = 0.4;
+    opt.skip_edge_probability = 0.2;
+    auto dag = graph::GenerateLayeredDag(opt, rng);
+    ASSERT_TRUE(dag.ok());
+    const Labels labels = RandomLabels(*dag, 0.3, rng);
+
+    for (graph::NodeId sink : dag->Sinks()) {
+      const AncestorSubgraph sub(*dag, sink);
+      PropagateOptions options;
+      options.propagation_mode = mode;
+
+      const RightsBag oracle = OracleBag(sub, labels, mode);
+      const RightsBag aggregated = PropagateAggregated(sub, labels, options);
+      auto literal = PropagateLiteral(sub, labels, options);
+      ASSERT_TRUE(literal.ok());
+
+      EXPECT_EQ(aggregated, oracle)
+          << "trial " << trial << " sink " << dag->name(sink)
+          << "\naggregated: " << aggregated.ToString()
+          << "\noracle:     " << oracle.ToString();
+      EXPECT_EQ(*literal, oracle)
+          << "trial " << trial << " sink " << dag->name(sink)
+          << "\nliteral: " << literal->ToString()
+          << "\noracle:  " << oracle.ToString();
+    }
+  }
+}
+
+TEST_P(PropagationModeTest, WholeDagMatchesPerSubjectExtraction) {
+  const PropagationMode mode = GetParam();
+  Random rng(77);
+  graph::LayeredDagOptions opt;
+  opt.layers = 4;
+  opt.nodes_per_layer = 5;
+  opt.skip_edge_probability = 0.15;
+  auto dag = graph::GenerateLayeredDag(opt, rng);
+  ASSERT_TRUE(dag.ok());
+  const Labels labels = RandomLabels(*dag, 0.25, rng);
+
+  PropagateOptions options;
+  options.propagation_mode = mode;
+  const std::vector<RightsBag> whole =
+      PropagateWholeDag(*dag, labels, options);
+  ASSERT_EQ(whole.size(), dag->node_count());
+
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    const AncestorSubgraph sub(*dag, v);
+    const RightsBag per_subject = PropagateAggregated(sub, labels, options);
+    EXPECT_EQ(whole[v], per_subject)
+        << "node " << dag->name(v) << "\nwhole: " << whole[v].ToString()
+        << "\nper-subject: " << per_subject.ToString();
+  }
+}
+
+TEST(PropagateModeSemanticsTest, SecondWinsBlocksThroughLabeledNode) {
+  // r(+) -> m(-) -> s: under kSecondWins, r's '+' is blocked by the
+  // label on m, so s sees only '-' at distance 1.
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("r", "m").ok());
+  ASSERT_TRUE(b.AddEdge("m", "s").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(3);
+  labels[dag->FindNode("r")] = Mode::kPositive;
+  labels[dag->FindNode("m")] = Mode::kNegative;
+  const AncestorSubgraph sub(*dag, dag->FindNode("s"));
+  PropagateOptions options;
+  options.propagation_mode = PropagationMode::kSecondWins;
+  const RightsBag bag = PropagateAggregated(sub, labels, options);
+  RightsBag expected;
+  expected.Add(1, PropagatedMode::kNegative);
+  expected.Normalize();
+  EXPECT_EQ(bag, expected) << bag.ToString();
+}
+
+TEST(PropagateModeSemanticsTest, FirstWinsKeepsOnlyRootLabels) {
+  // Same chain: under kFirstWins only the root's '+' propagates; m's
+  // '-' never starts because r's label got there first.
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("r", "m").ok());
+  ASSERT_TRUE(b.AddEdge("m", "s").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(3);
+  labels[dag->FindNode("r")] = Mode::kPositive;
+  labels[dag->FindNode("m")] = Mode::kNegative;
+  const AncestorSubgraph sub(*dag, dag->FindNode("s"));
+  PropagateOptions options;
+  options.propagation_mode = PropagationMode::kFirstWins;
+  const RightsBag bag = PropagateAggregated(sub, labels, options);
+  RightsBag expected;
+  expected.Add(2, PropagatedMode::kPositive);
+  expected.Normalize();
+  EXPECT_EQ(bag, expected) << bag.ToString();
+}
+
+TEST(PropagateModeSemanticsTest, BothKeepsEverything) {
+  graph::DagBuilder b;
+  ASSERT_TRUE(b.AddEdge("r", "m").ok());
+  ASSERT_TRUE(b.AddEdge("m", "s").ok());
+  auto dag = std::move(b).Build();
+  ASSERT_TRUE(dag.ok());
+  Labels labels(3);
+  labels[dag->FindNode("r")] = Mode::kPositive;
+  labels[dag->FindNode("m")] = Mode::kNegative;
+  const AncestorSubgraph sub(*dag, dag->FindNode("s"));
+  const RightsBag bag = PropagateAggregated(sub, labels);
+  RightsBag expected;
+  expected.Add(2, PropagatedMode::kPositive);
+  expected.Add(1, PropagatedMode::kNegative);
+  expected.Normalize();
+  EXPECT_EQ(bag, expected) << bag.ToString();
+}
+
+}  // namespace
+}  // namespace ucr::core

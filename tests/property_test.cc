@@ -1,0 +1,257 @@
+// Property-based tests of framework-level invariants, swept over all
+// 48 canonical strategies (parameterized) and randomized inputs.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "acm/mode.h"
+#include "core/resolve.h"
+#include "core/rights_bag.h"
+#include "core/strategy.h"
+#include "util/random.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+using acm::PropagatedMode;
+
+RightsBag RandomBag(Random& rng, bool allow_defaults = true) {
+  RightsBag bag;
+  const size_t groups = rng.Uniform(6);  // Possibly empty.
+  for (size_t i = 0; i < groups; ++i) {
+    const uint32_t dis = static_cast<uint32_t>(rng.Uniform(5));
+    const uint64_t mult = 1 + rng.Uniform(3);
+    const uint64_t kind = rng.Uniform(allow_defaults ? 3 : 2);
+    const PropagatedMode mode = kind == 0   ? PropagatedMode::kPositive
+                                : kind == 1 ? PropagatedMode::kNegative
+                                            : PropagatedMode::kDefault;
+    bag.Add(dis, mode, mult);
+  }
+  bag.Normalize();
+  return bag;
+}
+
+PropagatedMode FlipMode(PropagatedMode m) {
+  if (m == PropagatedMode::kPositive) return PropagatedMode::kNegative;
+  if (m == PropagatedMode::kNegative) return PropagatedMode::kPositive;
+  return PropagatedMode::kDefault;
+}
+
+RightsBag FlipBag(const RightsBag& bag) {
+  RightsBag out;
+  for (const RightsEntry& e : bag.entries()) {
+    out.Add(e.dis, FlipMode(e.mode), e.multiplicity);
+  }
+  out.Normalize();
+  return out;
+}
+
+Strategy FlipStrategy(const Strategy& s) {
+  Strategy out = s;
+  if (s.default_rule == DefaultRule::kPositive) {
+    out.default_rule = DefaultRule::kNegative;
+  } else if (s.default_rule == DefaultRule::kNegative) {
+    out.default_rule = DefaultRule::kPositive;
+  }
+  out.preference_rule = s.preference_rule == PreferenceRule::kPositive
+                            ? PreferenceRule::kNegative
+                            : PreferenceRule::kPositive;
+  return out;
+}
+
+class AllStrategiesTest : public ::testing::TestWithParam<Strategy> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllStrategiesTest, ::testing::ValuesIn(AllStrategies()),
+    [](const auto& param_info) {
+      std::string name = param_info.param.ToMnemonic();
+      std::string out;
+      for (char c : name) {
+        if (c == '+') {
+          out += 'p';
+        } else if (c == '-') {
+          out += 'm';
+        } else {
+          out += c;
+        }
+      }
+      return out;
+    });
+
+// Sign duality: negating every label, the default mode, and the
+// preference mode negates the decision. This pins down that no step
+// of Resolve() silently privileges one sign.
+TEST_P(AllStrategiesTest, SignDuality) {
+  const Strategy s = GetParam();
+  const Strategy flipped = FlipStrategy(s);
+  Random rng(1000 + s.CanonicalIndex());
+  for (int trial = 0; trial < 200; ++trial) {
+    const RightsBag bag = RandomBag(rng);
+    const Mode a = Resolve(bag, s);
+    const Mode b = Resolve(FlipBag(bag), flipped);
+    ASSERT_EQ(a, acm::Negate(b))
+        << s.ToMnemonic() << " on " << bag.ToString();
+  }
+}
+
+// Unanimity: when every surviving tuple is positive (no '-' anywhere,
+// defaults positive or dropped) and at least one tuple survives, every
+// strategy grants.
+TEST_P(AllStrategiesTest, PositiveUnanimityGrants) {
+  const Strategy s = GetParam();
+  if (s.default_rule == DefaultRule::kNegative) {
+    GTEST_SKIP() << "negative defaults can inject '-' tuples";
+  }
+  Random rng(2000 + s.CanonicalIndex());
+  for (int trial = 0; trial < 100; ++trial) {
+    RightsBag bag;
+    const size_t groups = 1 + rng.Uniform(4);
+    for (size_t i = 0; i < groups; ++i) {
+      bag.Add(static_cast<uint32_t>(rng.Uniform(4)),
+              PropagatedMode::kPositive, 1 + rng.Uniform(2));
+    }
+    bag.Normalize();
+    ASSERT_EQ(Resolve(bag, s), Mode::kPositive)
+        << s.ToMnemonic() << " on " << bag.ToString();
+  }
+}
+
+// An all-defaults bag behaves like the default mode (or falls to the
+// preference when defaults are off).
+TEST_P(AllStrategiesTest, DefaultsOnlyBagFollowsDefaultRule) {
+  const Strategy s = GetParam();
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kDefault, 2);
+  bag.Add(3, PropagatedMode::kDefault, 1);
+  bag.Normalize();
+  const Mode got = Resolve(bag, s);
+  switch (s.default_rule) {
+    case DefaultRule::kPositive:
+      EXPECT_EQ(got, Mode::kPositive) << s.ToMnemonic();
+      break;
+    case DefaultRule::kNegative:
+      EXPECT_EQ(got, Mode::kNegative) << s.ToMnemonic();
+      break;
+    case DefaultRule::kNone:
+      EXPECT_EQ(got, s.preference_rule == PreferenceRule::kPositive
+                         ? Mode::kPositive
+                         : Mode::kNegative)
+          << s.ToMnemonic();
+      break;
+  }
+}
+
+// The empty bag always resolves to the preference mode — the only
+// deterministic policy that is defined on every input.
+TEST_P(AllStrategiesTest, EmptyBagFollowsPreference) {
+  const Strategy s = GetParam();
+  ResolveTrace trace;
+  const Mode got = Resolve(RightsBag{}, s, &trace);
+  EXPECT_EQ(got, s.preference_rule == PreferenceRule::kPositive
+                     ? Mode::kPositive
+                     : Mode::kNegative);
+  EXPECT_EQ(trace.returned_line, 9);
+}
+
+// Determinism across repeated evaluation (no hidden state).
+TEST_P(AllStrategiesTest, Deterministic) {
+  const Strategy s = GetParam();
+  Random rng(3000 + s.CanonicalIndex());
+  for (int trial = 0; trial < 50; ++trial) {
+    const RightsBag bag = RandomBag(rng);
+    EXPECT_EQ(Resolve(bag, s), Resolve(bag, s));
+  }
+}
+
+// Every non-canonical parameter combination (majority "after" with no
+// locality filter) behaves exactly like its canonical alias on every
+// input — the 54-combination parameter space really contains only 48
+// distinct strategies, as §2.2 claims.
+TEST(AliasEquivalenceTest, AllSixAliasesMatchCanonical) {
+  std::vector<Strategy> aliases;
+  for (DefaultRule d : {DefaultRule::kNone, DefaultRule::kPositive,
+                        DefaultRule::kNegative}) {
+    for (PreferenceRule p :
+         {PreferenceRule::kPositive, PreferenceRule::kNegative}) {
+      Strategy alias;
+      alias.default_rule = d;
+      alias.locality_rule = LocalityRule::kIdentity;
+      alias.majority_rule = MajorityRule::kAfter;
+      alias.preference_rule = p;
+      aliases.push_back(alias);
+    }
+  }
+  ASSERT_EQ(aliases.size(), 6u);
+  Random rng(4444);
+  for (const Strategy& alias : aliases) {
+    ASSERT_FALSE(alias.IsCanonical());
+    const Strategy canonical = alias.Canonical();
+    for (int trial = 0; trial < 200; ++trial) {
+      const RightsBag bag = RandomBag(rng);
+      ASSERT_EQ(Resolve(bag, alias), Resolve(bag, canonical))
+          << canonical.ToMnemonic() << " on " << bag.ToString();
+    }
+  }
+}
+
+// Strengthening the majority: adding positive tuples can never flip a
+// majority-first strategy's grant into a denial.
+TEST(MajorityMonotonicityTest, AddingPositivesKeepsGrant) {
+  const Strategy mp_minus = ParseStrategy("MP-").value();
+  Random rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    RightsBag bag = RandomBag(rng, /*allow_defaults=*/false);
+    if (Resolve(bag, mp_minus) != Mode::kPositive) continue;
+    RightsBag extended = bag;
+    extended.Add(static_cast<uint32_t>(rng.Uniform(5)),
+                 PropagatedMode::kPositive, 1 + rng.Uniform(3));
+    extended.Normalize();
+    EXPECT_EQ(Resolve(extended, mp_minus), Mode::kPositive)
+        << bag.ToString() << " -> " << extended.ToString();
+  }
+}
+
+// Locality filters commute with uniform distance shifts: adding a
+// constant to every distance never changes any decision.
+TEST(ShiftInvarianceTest, UniformDistanceShiftPreservesDecisions) {
+  Random rng(88);
+  for (int trial = 0; trial < 100; ++trial) {
+    const RightsBag bag = RandomBag(rng);
+    RightsBag shifted;
+    for (const RightsEntry& e : bag.entries()) {
+      shifted.Add(e.dis + 7, e.mode, e.multiplicity);
+    }
+    shifted.Normalize();
+    for (const Strategy& s : AllStrategies()) {
+      ASSERT_EQ(Resolve(bag, s), Resolve(shifted, s))
+          << s.ToMnemonic() << " on " << bag.ToString();
+    }
+  }
+}
+
+// Preference only matters when invoked: if a strategy returns at line
+// 6 or 8, the twin strategy with the opposite preference returns the
+// same mode.
+TEST(PreferenceIrrelevanceTest, NonLine9ResultsIgnorePreference) {
+  Random rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RightsBag bag = RandomBag(rng);
+    for (const Strategy& s : AllStrategies()) {
+      ResolveTrace trace;
+      const Mode got = Resolve(bag, s, &trace);
+      if (trace.returned_line == 9) continue;
+      Strategy twin = s;
+      twin.preference_rule = s.preference_rule == PreferenceRule::kPositive
+                                 ? PreferenceRule::kNegative
+                                 : PreferenceRule::kPositive;
+      ASSERT_EQ(Resolve(bag, twin), got)
+          << s.ToMnemonic() << " on " << bag.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucr::core

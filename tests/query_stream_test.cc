@@ -1,0 +1,135 @@
+#include "workload/query_stream.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::workload {
+namespace {
+
+struct Fixture {
+  graph::Dag dag;
+  acm::ExplicitAcm eacm;
+};
+
+Fixture MakeFixture() {
+  Random rng(1);
+  auto dag = graph::GenerateLayeredDag({.layers = 3, .nodes_per_layer = 20},
+                                       rng);
+  EXPECT_TRUE(dag.ok());
+  Fixture f{std::move(dag).value(), {}};
+  const acm::ObjectId o = f.eacm.InternObject("obj").value();
+  const acm::RightId r = f.eacm.InternRight("read").value();
+  EXPECT_TRUE(f.eacm.Set(0, o, r, acm::Mode::kPositive).ok());
+  (void)f.eacm.InternObject("obj2").value();
+  (void)f.eacm.InternRight("write").value();
+  return f;
+}
+
+TEST(QueryStreamTest, GeneratesRequestedCountWithValidIds) {
+  Fixture f = MakeFixture();
+  QueryStreamOptions opt;
+  opt.count = 5000;
+  auto stream = GenerateQueryStream(f.dag, f.eacm, opt);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_EQ(stream->size(), 5000u);
+  for (const auto& q : *stream) {
+    EXPECT_LT(q.subject, f.dag.node_count());
+    EXPECT_TRUE(f.dag.is_sink(q.subject)) << "sinks_only default";
+    EXPECT_LT(q.object, f.eacm.object_count());
+    EXPECT_LT(q.right, f.eacm.right_count());
+  }
+}
+
+TEST(QueryStreamTest, DeterministicForSeed) {
+  Fixture f = MakeFixture();
+  QueryStreamOptions opt;
+  opt.count = 200;
+  auto a = GenerateQueryStream(f.dag, f.eacm, opt);
+  auto b = GenerateQueryStream(f.dag, f.eacm, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].subject, (*b)[i].subject);
+    EXPECT_EQ((*a)[i].object, (*b)[i].object);
+    EXPECT_EQ((*a)[i].right, (*b)[i].right);
+  }
+}
+
+TEST(QueryStreamTest, HotSetConcentratesTraffic) {
+  Fixture f = MakeFixture();
+  QueryStreamOptions opt;
+  opt.count = 20000;
+  opt.distribution = SubjectDistribution::kHotSet;
+  opt.hot_set_size = 4;
+  opt.hot_fraction = 0.9;
+  auto stream = GenerateQueryStream(f.dag, f.eacm, opt);
+  ASSERT_TRUE(stream.ok());
+  std::map<graph::NodeId, size_t> hits;
+  for (const auto& q : *stream) ++hits[q.subject];
+  // The four hottest subjects should carry roughly 90% of queries
+  // (hot draws can also land on them uniformly, so at least that).
+  std::vector<size_t> counts;
+  for (const auto& [node, count] : hits) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  size_t top4 = 0;
+  for (size_t i = 0; i < counts.size() && i < 4; ++i) top4 += counts[i];
+  EXPECT_GT(top4, opt.count * 85 / 100);
+}
+
+TEST(QueryStreamTest, ZipfIsSkewedButCoversTail) {
+  Fixture f = MakeFixture();
+  QueryStreamOptions opt;
+  opt.count = 30000;
+  opt.distribution = SubjectDistribution::kZipf;
+  opt.zipf_exponent = 1.2;
+  opt.sinks_only = false;
+  auto stream = GenerateQueryStream(f.dag, f.eacm, opt);
+  ASSERT_TRUE(stream.ok());
+  std::map<graph::NodeId, size_t> hits;
+  for (const auto& q : *stream) ++hits[q.subject];
+  std::vector<size_t> counts;
+  for (const auto& [node, count] : hits) counts.push_back(count);
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts.front(), opt.count / 10) << "head is hot";
+  EXPECT_GT(hits.size(), 20u) << "tail is covered";
+}
+
+TEST(QueryStreamTest, UniformSpreadsEvenly) {
+  Fixture f = MakeFixture();
+  QueryStreamOptions opt;
+  opt.count = 20000;
+  opt.distribution = SubjectDistribution::kUniform;
+  auto stream = GenerateQueryStream(f.dag, f.eacm, opt);
+  ASSERT_TRUE(stream.ok());
+  std::map<graph::NodeId, size_t> hits;
+  for (const auto& q : *stream) ++hits[q.subject];
+  const size_t sinks = f.dag.Sinks().size();
+  const double expected =
+      static_cast<double>(opt.count) / static_cast<double>(sinks);
+  for (const auto& [node, count] : hits) {
+    EXPECT_NEAR(static_cast<double>(count), expected, expected * 0.5);
+  }
+}
+
+TEST(QueryStreamTest, Validation) {
+  Fixture f = MakeFixture();
+  acm::ExplicitAcm empty;
+  EXPECT_EQ(GenerateQueryStream(f.dag, empty, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+  QueryStreamOptions opt;
+  opt.distribution = SubjectDistribution::kHotSet;
+  opt.hot_set_size = 0;
+  EXPECT_EQ(GenerateQueryStream(f.dag, f.eacm, opt).status().code(),
+            StatusCode::kInvalidArgument);
+  opt.hot_set_size = 4;
+  opt.hot_fraction = 1.5;
+  EXPECT_EQ(GenerateQueryStream(f.dag, f.eacm, opt).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ucr::workload

@@ -1,0 +1,127 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(RandomTest, DeterministicForEqualSeeds) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RandomTest, UniformStaysInBounds) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformBoundOneIsAlwaysZero) {
+  Random rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(RandomTest, UniformCoversAllResidues) {
+  Random rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RandomTest, UniformIntRespectsInclusiveRange) {
+  Random rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, UniformIntSingletonRange) {
+  Random rng(3);
+  EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // Law of large numbers.
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyFair) {
+  Random rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ShuffleIsPermutation) {
+  Random rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RandomTest, SampleWithoutReplacementIsDistinct) {
+  Random rng(19);
+  const auto sample = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (size_t s : sample) EXPECT_LT(s, 100u);
+}
+
+TEST(RandomTest, SampleAllWhenKExceedsN) {
+  Random rng(23);
+  const auto sample = rng.SampleWithoutReplacement(5, 99);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(RandomTest, SampleUniformity) {
+  // Every index should be sampled roughly equally often.
+  Random rng(29);
+  std::vector<int> hits(10, 0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (size_t idx : rng.SampleWithoutReplacement(10, 3)) ++hits[idx];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 600, 120);
+}
+
+}  // namespace
+}  // namespace ucr

@@ -1,0 +1,217 @@
+// Randomized algebraic-identity tests of the relational engine. The
+// paper-literal implementations of Propagate()/Resolve() are built on
+// these operators, so their laws are load-bearing: a bag-semantics
+// slip here would silently skew the majority policy.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "relalg/operators.h"
+#include "relalg/relation.h"
+#include "util/random.h"
+
+namespace ucr::relalg {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"s", ValueType::kString},
+                 {"d", ValueType::kInt},
+                 {"m", ValueType::kString}});
+}
+
+Relation RandomRelation(Random& rng, size_t max_rows = 12) {
+  static const char* kSubjects[] = {"a", "b", "c"};
+  static const char* kModes[] = {"+", "-", "d"};
+  Relation r{TestSchema()};
+  const size_t rows = rng.Uniform(max_rows + 1);
+  for (size_t i = 0; i < rows; ++i) {
+    r.AppendUnchecked(Row{Value(kSubjects[rng.Uniform(3)]),
+                          Value(static_cast<int64_t>(rng.Uniform(4))),
+                          Value(kModes[rng.Uniform(3)])});
+  }
+  return r;
+}
+
+/// Canonical multiset fingerprint for order-insensitive comparison.
+std::vector<std::string> Fingerprint(const Relation& r) {
+  std::vector<std::string> rows;
+  for (const Row& row : r.rows()) {
+    std::string s;
+    for (const Value& v : row) s += v.ToString() + "|";
+    rows.push_back(s);
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+class RelalgFuzzTest : public ::testing::Test {
+ protected:
+  Random rng_{20070705};
+};
+
+TEST_F(RelalgFuzzTest, SelectionsCommute) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto ab = SelectEquals(SelectNotEquals(r, "m", Value("d")).value(), "s",
+                           Value("a"));
+    auto ba = SelectNotEquals(SelectEquals(r, "s", Value("a")).value(), "m",
+                              Value("d"));
+    ASSERT_TRUE(ab.ok());
+    ASSERT_TRUE(ba.ok());
+    EXPECT_EQ(Fingerprint(*ab), Fingerprint(*ba));
+  }
+}
+
+TEST_F(RelalgFuzzTest, SelectSplitsBagExactly) {
+  // σ_p(R) ∪ σ_!p(R) is a permutation of R — no row lost or invented.
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto yes = SelectEquals(r, "m", Value("+"));
+    auto no = SelectNotEquals(r, "m", Value("+"));
+    ASSERT_TRUE(yes.ok());
+    ASSERT_TRUE(no.ok());
+    auto merged = Union(*yes, *no);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(Fingerprint(*merged), Fingerprint(r));
+  }
+}
+
+TEST_F(RelalgFuzzTest, ProjectPreservesCardinality) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto p = Project(r, {"m"});
+    ASSERT_TRUE(p.ok());
+    EXPECT_EQ(p->size(), r.size()) << "bag projection must not dedup";
+  }
+}
+
+TEST_F(RelalgFuzzTest, DistinctIsIdempotentAndMinimal) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    const Relation d1 = Distinct(r);
+    const Relation d2 = Distinct(d1);
+    EXPECT_EQ(Fingerprint(d1), Fingerprint(d2));
+    // Every distinct row appears in the original.
+    auto fp_r = Fingerprint(r);
+    for (const std::string& row : Fingerprint(d1)) {
+      EXPECT_TRUE(std::binary_search(fp_r.begin(), fp_r.end(), row));
+    }
+  }
+}
+
+TEST_F(RelalgFuzzTest, UnionCardinalityIsAdditive) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation a = RandomRelation(rng_);
+    const Relation b = RandomRelation(rng_);
+    auto u = Union(a, b);
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(u->size(), a.size() + b.size());
+  }
+}
+
+TEST_F(RelalgFuzzTest, DifferenceThenIntersectIsEmpty) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation a = RandomRelation(rng_);
+    const Relation b = RandomRelation(rng_);
+    auto diff = Difference(a, b);
+    ASSERT_TRUE(diff.ok());
+    // No row of the difference appears in b.
+    auto fp_b = Fingerprint(b);
+    for (const std::string& row : Fingerprint(*diff)) {
+      EXPECT_FALSE(std::binary_search(fp_b.begin(), fp_b.end(), row));
+    }
+  }
+}
+
+TEST_F(RelalgFuzzTest, JoinCardinalityMatchesBruteForce) {
+  for (int trial = 0; trial < 60; ++trial) {
+    const Relation a = RandomRelation(rng_);
+    Relation b{Schema({{"s", ValueType::kString},
+                       {"extra", ValueType::kInt}})};
+    const size_t rows = rng_.Uniform(8);
+    static const char* kSubjects[] = {"a", "b", "c", "z"};
+    for (size_t i = 0; i < rows; ++i) {
+      b.AppendUnchecked(Row{Value(kSubjects[rng_.Uniform(4)]),
+                            Value(static_cast<int64_t>(rng_.Uniform(3)))});
+    }
+    const Relation joined = NaturalJoin(a, b);
+    size_t expected = 0;
+    for (const Row& ra : a.rows()) {
+      for (const Row& rb : b.rows()) {
+        if (ra[0] == rb[0]) ++expected;
+      }
+    }
+    EXPECT_EQ(joined.size(), expected);
+  }
+}
+
+TEST_F(RelalgFuzzTest, JoinCommutesUpToColumnOrder) {
+  for (int trial = 0; trial < 60; ++trial) {
+    const Relation a = RandomRelation(rng_, 8);
+    Relation b{Schema({{"m", ValueType::kString},
+                       {"w", ValueType::kInt}})};
+    static const char* kModes[] = {"+", "-", "d"};
+    for (size_t i = 0; i < rng_.Uniform(8); ++i) {
+      b.AppendUnchecked(Row{Value(kModes[rng_.Uniform(3)]),
+                            Value(static_cast<int64_t>(rng_.Uniform(3)))});
+    }
+    const Relation ab = NaturalJoin(a, b);
+    const Relation ba = NaturalJoin(b, a);
+    auto ab_norm = Project(ab, {"s", "d", "m", "w"});
+    auto ba_norm = Project(ba, {"s", "d", "m", "w"});
+    ASSERT_TRUE(ab_norm.ok());
+    ASSERT_TRUE(ba_norm.ok());
+    EXPECT_EQ(Fingerprint(*ab_norm), Fingerprint(*ba_norm));
+  }
+}
+
+TEST_F(RelalgFuzzTest, ExtendThenProjectAwayIsIdentity) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto extended = ExtendConstant(r, "k", Value(int64_t{7}));
+    ASSERT_TRUE(extended.ok());
+    auto back = Project(*extended, {"s", "d", "m"});
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(Fingerprint(*back), Fingerprint(r));
+  }
+}
+
+TEST_F(RelalgFuzzTest, MinMaxConsistency) {
+  for (int trial = 0; trial < 100; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto min = MinInt(r, "d");
+    auto max = MaxInt(r, "d");
+    ASSERT_TRUE(min.ok());
+    ASSERT_TRUE(max.ok());
+    if (r.empty()) {
+      EXPECT_EQ(*min, std::nullopt);
+      EXPECT_EQ(*max, std::nullopt);
+    } else {
+      ASSERT_TRUE(min->has_value());
+      ASSERT_TRUE(max->has_value());
+      EXPECT_LE(**min, **max);
+      // Filtering on the min keeps at least one row and nothing below.
+      auto at_min = SelectEquals(r, "d", Value(**min));
+      ASSERT_TRUE(at_min.ok());
+      EXPECT_GE(at_min->size(), 1u);
+    }
+  }
+}
+
+TEST_F(RelalgFuzzTest, RenameRoundTrip) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const Relation r = RandomRelation(rng_);
+    auto there = Rename(r, "s", "subject");
+    ASSERT_TRUE(there.ok());
+    auto back = Rename(*there, "subject", "s");
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->schema() == r.schema());
+    EXPECT_EQ(Fingerprint(*back), Fingerprint(r));
+  }
+}
+
+}  // namespace
+}  // namespace ucr::relalg

@@ -1,0 +1,197 @@
+#include "relalg/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "relalg/relation.h"
+#include "relalg/value.h"
+
+namespace ucr::relalg {
+namespace {
+
+Schema AbSchema() {
+  return Schema({{"a", ValueType::kString}, {"b", ValueType::kInt}});
+}
+
+Relation MakeAb(std::initializer_list<std::pair<const char*, int64_t>> rows) {
+  Relation r{AbSchema()};
+  for (const auto& [a, b] : rows) {
+    r.AppendUnchecked(Row{Value(a), Value(b)});
+  }
+  return r;
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  const Value i{int64_t{7}};
+  const Value s{"seven"};
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 7);
+  EXPECT_EQ(s.AsString(), "seven");
+  EXPECT_EQ(i.ToString(), "7");
+  EXPECT_EQ(s.ToString(), "seven");
+}
+
+TEST(ValueTest, IntAndStringNeverEqualOrHashAlike) {
+  const Value i{int64_t{1}};
+  const Value s{"1"};
+  EXPECT_FALSE(i == s);
+  EXPECT_NE(i.Hash(), s.Hash());
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  EXPECT_TRUE(Value(int64_t{1}) < Value(int64_t{2}));
+  EXPECT_TRUE(Value("a") < Value("b"));
+  EXPECT_TRUE(Value(int64_t{99}) < Value("a"));  // Ints sort before strings.
+}
+
+TEST(SchemaTest, IndexOfAndEquality) {
+  const Schema s = AbSchema();
+  EXPECT_EQ(s.IndexOf("a"), 0u);
+  EXPECT_EQ(s.IndexOf("b"), 1u);
+  EXPECT_EQ(s.IndexOf("zz"), Schema::npos);
+  EXPECT_TRUE(s == AbSchema());
+  EXPECT_FALSE(s == Schema({{"a", ValueType::kString}}));
+}
+
+TEST(RelationTest, AppendValidates) {
+  Relation r{AbSchema()};
+  EXPECT_TRUE(r.Append(Row{Value("x"), Value(int64_t{1})}).ok());
+  EXPECT_FALSE(r.Append(Row{Value("x")}).ok());  // Arity.
+  EXPECT_FALSE(r.Append(Row{Value("x"), Value("y")}).ok());  // Type.
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, UpdateRewritesMatchingRows) {
+  Relation r = MakeAb({{"d", 1}, {"x", 2}, {"d", 3}});
+  const size_t updated = r.Update("a", Value("+"), [](const Row& row) {
+    return row[0] == Value("d");
+  });
+  EXPECT_EQ(updated, 2u);
+  EXPECT_EQ(r.row(0)[0], Value("+"));
+  EXPECT_EQ(r.row(1)[0], Value("x"));
+  EXPECT_EQ(r.row(2)[0], Value("+"));
+}
+
+TEST(SelectTest, EqualsAndNotEquals) {
+  const Relation r = MakeAb({{"x", 1}, {"y", 2}, {"x", 3}});
+  auto eq = SelectEquals(r, "a", Value("x"));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->size(), 2u);
+  auto ne = SelectNotEquals(r, "a", Value("x"));
+  ASSERT_TRUE(ne.ok());
+  EXPECT_EQ(ne->size(), 1u);
+  EXPECT_FALSE(SelectEquals(r, "zz", Value("x")).ok());
+}
+
+TEST(ProjectTest, KeepsDuplicates) {
+  const Relation r = MakeAb({{"x", 1}, {"x", 2}});
+  auto p = Project(r, {"a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 2u);  // Bag semantics: {x, x}.
+  EXPECT_EQ(p->schema().size(), 1u);
+}
+
+TEST(ProjectTest, Reorders) {
+  const Relation r = MakeAb({{"x", 1}});
+  auto p = Project(r, {"b", "a"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->row(0)[0], Value(int64_t{1}));
+  EXPECT_EQ(p->row(0)[1], Value("x"));
+}
+
+TEST(RenameTest, RenamesAndValidates) {
+  const Relation r = MakeAb({{"x", 1}});
+  auto renamed = Rename(r, "a", "subject");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->schema().IndexOf("subject"), 0u);
+  EXPECT_EQ(renamed->schema().IndexOf("a"), Schema::npos);
+  EXPECT_FALSE(Rename(r, "zz", "w").ok());
+  EXPECT_FALSE(Rename(r, "a", "b").ok());  // Collision.
+}
+
+TEST(NaturalJoinTest, JoinsOnSharedAttribute) {
+  const Relation left = MakeAb({{"x", 1}, {"y", 2}});
+  Relation right{Schema({{"a", ValueType::kString},
+                         {"c", ValueType::kString}})};
+  right.AppendUnchecked(Row{Value("x"), Value("p")});
+  right.AppendUnchecked(Row{Value("x"), Value("q")});
+  const Relation joined = NaturalJoin(left, right);
+  EXPECT_EQ(joined.size(), 2u);  // x joins twice, y joins zero times.
+  EXPECT_EQ(joined.schema().size(), 3u);  // a, b, c.
+}
+
+TEST(NaturalJoinTest, BagMultiplicityIsProduct) {
+  const Relation left = MakeAb({{"x", 1}, {"x", 1}});  // Two equal rows.
+  Relation right{Schema({{"a", ValueType::kString}})};
+  right.AppendUnchecked(Row{Value("x")});
+  right.AppendUnchecked(Row{Value("x")});
+  EXPECT_EQ(NaturalJoin(left, right).size(), 4u);  // 2 * 2.
+}
+
+TEST(NaturalJoinTest, NoSharedAttributesIsCrossProduct) {
+  const Relation left = MakeAb({{"x", 1}, {"y", 2}});
+  Relation right{Schema({{"c", ValueType::kInt}})};
+  right.AppendUnchecked(Row{Value(int64_t{10})});
+  right.AppendUnchecked(Row{Value(int64_t{20})});
+  right.AppendUnchecked(Row{Value(int64_t{30})});
+  EXPECT_EQ(NaturalJoin(left, right).size(), 6u);
+}
+
+TEST(UnionTest, ConcatenatesBags) {
+  const Relation a = MakeAb({{"x", 1}});
+  const Relation b = MakeAb({{"x", 1}, {"y", 2}});
+  auto u = Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);  // Duplicates preserved.
+}
+
+TEST(UnionTest, RejectsSchemaMismatch) {
+  const Relation a = MakeAb({});
+  Relation b{Schema({{"z", ValueType::kInt}})};
+  EXPECT_FALSE(Union(a, b).ok());
+}
+
+TEST(DifferenceTest, RemovesAllOccurrences) {
+  const Relation a = MakeAb({{"x", 1}, {"x", 1}, {"y", 2}});
+  const Relation b = MakeAb({{"x", 1}});
+  auto d = Difference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+  EXPECT_EQ(d->row(0)[0], Value("y"));
+}
+
+TEST(DistinctTest, CollapsesDuplicates) {
+  const Relation r = MakeAb({{"x", 1}, {"x", 1}, {"x", 2}});
+  EXPECT_EQ(Distinct(r).size(), 2u);
+}
+
+TEST(ExtendConstantTest, AddsColumn) {
+  const Relation r = MakeAb({{"x", 1}});
+  auto e = ExtendConstant(r, "dis", Value(int64_t{0}));
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->schema().size(), 3u);
+  EXPECT_EQ(e->row(0)[2], Value(int64_t{0}));
+  EXPECT_FALSE(ExtendConstant(r, "a", Value(int64_t{0})).ok());  // Exists.
+}
+
+TEST(AggregateTest, CountMinMax) {
+  const Relation r = MakeAb({{"x", 3}, {"y", 1}, {"z", 2}});
+  EXPECT_EQ(Count(r), 3u);
+  EXPECT_EQ(MinInt(r, "b").value(), 1);
+  EXPECT_EQ(MaxInt(r, "b").value(), 3);
+  EXPECT_EQ(MinInt(MakeAb({}), "b").value(), std::nullopt);
+  EXPECT_FALSE(MinInt(r, "a").ok());  // Not an int column.
+  EXPECT_FALSE(MinInt(r, "zz").ok());
+}
+
+TEST(RelationTest, SortRowsAndToString) {
+  Relation r = MakeAb({{"y", 2}, {"x", 1}});
+  r.SortRows();
+  EXPECT_EQ(r.row(0)[0], Value("x"));
+  const std::string rendered = r.ToString();
+  EXPECT_NE(rendered.find("a | b"), std::string::npos);
+  EXPECT_NE(rendered.find("x | 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ucr::relalg

@@ -1,0 +1,85 @@
+#include "core/rights_bag.h"
+
+#include <gtest/gtest.h>
+
+namespace ucr::core {
+namespace {
+
+using acm::PropagatedMode;
+
+TEST(RightsBagTest, EmptyBag) {
+  RightsBag bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.TotalTuples(), 0u);
+  EXPECT_EQ(bag.GroupCount(), 0u);
+  EXPECT_EQ(bag.ToString(), "{}");
+}
+
+TEST(RightsBagTest, NormalizeMergesEqualGroups) {
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kPositive);
+  bag.Add(1, PropagatedMode::kPositive, 2);
+  bag.Add(2, PropagatedMode::kPositive);
+  bag.Normalize();
+  EXPECT_EQ(bag.GroupCount(), 2u);
+  EXPECT_EQ(bag.TotalTuples(), 4u);
+  EXPECT_EQ(bag.entries()[0].multiplicity, 3u);
+}
+
+TEST(RightsBagTest, NormalizeSortsByDistanceThenMode) {
+  RightsBag bag;
+  bag.Add(3, PropagatedMode::kDefault);
+  bag.Add(1, PropagatedMode::kNegative);
+  bag.Add(1, PropagatedMode::kPositive);
+  bag.Normalize();
+  EXPECT_EQ(bag.entries()[0].dis, 1u);
+  EXPECT_EQ(bag.entries()[0].mode, PropagatedMode::kPositive);
+  EXPECT_EQ(bag.entries()[1].dis, 1u);
+  EXPECT_EQ(bag.entries()[1].mode, PropagatedMode::kNegative);
+  EXPECT_EQ(bag.entries()[2].dis, 3u);
+}
+
+TEST(RightsBagTest, ZeroMultiplicityIsIgnored) {
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kPositive, 0);
+  bag.Normalize();
+  EXPECT_TRUE(bag.empty());
+}
+
+TEST(RightsBagTest, EqualityAfterNormalization) {
+  RightsBag a;
+  a.Add(1, PropagatedMode::kPositive);
+  a.Add(1, PropagatedMode::kPositive);
+  a.Normalize();
+  RightsBag b;
+  b.Add(1, PropagatedMode::kPositive, 2);
+  b.Normalize();
+  EXPECT_EQ(a, b);
+}
+
+TEST(RightsBagTest, TotalTuplesSaturates) {
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kPositive, UINT64_MAX);
+  bag.Add(2, PropagatedMode::kPositive, 5);
+  bag.Normalize();
+  EXPECT_EQ(bag.TotalTuples(), UINT64_MAX);
+}
+
+TEST(RightsBagTest, MultiplicitySaturatesOnMerge) {
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kPositive, UINT64_MAX - 1);
+  bag.Add(1, PropagatedMode::kPositive, 5);
+  bag.Normalize();
+  EXPECT_EQ(bag.entries()[0].multiplicity, UINT64_MAX);
+}
+
+TEST(RightsBagTest, ToStringShowsMultiplicities) {
+  RightsBag bag;
+  bag.Add(1, PropagatedMode::kNegative);
+  bag.Add(2, PropagatedMode::kDefault, 3);
+  bag.Normalize();
+  EXPECT_EQ(bag.ToString(), "{1:-, 2:d x3}");
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleObservation) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.Mean(), 4.5);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 4.5);
+  EXPECT_EQ(s.Max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, StableUnderLargeOffsets) {
+  // Welford should not lose precision with a big common offset.
+  RunningStats s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(offset + x);
+  EXPECT_NEAR(s.Variance(), 1.0, 1e-6);
+}
+
+TEST(QuantileTest, EmptyReturnsZero) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount) {
+  EXPECT_EQ(Quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStatistics) {
+  EXPECT_DOUBLE_EQ(Quantile({0, 10}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, ExtremesAndClamping) {
+  const std::vector<double> v{5, 1, 9};
+  EXPECT_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_EQ(Quantile(v, 1.0), 9.0);
+  EXPECT_EQ(Quantile(v, -3.0), 1.0);
+  EXPECT_EQ(Quantile(v, 17.0), 9.0);
+}
+
+TEST(FitLineTest, PerfectLine) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{3, 5, 7, 9};  // y = 2x + 1.
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLineTest, DegenerateInputsGiveZeroFit) {
+  EXPECT_EQ(FitLine({1}, {2}).slope, 0.0);
+  EXPECT_EQ(FitLine({1, 2}, {1}).slope, 0.0);       // Size mismatch.
+  EXPECT_EQ(FitLine({3, 3}, {1, 5}).slope, 0.0);    // Vertical.
+}
+
+TEST(FitLineTest, NoisyLineRSquaredBelowOne) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2.1, 3.9, 6.2, 7.8, 10.1};
+  const LinearFit fit = FitLine(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+  EXPECT_LT(fit.r_squared, 1.0);
+}
+
+}  // namespace
+}  // namespace ucr

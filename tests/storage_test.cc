@@ -1,0 +1,109 @@
+#include "core/storage.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/paper_example.h"
+#include "core/strategy.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+
+AccessControlSystem MakePaperSystem() {
+  PaperExample ex = MakePaperExample();
+  AccessControlSystem system(std::move(ex.dag));
+  EXPECT_TRUE(system.Grant("S2", "obj", "read").ok());
+  EXPECT_TRUE(system.Grant("S4", "obj", "read").ok());
+  EXPECT_TRUE(system.DenyAccess("S5", "obj", "read").ok());
+  system.SetStrategy(ParseStrategy("D+LMP-").value());
+  return system;
+}
+
+TEST(StorageTest, RoundTripPreservesEverything) {
+  AccessControlSystem original = MakePaperSystem();
+  const std::string text = SaveSystemToText(original);
+
+  auto loaded = LoadSystemFromText(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->dag().node_count(), original.dag().node_count());
+  EXPECT_EQ(loaded->dag().edge_count(), original.dag().edge_count());
+  EXPECT_EQ(loaded->eacm().size(), original.eacm().size());
+  EXPECT_EQ(loaded->strategy().ToMnemonic(), "D+LMP-");
+
+  // Node ids survive (name order is pinned by the format).
+  for (graph::NodeId v = 0; v < original.dag().node_count(); ++v) {
+    EXPECT_EQ(loaded->dag().name(v), original.dag().name(v));
+  }
+
+  // Every effective decision survives, under every strategy.
+  for (const Strategy& s : AllStrategies()) {
+    EXPECT_EQ(loaded->CheckAccessByName("User", "obj", "read", s).value(),
+              original.CheckAccessByName("User", "obj", "read", s).value())
+        << s.ToMnemonic();
+  }
+}
+
+TEST(StorageTest, SecondRoundTripIsByteIdentical) {
+  AccessControlSystem original = MakePaperSystem();
+  const std::string once = SaveSystemToText(original);
+  auto loaded = LoadSystemFromText(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SaveSystemToText(*loaded), once);
+}
+
+TEST(StorageTest, MissingSectionsRejected) {
+  EXPECT_FALSE(LoadSystemFromText("strategy P-\n").ok());
+  EXPECT_FALSE(LoadSystemFromText("[hierarchy]\nnode a\n").ok());
+  EXPECT_FALSE(
+      LoadSystemFromText("[authorizations]\n[hierarchy]\nnode a\n").ok());
+}
+
+TEST(StorageTest, BadStrategyRejectedWithLineNumber) {
+  auto result = LoadSystemFromText(
+      "strategy D*LP-\n[hierarchy]\nnode a\n[authorizations]\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(StorageTest, StrategyLineIsOptional) {
+  auto result = LoadSystemFromText(
+      "[hierarchy]\nedge g u\n[authorizations]\nauth g doc read +\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Falls back to the options' default strategy (P-).
+  EXPECT_EQ(result->strategy().ToMnemonic(), "P-");
+  EXPECT_EQ(result->CheckAccessByName("u", "doc", "read").value(),
+            Mode::kPositive);
+}
+
+TEST(StorageTest, GarbagePreambleRejected) {
+  EXPECT_FALSE(LoadSystemFromText("bogus line\n[hierarchy]\n"
+                                  "[authorizations]\n")
+                   .ok());
+}
+
+TEST(StorageTest, CorruptAuthorizationsSurfaceSection) {
+  auto result = LoadSystemFromText(
+      "[hierarchy]\nedge g u\n[authorizations]\nauth ghost doc read +\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("authorizations"),
+            std::string::npos);
+}
+
+TEST(StorageTest, FileRoundTrip) {
+  AccessControlSystem original = MakePaperSystem();
+  const std::string path = ::testing::TempDir() + "/ucr_storage_test.ucr";
+  ASSERT_TRUE(SaveSystemToFile(original, path).ok());
+  auto loaded = LoadSystemFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->eacm().size(), 3u);
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadSystemFromFile(path).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,104 @@
+#include "core/strategy.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ucr::core {
+namespace {
+
+TEST(StrategyTest, ParseFullMnemonic) {
+  auto s = ParseStrategy("D+LMP-");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->default_rule, DefaultRule::kPositive);
+  EXPECT_EQ(s->locality_rule, LocalityRule::kMostSpecific);
+  EXPECT_EQ(s->majority_rule, MajorityRule::kAfter);
+  EXPECT_EQ(s->preference_rule, PreferenceRule::kNegative);
+}
+
+TEST(StrategyTest, ParseMajorityBeforeLocality) {
+  auto s = ParseStrategy("D-MGP+");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->default_rule, DefaultRule::kNegative);
+  EXPECT_EQ(s->locality_rule, LocalityRule::kMostGeneral);
+  EXPECT_EQ(s->majority_rule, MajorityRule::kBefore);
+  EXPECT_EQ(s->preference_rule, PreferenceRule::kPositive);
+}
+
+TEST(StrategyTest, ParseMinimal) {
+  auto s = ParseStrategy("P+");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->default_rule, DefaultRule::kNone);
+  EXPECT_EQ(s->locality_rule, LocalityRule::kIdentity);
+  EXPECT_EQ(s->majority_rule, MajorityRule::kSkip);
+  EXPECT_EQ(s->preference_rule, PreferenceRule::kPositive);
+}
+
+TEST(StrategyTest, ParseRejectsMalformed) {
+  for (const char* bad : {"", "P", "D*LP+", "DLP+", "LMP", "XP+", "LGP+",
+                          "MMP+", "LMMP+", "P*", "D+", "pl+", "LPM+"}) {
+    EXPECT_FALSE(ParseStrategy(bad).ok()) << "'" << bad << "' should fail";
+  }
+}
+
+TEST(StrategyTest, MnemonicRoundTripForAll48) {
+  for (const Strategy& s : AllStrategies()) {
+    const std::string mnemonic = s.ToMnemonic();
+    auto reparsed = ParseStrategy(mnemonic);
+    ASSERT_TRUE(reparsed.ok()) << mnemonic;
+    EXPECT_EQ(*reparsed, s) << mnemonic;
+  }
+}
+
+TEST(StrategyTest, ExactlyFortyEightDistinctInstances) {
+  const auto& all = AllStrategies();
+  EXPECT_EQ(all.size(), 48u);
+  std::set<std::string> mnemonics;
+  for (const Strategy& s : all) mnemonics.insert(s.ToMnemonic());
+  EXPECT_EQ(mnemonics.size(), 48u);
+}
+
+TEST(StrategyTest, CanonicalIndexMatchesEnumeration) {
+  const auto& all = AllStrategies();
+  for (size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].CanonicalIndex(), i) << all[i].ToMnemonic();
+    EXPECT_TRUE(all[i].IsCanonical());
+  }
+}
+
+TEST(StrategyTest, AfterWithIdentityNormalizesToBefore) {
+  Strategy alias;
+  alias.locality_rule = LocalityRule::kIdentity;
+  alias.majority_rule = MajorityRule::kAfter;
+  EXPECT_FALSE(alias.IsCanonical());
+  const Strategy canonical = alias.Canonical();
+  EXPECT_TRUE(canonical.IsCanonical());
+  EXPECT_EQ(canonical.majority_rule, MajorityRule::kBefore);
+  // Same mnemonic as the canonical form.
+  EXPECT_EQ(alias.ToMnemonic(), canonical.ToMnemonic());
+}
+
+TEST(StrategyTest, MnemonicExamplesFromPaper) {
+  // Spot-check the mnemonic renderer against paper spellings.
+  EXPECT_EQ(ParseStrategy("D+LMP+")->ToMnemonic(), "D+LMP+");
+  EXPECT_EQ(ParseStrategy("D-GMP-")->ToMnemonic(), "D-GMP-");
+  EXPECT_EQ(ParseStrategy("MGP-")->ToMnemonic(), "MGP-");
+  EXPECT_EQ(ParseStrategy("D+P-")->ToMnemonic(), "D+P-");
+  EXPECT_EQ(ParseStrategy("GP+")->ToMnemonic(), "GP+");
+}
+
+TEST(StrategyTest, NamedConstant) {
+  auto s = strategies::DPlusLPMinus();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToMnemonic(), "D+LP-");
+}
+
+TEST(StrategyTest, DefaultConstructedIsClosedPreference) {
+  const Strategy s;
+  EXPECT_EQ(s.ToMnemonic(), "P-");
+  EXPECT_TRUE(s.IsCanonical());
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hello\t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("D+LMP-", "D+"));
+  EXPECT_FALSE(StartsWith("LMP-", "D+"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(ParseUint64Test, ValidNumbers) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));  // UINT64_MAX.
+  EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(ParseUint64Test, RejectsGarbageAndOverflow) {
+  uint64_t v = 99;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));  // UINT64_MAX + 1.
+  EXPECT_EQ(v, 99u) << "failed parse must not clobber output";
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double d = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &d));
+  EXPECT_EQ(d, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &d));
+  EXPECT_EQ(d, -1000.0);
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_FALSE(ParseDouble("3.25x", &d));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+}  // namespace
+}  // namespace ucr

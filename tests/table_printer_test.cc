@@ -1,0 +1,59 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace ucr {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"subject", "dis", "mode"});
+  t.AddRow({"User", "1", "-"});
+  t.AddRow({"S5", "12", "+"});
+  const std::string out = t.ToString();
+  EXPECT_EQ(out,
+            "subject | dis | mode\n"
+            "--------+-----+-----\n"
+            "User    | 1   | -   \n"
+            "S5      | 12  | +   \n");
+}
+
+TEST(TablePrinterTest, WideCellStretchesColumn) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"very-long-cell", "x"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("very-long-cell | x"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("1 |   |  "), std::string::npos);
+}
+
+TEST(TablePrinterTest, ExtraCellsAreDropped) {
+  TablePrinter t({"a"});
+  t.AddRow({"1", "overflow"});
+  EXPECT_EQ(t.ToString(),
+            "a\n"
+            "-\n"
+            "1\n");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, HeaderOnlyTable) {
+  TablePrinter t({"col1", "col2"});
+  EXPECT_EQ(t.ToString(),
+            "col1 | col2\n"
+            "-----+-----\n");
+}
+
+}  // namespace
+}  // namespace ucr
