@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_materialization.cc" "bench/CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o" "gcc" "bench/CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ucr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ucr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/relalg/CMakeFiles/ucr_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/acm/CMakeFiles/ucr_acm.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ucr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ucr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o"
+  "CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o.d"
+  "ablation_materialization"
+  "ablation_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

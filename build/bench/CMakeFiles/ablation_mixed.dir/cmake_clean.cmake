@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixed.dir/ablation_mixed.cc.o"
+  "CMakeFiles/ablation_mixed.dir/ablation_mixed.cc.o.d"
+  "ablation_mixed"
+  "ablation_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relalg.dir/ablation_relalg.cc.o"
+  "CMakeFiles/ablation_relalg.dir/ablation_relalg.cc.o.d"
+  "ablation_relalg"
+  "ablation_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

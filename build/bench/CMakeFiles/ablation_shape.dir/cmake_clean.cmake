@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shape.dir/ablation_shape.cc.o"
+  "CMakeFiles/ablation_shape.dir/ablation_shape.cc.o.d"
+  "ablation_shape"
+  "ablation_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_livelink.dir/fig7a_livelink.cc.o"
+  "CMakeFiles/fig7a_livelink.dir/fig7a_livelink.cc.o.d"
+  "fig7a_livelink"
+  "fig7a_livelink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_livelink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_paths_vs_nodes.dir/fig7b_paths_vs_nodes.cc.o"
+  "CMakeFiles/fig7b_paths_vs_nodes.dir/fig7b_paths_vs_nodes.cc.o.d"
+  "fig7b_paths_vs_nodes"
+  "fig7b_paths_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_paths_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_relalg.dir/micro_relalg.cc.o"
+  "CMakeFiles/micro_relalg.dir/micro_relalg.cc.o.d"
+  "micro_relalg"
+  "micro_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

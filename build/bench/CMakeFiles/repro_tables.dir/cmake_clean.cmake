@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tables.dir/repro_tables.cc.o"
+  "CMakeFiles/repro_tables.dir/repro_tables.cc.o.d"
+  "repro_tables"
+  "repro_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

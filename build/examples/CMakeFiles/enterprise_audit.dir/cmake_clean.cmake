@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_audit.dir/enterprise_audit.cpp.o"
+  "CMakeFiles/enterprise_audit.dir/enterprise_audit.cpp.o.d"
+  "enterprise_audit"
+  "enterprise_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod_auditor.dir/sod_auditor.cpp.o"
+  "CMakeFiles/sod_auditor.dir/sod_auditor.cpp.o.d"
+  "sod_auditor"
+  "sod_auditor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod_auditor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_admin.dir/ucr_admin.cpp.o"
+  "CMakeFiles/ucr_admin.dir/ucr_admin.cpp.o.d"
+  "ucr_admin"
+  "ucr_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

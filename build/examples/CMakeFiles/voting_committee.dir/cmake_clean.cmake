@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_committee.dir/voting_committee.cpp.o"
+  "CMakeFiles/voting_committee.dir/voting_committee.cpp.o.d"
+  "voting_committee"
+  "voting_committee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_committee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acm/acm.cc" "src/acm/CMakeFiles/ucr_acm.dir/acm.cc.o" "gcc" "src/acm/CMakeFiles/ucr_acm.dir/acm.cc.o.d"
+  "/root/repo/src/acm/assignment.cc" "src/acm/CMakeFiles/ucr_acm.dir/assignment.cc.o" "gcc" "src/acm/CMakeFiles/ucr_acm.dir/assignment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ucr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ucr_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

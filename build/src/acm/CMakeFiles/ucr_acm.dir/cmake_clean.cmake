@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_acm.dir/acm.cc.o"
+  "CMakeFiles/ucr_acm.dir/acm.cc.o.d"
+  "CMakeFiles/ucr_acm.dir/assignment.cc.o"
+  "CMakeFiles/ucr_acm.dir/assignment.cc.o.d"
+  "libucr_acm.a"
+  "libucr_acm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_acm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cc" "src/core/CMakeFiles/ucr_core.dir/audit.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/audit.cc.o.d"
+  "/root/repo/src/core/cache.cc" "src/core/CMakeFiles/ucr_core.dir/cache.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/cache.cc.o.d"
+  "/root/repo/src/core/constraints.cc" "src/core/CMakeFiles/ucr_core.dir/constraints.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/constraints.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/core/CMakeFiles/ucr_core.dir/dominance.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/dominance.cc.o.d"
+  "/root/repo/src/core/effective_matrix.cc" "src/core/CMakeFiles/ucr_core.dir/effective_matrix.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/effective_matrix.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/ucr_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/mixed.cc" "src/core/CMakeFiles/ucr_core.dir/mixed.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/mixed.cc.o.d"
+  "/root/repo/src/core/mixed_system.cc" "src/core/CMakeFiles/ucr_core.dir/mixed_system.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/mixed_system.cc.o.d"
+  "/root/repo/src/core/paper_example.cc" "src/core/CMakeFiles/ucr_core.dir/paper_example.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/paper_example.cc.o.d"
+  "/root/repo/src/core/propagate.cc" "src/core/CMakeFiles/ucr_core.dir/propagate.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/propagate.cc.o.d"
+  "/root/repo/src/core/relalg_impl.cc" "src/core/CMakeFiles/ucr_core.dir/relalg_impl.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/relalg_impl.cc.o.d"
+  "/root/repo/src/core/resolve.cc" "src/core/CMakeFiles/ucr_core.dir/resolve.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/resolve.cc.o.d"
+  "/root/repo/src/core/rights_bag.cc" "src/core/CMakeFiles/ucr_core.dir/rights_bag.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/rights_bag.cc.o.d"
+  "/root/repo/src/core/storage.cc" "src/core/CMakeFiles/ucr_core.dir/storage.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/storage.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/ucr_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/strategy.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/ucr_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/system.cc.o.d"
+  "/root/repo/src/core/weak_strong.cc" "src/core/CMakeFiles/ucr_core.dir/weak_strong.cc.o" "gcc" "src/core/CMakeFiles/ucr_core.dir/weak_strong.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ucr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ucr_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/acm/CMakeFiles/ucr_acm.dir/DependInfo.cmake"
+  "/root/repo/build/src/relalg/CMakeFiles/ucr_relalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

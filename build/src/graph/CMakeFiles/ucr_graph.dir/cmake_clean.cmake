@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_graph.dir/ancestor_subgraph.cc.o"
+  "CMakeFiles/ucr_graph.dir/ancestor_subgraph.cc.o.d"
+  "CMakeFiles/ucr_graph.dir/dag.cc.o"
+  "CMakeFiles/ucr_graph.dir/dag.cc.o.d"
+  "CMakeFiles/ucr_graph.dir/generators.cc.o"
+  "CMakeFiles/ucr_graph.dir/generators.cc.o.d"
+  "CMakeFiles/ucr_graph.dir/io.cc.o"
+  "CMakeFiles/ucr_graph.dir/io.cc.o.d"
+  "libucr_graph.a"
+  "libucr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

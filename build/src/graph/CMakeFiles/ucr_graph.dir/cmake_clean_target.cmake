@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libucr_graph.a"
+)

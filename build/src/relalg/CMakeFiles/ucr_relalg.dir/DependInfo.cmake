@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relalg/operators.cc" "src/relalg/CMakeFiles/ucr_relalg.dir/operators.cc.o" "gcc" "src/relalg/CMakeFiles/ucr_relalg.dir/operators.cc.o.d"
+  "/root/repo/src/relalg/relation.cc" "src/relalg/CMakeFiles/ucr_relalg.dir/relation.cc.o" "gcc" "src/relalg/CMakeFiles/ucr_relalg.dir/relation.cc.o.d"
+  "/root/repo/src/relalg/value.cc" "src/relalg/CMakeFiles/ucr_relalg.dir/value.cc.o" "gcc" "src/relalg/CMakeFiles/ucr_relalg.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ucr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

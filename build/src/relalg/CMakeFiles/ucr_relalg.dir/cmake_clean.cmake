@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_relalg.dir/operators.cc.o"
+  "CMakeFiles/ucr_relalg.dir/operators.cc.o.d"
+  "CMakeFiles/ucr_relalg.dir/relation.cc.o"
+  "CMakeFiles/ucr_relalg.dir/relation.cc.o.d"
+  "CMakeFiles/ucr_relalg.dir/value.cc.o"
+  "CMakeFiles/ucr_relalg.dir/value.cc.o.d"
+  "libucr_relalg.a"
+  "libucr_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_util.dir/random.cc.o"
+  "CMakeFiles/ucr_util.dir/random.cc.o.d"
+  "CMakeFiles/ucr_util.dir/stats.cc.o"
+  "CMakeFiles/ucr_util.dir/stats.cc.o.d"
+  "CMakeFiles/ucr_util.dir/status.cc.o"
+  "CMakeFiles/ucr_util.dir/status.cc.o.d"
+  "CMakeFiles/ucr_util.dir/stopwatch.cc.o"
+  "CMakeFiles/ucr_util.dir/stopwatch.cc.o.d"
+  "CMakeFiles/ucr_util.dir/string_util.cc.o"
+  "CMakeFiles/ucr_util.dir/string_util.cc.o.d"
+  "CMakeFiles/ucr_util.dir/table_printer.cc.o"
+  "CMakeFiles/ucr_util.dir/table_printer.cc.o.d"
+  "libucr_util.a"
+  "libucr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

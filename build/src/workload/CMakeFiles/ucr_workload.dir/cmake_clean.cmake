@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucr_workload.dir/enterprise.cc.o"
+  "CMakeFiles/ucr_workload.dir/enterprise.cc.o.d"
+  "CMakeFiles/ucr_workload.dir/experiments.cc.o"
+  "CMakeFiles/ucr_workload.dir/experiments.cc.o.d"
+  "CMakeFiles/ucr_workload.dir/query_stream.cc.o"
+  "CMakeFiles/ucr_workload.dir/query_stream.cc.o.d"
+  "libucr_workload.a"
+  "libucr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

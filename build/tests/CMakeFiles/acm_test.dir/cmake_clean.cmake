@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acm_test.dir/acm_test.cc.o"
+  "CMakeFiles/acm_test.dir/acm_test.cc.o.d"
+  "acm_test"
+  "acm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

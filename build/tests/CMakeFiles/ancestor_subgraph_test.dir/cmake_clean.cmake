@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ancestor_subgraph_test.dir/ancestor_subgraph_test.cc.o"
+  "CMakeFiles/ancestor_subgraph_test.dir/ancestor_subgraph_test.cc.o.d"
+  "ancestor_subgraph_test"
+  "ancestor_subgraph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ancestor_subgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

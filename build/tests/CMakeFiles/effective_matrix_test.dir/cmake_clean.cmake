@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effective_matrix_test.dir/effective_matrix_test.cc.o"
+  "CMakeFiles/effective_matrix_test.dir/effective_matrix_test.cc.o.d"
+  "effective_matrix_test"
+  "effective_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effective_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_scale_test.dir/enterprise_scale_test.cc.o"
+  "CMakeFiles/enterprise_scale_test.dir/enterprise_scale_test.cc.o.d"
+  "enterprise_scale_test"
+  "enterprise_scale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

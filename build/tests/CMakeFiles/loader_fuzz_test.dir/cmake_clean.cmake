@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loader_fuzz_test.dir/loader_fuzz_test.cc.o"
+  "CMakeFiles/loader_fuzz_test.dir/loader_fuzz_test.cc.o.d"
+  "loader_fuzz_test"
+  "loader_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loader_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_test.dir/mixed_test.cc.o"
+  "CMakeFiles/mixed_test.dir/mixed_test.cc.o.d"
+  "mixed_test"
+  "mixed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_strategy_matrix_test.dir/propagation_strategy_matrix_test.cc.o"
+  "CMakeFiles/propagation_strategy_matrix_test.dir/propagation_strategy_matrix_test.cc.o.d"
+  "propagation_strategy_matrix_test"
+  "propagation_strategy_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_strategy_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_stream_test.dir/query_stream_test.cc.o"
+  "CMakeFiles/query_stream_test.dir/query_stream_test.cc.o.d"
+  "query_stream_test"
+  "query_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relalg_fuzz_test.dir/relalg_fuzz_test.cc.o"
+  "CMakeFiles/relalg_fuzz_test.dir/relalg_fuzz_test.cc.o.d"
+  "relalg_fuzz_test"
+  "relalg_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relalg_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relalg_impl_test.dir/relalg_impl_test.cc.o"
+  "CMakeFiles/relalg_impl_test.dir/relalg_impl_test.cc.o.d"
+  "relalg_impl_test"
+  "relalg_impl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relalg_impl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

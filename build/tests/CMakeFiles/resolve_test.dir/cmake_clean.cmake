@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolve_test.dir/resolve_test.cc.o"
+  "CMakeFiles/resolve_test.dir/resolve_test.cc.o.d"
+  "resolve_test"
+  "resolve_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rights_bag_test.dir/rights_bag_test.cc.o"
+  "CMakeFiles/rights_bag_test.dir/rights_bag_test.cc.o.d"
+  "rights_bag_test"
+  "rights_bag_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rights_bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_strong_test.dir/weak_strong_test.cc.o"
+  "CMakeFiles/weak_strong_test.dir/weak_strong_test.cc.o.d"
+  "weak_strong_test"
+  "weak_strong_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_strong_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
