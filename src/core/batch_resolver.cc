@@ -1,0 +1,80 @@
+#include "core/batch_resolver.h"
+
+#include <optional>
+
+#include "core/resolve.h"
+#include "core/rights_bag.h"
+#include "graph/ancestor_subgraph.h"
+
+namespace ucr::core {
+
+namespace {
+size_t PoolWorkers(size_t threads) { return threads <= 1 ? 0 : threads - 1; }
+}  // namespace
+
+BatchResolver::BatchResolver(const graph::Dag& dag,
+                             const acm::ExplicitAcm& eacm,
+                             BatchResolverOptions options)
+    : dag_(&dag),
+      eacm_(&eacm),
+      options_(options),
+      pool_(PoolWorkers(options.threads)) {}
+
+BatchResolver::BatchResolver(const AccessControlSystem& system, size_t threads)
+    : BatchResolver(system.dag(), system.eacm(), [&] {
+        BatchResolverOptions options;
+        options.threads = threads;
+        options.propagation_mode = system.propagation_mode();
+        return options;
+      }()) {}
+
+acm::Mode BatchResolver::ResolveOne(const Query& query,
+                                    const Strategy& canonical) {
+  // Mirrors AccessControlSystem::CheckAccess step for step; decisions
+  // are deterministic, so sharing them across threads is sound.
+  const uint64_t column_epoch = eacm_->ColumnEpoch(query.object, query.right);
+  if (options_.enable_resolution_cache) {
+    const std::optional<acm::Mode> cached =
+        resolution_cache_.Lookup(query.subject, query.object, query.right,
+                                 canonical, column_epoch);
+    if (cached.has_value()) return *cached;
+  }
+
+  const std::vector<std::optional<acm::Mode>> labels =
+      eacm_->ExtractLabels(dag_->node_count(), query.object, query.right);
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options_.propagation_mode;
+  RightsBag all_rights;
+  if (options_.enable_subgraph_cache) {
+    all_rights = PropagateAggregated(
+        subgraph_cache_.Get(*dag_, query.subject), labels, prop_options);
+  } else {
+    const graph::AncestorSubgraph sub(*dag_, query.subject);
+    all_rights = PropagateAggregated(sub, labels, prop_options);
+  }
+  const acm::Mode mode = Resolve(all_rights, canonical);
+  if (options_.enable_resolution_cache) {
+    resolution_cache_.Store(query.subject, query.object, query.right,
+                            canonical, column_epoch, mode);
+  }
+  return mode;
+}
+
+StatusOr<std::vector<acm::Mode>> BatchResolver::ResolveBatch(
+    std::span<const Query> queries, const Strategy& strategy) {
+  for (const Query& q : queries) {
+    if (q.subject >= dag_->node_count() ||
+        q.object >= eacm_->object_count() ||
+        q.right >= eacm_->right_count()) {
+      return Status::OutOfRange("batch query references unknown ids");
+    }
+  }
+  const Strategy canonical = strategy.Canonical();
+  std::vector<acm::Mode> results(queries.size(), acm::Mode::kNegative);
+  pool_.ParallelFor(0, queries.size(), [&](size_t i) {
+    results[i] = ResolveOne(queries[i], canonical);
+  });
+  return results;
+}
+
+}  // namespace ucr::core

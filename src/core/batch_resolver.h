@@ -1,0 +1,95 @@
+#ifndef UCR_CORE_BATCH_RESOLVER_H_
+#define UCR_CORE_BATCH_RESOLVER_H_
+
+#include <span>
+#include <vector>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/propagate.h"
+#include "core/sharded_cache.h"
+#include "core/strategy.h"
+#include "core/system.h"
+#include "graph/dag.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ucr::core {
+
+/// Options for `BatchResolver`.
+struct BatchResolverOptions {
+  /// Total executors per batch: `threads - 1` pool workers plus the
+  /// calling thread. 0 and 1 both mean "resolve inline".
+  size_t threads = 1;
+
+  /// Share derived decisions across workers (sharded, epoch-guarded).
+  bool enable_resolution_cache = true;
+
+  /// Share extracted ancestor sub-graphs across workers.
+  bool enable_subgraph_cache = true;
+
+  /// Propagation extension mode applied to every query.
+  PropagationMode propagation_mode = PropagationMode::kBoth;
+};
+
+/// \brief Multi-threaded batch query evaluation over one system's
+/// immutable inputs — the serving-path counterpart of
+/// `AccessControlSystem::CheckAccess`.
+///
+/// Where `CheckAccessBatch`'s parallel path resolves every query from
+/// scratch (the facade's caches are unsynchronized), a `BatchResolver`
+/// owns *sharded, thread-safe* caches, so its workers share warm
+/// sub-graphs and decisions exactly like the serial facade does — and
+/// the caches stay warm across batches, which is what a long-running
+/// server wants. Decisions are deterministic, therefore bit-identical
+/// to the serial engine's for any thread count (the differential tests
+/// assert this for all 48 strategies).
+///
+/// The resolver holds const references to the hierarchy and explicit
+/// matrix: both must outlive it and must not be mutated while a batch
+/// is in flight. Mutations *between* batches are safe — resolution
+/// entries are epoch-guarded per column and lapse on their own;
+/// sub-graphs never lapse (the hierarchy is immutable).
+class BatchResolver {
+ public:
+  using Query = AccessControlSystem::AccessQuery;
+
+  BatchResolver(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                BatchResolverOptions options = {});
+
+  /// Convenience: binds to `system`'s hierarchy, matrix, and
+  /// propagation mode, so decisions match `system.CheckAccess`.
+  BatchResolver(const AccessControlSystem& system, size_t threads);
+
+  /// \brief Resolves every query under `strategy`. Results align
+  /// positionally with `queries`.
+  ///
+  /// Validates all ids up front, so worker threads cannot fail; the
+  /// whole batch either resolves or returns the validation error.
+  StatusOr<std::vector<acm::Mode>> ResolveBatch(
+      std::span<const Query> queries, const Strategy& strategy);
+
+  /// Cache observability (exact between batches).
+  const ShardedResolutionCache& resolution_cache() const {
+    return resolution_cache_;
+  }
+  const ShardedSubgraphCache& subgraph_cache() const {
+    return subgraph_cache_;
+  }
+
+  size_t threads() const { return options_.threads; }
+
+ private:
+  acm::Mode ResolveOne(const Query& query, const Strategy& canonical);
+
+  const graph::Dag* dag_;
+  const acm::ExplicitAcm* eacm_;
+  BatchResolverOptions options_;
+  ShardedResolutionCache resolution_cache_;
+  ShardedSubgraphCache subgraph_cache_;
+  ThreadPool pool_;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_BATCH_RESOLVER_H_

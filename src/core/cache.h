@@ -96,7 +96,15 @@ class SubgraphCache {
   size_t size() const { return subgraphs_.size(); }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
-  void Clear() { subgraphs_.clear(); }
+
+  /// Drops the sub-graphs *and* the hit/miss counters: after a clear
+  /// the cache is indistinguishable from a fresh one, so hit-rate
+  /// reporting never mixes epochs of the hierarchy.
+  void Clear() {
+    subgraphs_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
 
  private:
   std::unordered_map<graph::NodeId,

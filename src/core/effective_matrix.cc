@@ -2,13 +2,16 @@
 
 #include <set>
 
+#include "core/propagate.h"
 #include "core/resolve.h"
 #include "core/rights_bag.h"
+#include "util/thread_pool.h"
 
 namespace ucr::core {
 
 StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
-    AccessControlSystem& system, const Strategy& strategy) {
+    const AccessControlSystem& system, const Strategy& strategy,
+    size_t threads) {
   EffectiveMatrix matrix;
   matrix.strategy_ = strategy.Canonical();
   matrix.epoch_ = system.eacm().epoch();
@@ -28,32 +31,60 @@ StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
   for (const auto& e : system.eacm().SortedEntries()) {
     referenced.insert(ColumnKey(e.object, e.right));
   }
-  for (uint32_t key : referenced) {
-    UCR_RETURN_IF_ERROR(matrix.RebuildColumn(system, key));
-  }
+  matrix.RebuildColumns(
+      system, std::vector<uint32_t>(referenced.begin(), referenced.end()),
+      threads);
   return matrix;
 }
 
-Status EffectiveMatrix::RebuildColumn(AccessControlSystem& system,
-                                      uint32_t key) {
+EffectiveMatrix::ColumnBits EffectiveMatrix::ComputeColumn(
+    const AccessControlSystem& system, uint32_t key) const {
   const auto object = static_cast<acm::ObjectId>(key >> 16);
   const auto right = static_cast<acm::RightId>(key & 0xFFFF);
-  UCR_ASSIGN_OR_RETURN(
-      const std::vector<acm::Mode> column,
-      system.MaterializeEffectiveColumn(object, right, strategy_));
+  const std::vector<std::optional<acm::Mode>> labels =
+      system.eacm().ExtractLabels(subject_count_, object, right);
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = system.propagation_mode();
+  const std::vector<RightsBag> bags =
+      PropagateWholeDag(system.dag(), labels, prop_options);
+
+  ColumnBits column;
   const size_t words = (subject_count_ + 63) / 64;
-  std::vector<uint64_t> bits(words, 0);
-  for (size_t v = 0; v < column.size(); ++v) {
-    if (column[v] == acm::Mode::kPositive) {
-      bits[v / 64] |= uint64_t{1} << (v % 64);
+  column.bits.assign(words, 0);
+  for (size_t v = 0; v < bags.size(); ++v) {
+    if (Resolve(bags[v], strategy_) == acm::Mode::kPositive) {
+      column.bits[v / 64] |= uint64_t{1} << (v % 64);
     }
   }
-  columns_[key] = std::move(bits);
-  column_epochs_[key] = system.eacm().ColumnEpoch(object, right);
-  return Status::OK();
+  column.epoch = system.eacm().ColumnEpoch(object, right);
+  return column;
 }
 
-StatusOr<size_t> EffectiveMatrix::Refresh(AccessControlSystem& system) {
+void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
+                                     const std::vector<uint32_t>& keys,
+                                     size_t threads) {
+  std::vector<ColumnBits> derived(keys.size());
+  if (threads <= 1 || keys.size() <= 1) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      derived[i] = ComputeColumn(system, keys[i]);
+    }
+  } else {
+    // Columns share only immutable inputs (the DAG and a read-only
+    // explicit matrix), so each derivation runs lock-free; the caller
+    // counts as one executor, so the pool gets threads - 1 workers.
+    ThreadPool pool(threads - 1);
+    pool.ParallelFor(0, keys.size(), [&](size_t i) {
+      derived[i] = ComputeColumn(system, keys[i]);
+    });
+  }
+  for (size_t i = 0; i < keys.size(); ++i) {
+    columns_[keys[i]] = std::move(derived[i].bits);
+    column_epochs_[keys[i]] = derived[i].epoch;
+  }
+}
+
+StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
+                                          size_t threads) {
   if (system.dag().node_count() != subject_count_) {
     return Status::FailedPrecondition(
         "Refresh requires the same hierarchy the matrix was built from");
@@ -66,20 +97,20 @@ StatusOr<size_t> EffectiveMatrix::Refresh(AccessControlSystem& system) {
   }
   for (const auto& [key, epoch] : column_epochs_) referenced.insert(key);
 
-  size_t refreshed = 0;
+  std::vector<uint32_t> stale;
   for (uint32_t key : referenced) {
     const auto object = static_cast<acm::ObjectId>(key >> 16);
     const auto right = static_cast<acm::RightId>(key & 0xFFFF);
     const uint64_t current = system.eacm().ColumnEpoch(object, right);
     auto it = column_epochs_.find(key);
     if (it != column_epochs_.end() && it->second == current) continue;
-    UCR_RETURN_IF_ERROR(RebuildColumn(system, key));
-    ++refreshed;
+    stale.push_back(key);
   }
+  RebuildColumns(system, stale, threads);
   object_count_ = system.eacm().object_count();
   right_count_ = system.eacm().right_count();
   epoch_ = system.eacm().epoch();
-  return refreshed;
+  return stale.size();
 }
 
 StatusOr<acm::Mode> EffectiveMatrix::Lookup(graph::NodeId subject,

@@ -30,8 +30,16 @@ class EffectiveMatrix {
  public:
   /// Materializes every explicitly-referenced column of `system`'s
   /// matrix under `strategy`.
-  static StatusOr<EffectiveMatrix> Materialize(AccessControlSystem& system,
-                                               const Strategy& strategy);
+  ///
+  /// `threads` > 1 derives columns in parallel on a fixed pool:
+  /// columns are independent given the immutable hierarchy and a
+  /// read-only view of the explicit matrix (each needs one
+  /// whole-graph propagation plus a resolve pass), so the build
+  /// scales near-linearly. The result is bit-identical to the serial
+  /// build — both paths run the same per-column derivation.
+  static StatusOr<EffectiveMatrix> Materialize(
+      const AccessControlSystem& system, const Strategy& strategy,
+      size_t threads = 1);
 
   /// The derived mode for the triple. O(1). Triples of objects/rights
   /// that existed at materialization time but carry no explicit
@@ -55,8 +63,10 @@ class EffectiveMatrix {
   /// explicit change to one (object, right) column can only affect
   /// that column's derived decisions, maintenance is one whole-graph
   /// propagation per *touched* column, not a full rebuild.
-  /// Returns the number of columns refreshed.
-  StatusOr<size_t> Refresh(AccessControlSystem& system);
+  /// Returns the number of columns refreshed. `threads` parallelizes
+  /// the per-column rebuilds exactly like `Materialize`.
+  StatusOr<size_t> Refresh(const AccessControlSystem& system,
+                           size_t threads = 1);
 
   const Strategy& strategy() const { return strategy_; }
   size_t subject_count() const { return subject_count_; }
@@ -68,8 +78,23 @@ class EffectiveMatrix {
  private:
   EffectiveMatrix() = default;
 
-  /// Re-derives one column and records its epoch.
-  Status RebuildColumn(AccessControlSystem& system, uint32_t key);
+  /// One derived column's bit-packed modes plus its source epoch —
+  /// computed from const system state only, so derivations of
+  /// distinct columns can run concurrently.
+  struct ColumnBits {
+    std::vector<uint64_t> bits;
+    uint64_t epoch = 0;
+  };
+
+  /// Derives one column (extract labels → whole-graph propagation →
+  /// resolve each subject's bag). Pure: reads only const state.
+  ColumnBits ComputeColumn(const AccessControlSystem& system,
+                           uint32_t key) const;
+
+  /// (Re)derives `keys` — serially, or on `threads` executors when
+  /// threads > 1 — and installs the results.
+  void RebuildColumns(const AccessControlSystem& system,
+                      const std::vector<uint32_t>& keys, size_t threads);
 
   static uint32_t ColumnKey(acm::ObjectId object, acm::RightId right) {
     return (static_cast<uint32_t>(object) << 16) |

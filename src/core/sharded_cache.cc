@@ -1,0 +1,99 @@
+#include "core/sharded_cache.h"
+
+namespace ucr::core {
+
+std::optional<acm::Mode> ShardedResolutionCache::Lookup(
+    graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+    const Strategy& strategy, uint64_t epoch) {
+  const CacheKey key = Key(subject, object, right, strategy);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  if (it->second.epoch != epoch) {
+    // Stale: the explicit matrix changed since this was derived.
+    shard.entries.erase(it);
+    ++shard.stats.invalidations;
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  ++shard.stats.hits;
+  return it->second.mode;
+}
+
+void ShardedResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
+                                   acm::RightId right,
+                                   const Strategy& strategy, uint64_t epoch,
+                                   acm::Mode mode) {
+  const CacheKey key = Key(subject, object, right, strategy);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.entries[key] = Entry{epoch, mode};
+}
+
+void ShardedResolutionCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.entries.clear();
+    shard.stats = ResolutionCache::Stats{};
+  }
+}
+
+size_t ShardedResolutionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+ResolutionCache::Stats ShardedResolutionCache::stats() const {
+  ResolutionCache::Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.invalidations += shard.stats.invalidations;
+  }
+  return total;
+}
+
+const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
+    const graph::Dag& dag, graph::NodeId subject) {
+  Shard& shard = shards_[subject & (kShardCount - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.subgraphs.find(subject);
+  if (it != shard.subgraphs.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *it->second;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto sub = std::make_unique<graph::AncestorSubgraph>(dag, subject);
+  const graph::AncestorSubgraph& ref = *sub;
+  shard.subgraphs.emplace(subject, std::move(sub));
+  return ref;
+}
+
+void ShardedSubgraphCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.subgraphs.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+size_t ShardedSubgraphCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.subgraphs.size();
+  }
+  return total;
+}
+
+}  // namespace ucr::core

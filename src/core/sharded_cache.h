@@ -1,0 +1,154 @@
+#ifndef UCR_CORE_SHARDED_CACHE_H_
+#define UCR_CORE_SHARDED_CACHE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "acm/acm.h"
+#include "acm/mode.h"
+#include "core/cache.h"
+#include "core/strategy.h"
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+
+namespace ucr::core {
+
+/// \brief Thread-safe, mutex-striped variant of `ResolutionCache`, so
+/// batch workers *share* warm decisions instead of duplicating them —
+/// Crampton & Sellwood's observation that cached path-derived
+/// decisions dominate at scale, applied to the paper's future-work #1.
+///
+/// The key space is split over `kShardCount` shards by key hash; each
+/// shard has its own mutex and map, so concurrent lookups of different
+/// keys rarely contend. Stats are per-shard and lock-protected (no
+/// cross-shard torn reads); `stats()` sums a consistent snapshot per
+/// shard, and after all workers join, hits + misses equals the exact
+/// number of lookups issued.
+///
+/// Epoch semantics are identical to `ResolutionCache`: entries carry
+/// the (object, right) column epoch they were derived at, and a lookup
+/// with a newer epoch evicts and misses.
+class ShardedResolutionCache {
+ public:
+  /// Power of two so the hash → shard map is a mask, and comfortably
+  /// above any realistic worker count (the issue sweeps 1–8 threads).
+  static constexpr size_t kShardCount = 16;
+
+  ShardedResolutionCache() = default;
+
+  ShardedResolutionCache(const ShardedResolutionCache&) = delete;
+  ShardedResolutionCache& operator=(const ShardedResolutionCache&) = delete;
+
+  /// Looks up a cached decision valid at `epoch`. Thread-safe.
+  std::optional<acm::Mode> Lookup(graph::NodeId subject, acm::ObjectId object,
+                                  acm::RightId right, const Strategy& strategy,
+                                  uint64_t epoch);
+
+  /// Stores a decision computed at `epoch`. Thread-safe; last writer
+  /// wins (all writers compute the same deterministic decision, so the
+  /// race is benign).
+  void Store(graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+             const Strategy& strategy, uint64_t epoch, acm::Mode mode);
+
+  /// Drops every entry and resets the stats. Takes all shard locks;
+  /// callers must quiesce concurrent writers if they need the clear to
+  /// be a clean point-in-time cut.
+  void Clear();
+
+  /// Entry count; locks shard-by-shard (exact only while quiescent).
+  size_t size() const;
+
+  /// Summed per-shard stats; exact once concurrent callers joined.
+  ResolutionCache::Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t epoch;
+    acm::Mode mode;
+  };
+
+  struct CacheKey {
+    uint64_t triple;   // subject:32 | object:16 | right:16.
+    uint8_t strategy;  // canonical index, < 48.
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return (k.triple * 0x9E3779B97F4A7C15ull) ^ k.strategy;
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<CacheKey, Entry, CacheKeyHash> entries;
+    ResolutionCache::Stats stats;
+  };
+
+  static CacheKey Key(graph::NodeId s, acm::ObjectId o, acm::RightId r,
+                      const Strategy& strategy) {
+    return CacheKey{(static_cast<uint64_t>(s) << 32) |
+                        (static_cast<uint64_t>(o) << 16) |
+                        static_cast<uint64_t>(r),
+                    strategy.CanonicalIndex()};
+  }
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[CacheKeyHash{}(key) & (kShardCount - 1)];
+  }
+
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// \brief Thread-safe, mutex-striped variant of `SubgraphCache`:
+/// extracted ancestor sub-graphs shared across worker threads.
+///
+/// Shards by subject id. The returned reference is stable for the
+/// cache's lifetime (`unique_ptr` indirection, and entries are only
+/// removed by `Clear`, which the caller must not run concurrently with
+/// `Get`). Extraction happens under the shard lock, so concurrent
+/// requests for one subject extract exactly once and the other callers
+/// block briefly and then share it; requests on other shards proceed
+/// untouched. The hierarchy is immutable, so entries never go stale.
+class ShardedSubgraphCache {
+ public:
+  static constexpr size_t kShardCount = 16;
+
+  ShardedSubgraphCache() = default;
+
+  ShardedSubgraphCache(const ShardedSubgraphCache&) = delete;
+  ShardedSubgraphCache& operator=(const ShardedSubgraphCache&) = delete;
+
+  /// Returns the cached sub-graph of `subject`, extracting on miss.
+  /// Thread-safe; the reference stays valid until `Clear`.
+  const graph::AncestorSubgraph& Get(const graph::Dag& dag,
+                                     graph::NodeId subject);
+
+  /// Drops all sub-graphs and resets the counters (see
+  /// `SubgraphCache::Clear`). Not safe concurrently with `Get`.
+  void Clear();
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<graph::NodeId,
+                       std::unique_ptr<graph::AncestorSubgraph>>
+        subgraphs;
+  };
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_SHARDED_CACHE_H_

@@ -1,10 +1,11 @@
 #include "core/system.h"
 
 #include <algorithm>
+#include <mutex>
 #include <optional>
-#include <thread>
 
 #include "core/propagate.h"
+#include "util/thread_pool.h"
 
 namespace ucr::core {
 
@@ -170,6 +171,7 @@ StatusOr<std::vector<acm::Mode>> AccessControlSystem::CheckAccessBatch(
     }
   }
   std::vector<acm::Mode> results(queries.size(), acm::Mode::kNegative);
+  if (queries.empty()) return results;
 
   if (threads <= 1) {
     for (size_t i = 0; i < queries.size(); ++i) {
@@ -181,32 +183,26 @@ StatusOr<std::vector<acm::Mode>> AccessControlSystem::CheckAccessBatch(
     return results;
   }
 
-  // Parallel path: const access to the hierarchy and matrix only.
+  // Parallel path: const access to the hierarchy and matrix only. The
+  // calling thread participates, so the pool gets threads - 1 workers.
   const Strategy canonical = strategy.Canonical();
-  const size_t worker_count = std::min(threads, queries.size());
-  std::vector<std::thread> workers;
-  std::vector<Status> worker_status(worker_count);
-  workers.reserve(worker_count);
-  for (size_t w = 0; w < worker_count; ++w) {
-    workers.emplace_back([&, w] {
-      ResolveAccessOptions resolve_options;
-      resolve_options.propagation_mode = options_.propagation_mode;
-      for (size_t i = w; i < queries.size(); i += worker_count) {
-        auto mode = ResolveAccess(dag_, eacm_, queries[i].subject,
-                                  queries[i].object, queries[i].right,
-                                  canonical, resolve_options);
-        if (!mode.ok()) {
-          worker_status[w] = mode.status();
-          return;
-        }
-        results[i] = *mode;
-      }
-    });
-  }
-  for (std::thread& t : workers) t.join();
-  for (const Status& status : worker_status) {
-    UCR_RETURN_IF_ERROR(status);
-  }
+  ResolveAccessOptions resolve_options;
+  resolve_options.propagation_mode = options_.propagation_mode;
+  ThreadPool pool(std::min(threads, queries.size()) - 1);
+  std::mutex error_mu;
+  Status first_error;
+  pool.ParallelFor(0, queries.size(), [&](size_t i) {
+    auto mode = ResolveAccess(dag_, eacm_, queries[i].subject,
+                              queries[i].object, queries[i].right, canonical,
+                              resolve_options);
+    if (!mode.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = mode.status();
+      return;
+    }
+    results[i] = *mode;
+  });
+  UCR_RETURN_IF_ERROR(first_error);
   return results;
 }
 

@@ -67,6 +67,13 @@ class AccessControlSystem {
   const graph::Dag& dag() const { return dag_; }
   const acm::ExplicitAcm& eacm() const { return eacm_; }
 
+  /// The propagation extension mode every query of this system applies
+  /// (read by external engines — EffectiveMatrix, BatchResolver — so
+  /// their derivations match this system's own decisions exactly).
+  PropagationMode propagation_mode() const {
+    return options_.propagation_mode;
+  }
+
   /// The strategy used by queries that do not name one.
   const Strategy& strategy() const { return options_.default_strategy; }
 

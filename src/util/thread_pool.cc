@@ -1,0 +1,114 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace ucr {
+
+ThreadPool::ThreadPool(size_t thread_count) {
+  workers_.reserve(thread_count);
+  for (size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Inline pool: run now; nothing for Wait() to wait on.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end,
+                             const std::function<void(size_t)>& body) {
+  if (end <= begin) return;
+  const size_t count = end - begin;
+  if (workers_.empty() || count == 1) {
+    for (size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Dynamic scheduling: workers and the caller race on one shared
+  // index counter, so an expensive iteration never strands cheap ones
+  // behind it. The completion latch is per-call, making concurrent
+  // Submit() traffic on the same pool harmless.
+  struct LoopState {
+    std::atomic<size_t> next;
+    std::mutex mu;
+    std::condition_variable done;
+    size_t pending;
+    explicit LoopState(size_t start, size_t fanout)
+        : next(start), pending(fanout) {}
+  };
+  const size_t fanout = workers_.size() < count ? workers_.size() : count;
+  auto state = std::make_shared<LoopState>(begin, fanout);
+
+  const auto drain = [state, end, &body] {
+    for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+         i < end; i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+      body(i);
+    }
+  };
+  for (size_t t = 0; t < fanout; ++t) {
+    Submit([state, end, body] {  // Copies body: it may outlive the caller's
+                                 // stack frame only via these tasks.
+      for (size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+           i < end; i = state->next.fetch_add(1, std::memory_order_relaxed)) {
+        body(i);
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->done.notify_all();
+    });
+  }
+  drain();  // The caller participates instead of blocking idle.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] { return state->pending == 0; });
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+}  // namespace ucr

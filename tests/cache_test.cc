@@ -84,6 +84,21 @@ TEST(SubgraphCacheTest, DistinctSubjectsDistinctEntries) {
   EXPECT_EQ(cache.size(), 2u);
 }
 
+TEST(SubgraphCacheTest, ClearResetsStatsAlongsideEntries) {
+  // Regression: Clear() used to drop the sub-graphs but keep hits_/
+  // misses_, so hit-rate reporting mixed pre- and post-clear epochs.
+  const PaperExample ex = MakePaperExample();
+  SubgraphCache cache;
+  cache.Get(ex.dag, ex.user);
+  cache.Get(ex.dag, ex.user);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
 TEST(SubgraphCacheTest, ReferencesSurviveRehash) {
   // References returned earlier must stay valid as the cache grows
   // (unique_ptr indirection); fill with many subjects and re-check.

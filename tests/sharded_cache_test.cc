@@ -1,0 +1,178 @@
+#include "core/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/paper_example.h"
+#include "core/strategy.h"
+
+namespace ucr::core {
+namespace {
+
+using acm::Mode;
+
+Strategy S(const char* mnemonic) { return ParseStrategy(mnemonic).value(); }
+
+// -- Single-threaded semantics: must match the unsharded caches. -----
+
+TEST(ShardedResolutionCacheTest, MissThenHit) {
+  ShardedResolutionCache cache;
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("D+LP-"), 5), std::nullopt);
+  cache.Store(1, 0, 0, S("D+LP-"), 5, Mode::kPositive);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("D+LP-"), 5), Mode::kPositive);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ShardedResolutionCacheTest, EpochChangeInvalidates) {
+  ShardedResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 5, Mode::kNegative);
+  EXPECT_EQ(cache.Lookup(1, 0, 0, S("P-"), 6), std::nullopt);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.size(), 0u) << "stale entry must be evicted";
+}
+
+TEST(ShardedResolutionCacheTest, KeysDistinguishAllComponents) {
+  ShardedResolutionCache cache;
+  cache.Store(1, 2, 3, S("P-"), 0, Mode::kNegative);
+  EXPECT_EQ(cache.Lookup(2, 2, 3, S("P-"), 0), std::nullopt);  // Subject.
+  EXPECT_EQ(cache.Lookup(1, 3, 3, S("P-"), 0), std::nullopt);  // Object.
+  EXPECT_EQ(cache.Lookup(1, 2, 4, S("P-"), 0), std::nullopt);  // Right.
+  EXPECT_EQ(cache.Lookup(1, 2, 3, S("P+"), 0), std::nullopt);  // Strategy.
+  EXPECT_EQ(cache.Lookup(1, 2, 3, S("P-"), 0), Mode::kNegative);
+}
+
+TEST(ShardedResolutionCacheTest, ClearDropsEntriesAndResetsStats) {
+  ShardedResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 0, Mode::kNegative);
+  cache.Store(2, 0, 0, S("P-"), 0, Mode::kPositive);
+  (void)cache.Lookup(1, 0, 0, S("P-"), 0);
+  (void)cache.Lookup(9, 0, 0, S("P-"), 0);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+}
+
+// -- Concurrency: the stress test the issue asks for. ----------------
+
+// Hammers one shared cache from many threads with interleaved Store /
+// Lookup traffic across several epochs (simulating explicit-matrix
+// updates racing a query burst), then checks the books balance:
+// every lookup is classified as exactly one hit or miss.
+TEST(ShardedResolutionCacheTest, ConcurrentStoreLookupEpochStress) {
+  ShardedResolutionCache cache;
+  constexpr size_t kThreads = 8;
+  constexpr size_t kOpsPerThread = 20000;
+  constexpr uint32_t kSubjects = 64;
+  constexpr uint64_t kEpochs = 4;
+
+  std::atomic<uint64_t> lookups{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &lookups, t] {
+      // Cheap deterministic per-thread mixing; no shared RNG state.
+      uint64_t x = 0x9E3779B97F4A7C15ull * (t + 1);
+      uint64_t local_lookups = 0;
+      for (size_t op = 0; op < kOpsPerThread; ++op) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const auto subject = static_cast<graph::NodeId>(x % kSubjects);
+        // Epoch advances over the run: later ops see newer epochs,
+        // invalidating entries stored earlier — both paths must count.
+        const uint64_t epoch = (op * kEpochs) / kOpsPerThread;
+        const Strategy strategy = AllStrategies()[x % 48];
+        if ((x >> 20) & 1) {
+          cache.Store(subject, 0, 0, strategy, epoch,
+                      (x >> 21) & 1 ? Mode::kPositive : Mode::kNegative);
+        } else {
+          (void)cache.Lookup(subject, 0, 0, strategy, epoch);
+          ++local_lookups;
+        }
+      }
+      lookups.fetch_add(local_lookups, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const ResolutionCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, lookups.load())
+      << "every lookup must be exactly one hit or one miss";
+  EXPECT_LE(stats.invalidations, stats.misses)
+      << "an invalidation always rides a miss";
+  EXPECT_GT(stats.hits, 0u) << "the keyspace is small; hits must occur";
+}
+
+TEST(ShardedSubgraphCacheTest, ExtractsOnceAndReuses) {
+  const PaperExample ex = MakePaperExample();
+  ShardedSubgraphCache cache;
+  const graph::AncestorSubgraph& first = cache.Get(ex.dag, ex.user);
+  const graph::AncestorSubgraph& second = cache.Get(ex.dag, ex.user);
+  EXPECT_EQ(&first, &second) << "cached sub-graph must be shared";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(first.member_count(), 6u);
+}
+
+TEST(ShardedSubgraphCacheTest, ClearResetsCounters) {
+  const PaperExample ex = MakePaperExample();
+  ShardedSubgraphCache cache;
+  cache.Get(ex.dag, ex.user);
+  cache.Get(ex.dag, ex.user);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// Many threads demand the same handful of sub-graphs; each subject
+// must be extracted exactly once, every caller must get the same
+// object, and hits + misses must equal the number of Get calls.
+TEST(ShardedSubgraphCacheTest, ConcurrentGetSharesOneExtraction) {
+  const PaperExample ex = MakePaperExample();
+  ShardedSubgraphCache cache;
+  const size_t node_count = ex.dag.node_count();
+  constexpr size_t kThreads = 8;
+  constexpr size_t kGetsPerThread = 5000;
+
+  std::vector<std::vector<const graph::AncestorSubgraph*>> seen(
+      kThreads, std::vector<const graph::AncestorSubgraph*>(node_count,
+                                                            nullptr));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t g = 0; g < kGetsPerThread; ++g) {
+        const auto subject =
+            static_cast<graph::NodeId>((g * (t + 1)) % node_count);
+        seen[t][subject] = &cache.Get(ex.dag, subject);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(cache.size(), node_count);
+  EXPECT_EQ(cache.misses(), node_count) << "one extraction per subject";
+  EXPECT_EQ(cache.hits() + cache.misses(), kThreads * kGetsPerThread);
+  for (graph::NodeId v = 0; v < node_count; ++v) {
+    // Thread 0's stride is 1, so it visited every subject.
+    const graph::AncestorSubgraph* reference = seen[0][v];
+    ASSERT_NE(reference, nullptr);
+    for (size_t t = 1; t < kThreads; ++t) {
+      if (seen[t][v] == nullptr) continue;  // Stride skipped this subject.
+      ASSERT_EQ(seen[t][v], reference)
+          << "thread " << t << " saw a different sub-graph for subject "
+          << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ucr {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (const size_t workers : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+    ThreadPool pool(workers);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<uint32_t>> visits(kCount);
+    pool.ParallelFor(0, kCount, [&](size_t i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(visits[i].load(), 1u) << "index " << i << " with " << workers
+                                      << " workers";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(10, 20, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), size_t{145});  // 10 + 11 + ... + 19.
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(5, 5, [&](size_t) { calls.fetch_add(1); });
+  pool.ParallelFor(9, 3, [&](size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsEveryTask) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 200;
+  std::atomic<size_t> done{0};
+  for (size_t t = 0; t < kTasks; ++t) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsSubmittedTasksImmediately) {
+  ThreadPool pool(0);
+  bool ran = false;
+  pool.Submit([&ran] { ran = true; });
+  EXPECT_TRUE(ran);
+  pool.Wait();  // Nothing queued; must not block.
+}
+
+TEST(ThreadPoolTest, SequentialParallelForsReuseTheSamePool) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(0, 64, [&](size_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), size_t{64 * 63 / 2});
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ucr
