@@ -121,6 +121,13 @@ std::vector<std::optional<Mode>> ExplicitAcm::ExtractLabels(
   return labels;
 }
 
+std::span<const ExplicitAcm::ColumnEntry> ExplicitAcm::Column(
+    ObjectId object, RightId right) const {
+  auto it = column_index_.find(ColumnKey(object, right));
+  if (it == column_index_.end()) return {};
+  return it->second;
+}
+
 ExplicitAcm::LabelCounts ExplicitAcm::CountLabels(ObjectId object,
                                                   RightId right) const {
   LabelCounts counts;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -96,6 +97,24 @@ class ExplicitAcm {
                                                  ObjectId object,
                                                  RightId right) const;
 
+  /// One explicit authorization of a (object, right) column.
+  struct ColumnEntry {
+    graph::NodeId subject;
+    Mode mode;
+  };
+
+  /// \brief Sparse view of one (object, right) column: exactly the
+  /// explicit entries, one per labeled subject, in insertion order.
+  ///
+  /// This is the allocation-free counterpart of `ExtractLabels` for
+  /// the hot path (DESIGN.md §7): iterating it costs O(column size)
+  /// instead of materializing a node-count-sized dense vector.
+  /// Subjects are unique within a column; entries may reference
+  /// subjects outside a smaller hierarchy — consumers apply the same
+  /// `subject < subject_count` guard `ExtractLabels` does. The span is
+  /// invalidated by any mutation of the matrix.
+  std::span<const ColumnEntry> Column(ObjectId object, RightId right) const;
+
   /// Counts explicit '+' and '-' authorizations for one (object, right).
   struct LabelCounts {
     size_t positive = 0;
@@ -131,11 +150,6 @@ class ExplicitAcm {
     ++epoch_;
     column_epochs_[ColumnKey(object, right)] = epoch_;
   }
-
-  struct ColumnEntry {
-    graph::NodeId subject;
-    Mode mode;
-  };
 
   std::unordered_map<uint64_t, Mode> entries_;
   std::unordered_map<uint32_t, uint64_t> column_epochs_;

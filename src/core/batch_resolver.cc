@@ -2,14 +2,21 @@
 
 #include <optional>
 
+#include "core/flat_propagate.h"
 #include "core/resolve.h"
 #include "core/rights_bag.h"
 #include "graph/ancestor_subgraph.h"
+#include "graph/scratch_subgraph.h"
 
 namespace ucr::core {
 
 namespace {
 size_t PoolWorkers(size_t threads) { return threads <= 1 ? 0 : threads - 1; }
+
+BatchResolverOptions Clamped(BatchResolverOptions options) {
+  options.threads = ThreadPool::ClampToHardware(options.threads);
+  return options;
+}
 }  // namespace
 
 BatchResolver::BatchResolver(const graph::Dag& dag,
@@ -17,8 +24,8 @@ BatchResolver::BatchResolver(const graph::Dag& dag,
                              BatchResolverOptions options)
     : dag_(&dag),
       eacm_(&eacm),
-      options_(options),
-      pool_(PoolWorkers(options.threads)) {}
+      options_(Clamped(options)),
+      pool_(PoolWorkers(options_.threads)) {}
 
 BatchResolver::BatchResolver(const AccessControlSystem& system, size_t threads)
     : BatchResolver(system.dag(), system.eacm(), [&] {
@@ -40,19 +47,40 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
     if (cached.has_value()) return *cached;
   }
 
-  const std::vector<std::optional<acm::Mode>> labels =
-      eacm_->ExtractLabels(dag_->node_count(), query.object, query.right);
   PropagateOptions prop_options;
   prop_options.propagation_mode = options_.propagation_mode;
-  RightsBag all_rights;
-  if (options_.enable_subgraph_cache) {
-    all_rights = PropagateAggregated(
-        subgraph_cache_.Get(*dag_, query.subject), labels, prop_options);
+
+  acm::Mode mode;
+  if (options_.use_fast_path) {
+    // Allocation-free hot path (DESIGN.md §7). With the sub-graph
+    // cache on, the flat kernel propagates over the shared cached
+    // sub-graph; without it, over an ephemeral scratch-arena view.
+    HotPath& hot = HotPath::ThreadLocal();
+    hot.propagator.SetLabels(eacm_->Column(query.object, query.right),
+                             dag_->node_count());
+    std::span<const RightsEntry> sink_bag;
+    if (options_.enable_subgraph_cache) {
+      sink_bag = hot.propagator.PropagateSink(
+          subgraph_cache_.Get(*dag_, query.subject), prop_options);
+    } else {
+      const graph::ScratchSubgraphView view =
+          hot.scratch.Extract(*dag_, query.subject);
+      sink_bag = hot.propagator.PropagateSink(view, prop_options);
+    }
+    mode = ResolveEntries(sink_bag, canonical);
   } else {
-    const graph::AncestorSubgraph sub(*dag_, query.subject);
-    all_rights = PropagateAggregated(sub, labels, prop_options);
+    const std::vector<std::optional<acm::Mode>> labels =
+        eacm_->ExtractLabels(dag_->node_count(), query.object, query.right);
+    RightsBag all_rights;
+    if (options_.enable_subgraph_cache) {
+      all_rights = PropagateAggregated(
+          subgraph_cache_.Get(*dag_, query.subject), labels, prop_options);
+    } else {
+      const graph::AncestorSubgraph sub(*dag_, query.subject);
+      all_rights = PropagateAggregated(sub, labels, prop_options);
+    }
+    mode = Resolve(all_rights, canonical);
   }
-  const acm::Mode mode = Resolve(all_rights, canonical);
   if (options_.enable_resolution_cache) {
     resolution_cache_.Store(query.subject, query.object, query.right,
                             canonical, column_epoch, mode);

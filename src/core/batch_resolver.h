@@ -19,8 +19,16 @@ namespace ucr::core {
 /// Options for `BatchResolver`.
 struct BatchResolverOptions {
   /// Total executors per batch: `threads - 1` pool workers plus the
-  /// calling thread. 0 and 1 both mean "resolve inline".
+  /// calling thread. 0 and 1 both mean "resolve inline". Clamped to
+  /// `std::thread::hardware_concurrency()` at construction.
   size_t threads = 1;
+
+  /// Resolve cache misses through the per-thread allocation-free hot
+  /// path (scratch arena + flat propagation + streaming resolve;
+  /// DESIGN.md §7). Decisions are bit-identical to the classic
+  /// engines; disable to force the classic path as a differential
+  /// oracle.
+  bool use_fast_path = true;
 
   /// Share derived decisions across workers (sharded, epoch-guarded).
   bool enable_resolution_cache = true;

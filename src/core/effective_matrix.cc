@@ -1,7 +1,8 @@
 #include "core/effective_matrix.h"
 
-#include <set>
+#include <algorithm>
 
+#include "core/flat_propagate.h"
 #include "core/propagate.h"
 #include "core/resolve.h"
 #include "core/rights_bag.h"
@@ -27,32 +28,46 @@ StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
   defaults_only.Normalize();
   matrix.empty_column_mode_ = Resolve(defaults_only, matrix.strategy_);
 
-  std::set<uint32_t> referenced;
+  // Sorted vector + dedup instead of a node-per-key std::set: the key
+  // count is bounded by the entry count, and one sort of a flat array
+  // beats per-insert red-black rebalancing.
+  std::vector<uint32_t> referenced;
+  referenced.reserve(system.eacm().size());
   for (const auto& e : system.eacm().SortedEntries()) {
-    referenced.insert(ColumnKey(e.object, e.right));
+    referenced.push_back(ColumnKey(e.object, e.right));
   }
-  matrix.RebuildColumns(
-      system, std::vector<uint32_t>(referenced.begin(), referenced.end()),
-      threads);
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
+  matrix.RebuildColumns(system, referenced, threads);
   return matrix;
 }
 
 EffectiveMatrix::ColumnBits EffectiveMatrix::ComputeColumn(
-    const AccessControlSystem& system, uint32_t key) const {
+    const AccessControlSystem& system, uint32_t key,
+    std::span<const graph::NodeId> topo) const {
   const auto object = static_cast<acm::ObjectId>(key >> 16);
   const auto right = static_cast<acm::RightId>(key & 0xFFFF);
-  const std::vector<std::optional<acm::Mode>> labels =
-      system.eacm().ExtractLabels(subject_count_, object, right);
   PropagateOptions prop_options;
   prop_options.propagation_mode = system.propagation_mode();
-  const std::vector<RightsBag> bags =
-      PropagateWholeDag(system.dag(), labels, prop_options);
+
+  // Flat whole-graph propagation on this thread's hot-path kernel
+  // (DESIGN.md §7): the sparse column is staged in O(column size) and
+  // all per-subject bags share one pooled buffer, replacing the dense
+  // label vector and the vector<RightsBag> of the classic engine.
+  HotPath& hot = HotPath::ThreadLocal();
+  hot.propagator.SetLabels(system.eacm().Column(object, right),
+                           subject_count_);
+  const FlatDagView view{&system.dag(), topo};
+  hot.propagator.PropagateAll(view, prop_options);
 
   ColumnBits column;
   const size_t words = (subject_count_ + 63) / 64;
   column.bits.assign(words, 0);
-  for (size_t v = 0; v < bags.size(); ++v) {
-    if (Resolve(bags[v], strategy_) == acm::Mode::kPositive) {
+  for (size_t v = 0; v < subject_count_; ++v) {
+    const auto local = static_cast<graph::NodeId>(v);
+    if (ResolveEntries(hot.propagator.bag(local), strategy_) ==
+        acm::Mode::kPositive) {
       column.bits[v / 64] |= uint64_t{1} << (v % 64);
     }
   }
@@ -63,18 +78,21 @@ EffectiveMatrix::ColumnBits EffectiveMatrix::ComputeColumn(
 void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
                                      const std::vector<uint32_t>& keys,
                                      size_t threads) {
+  threads = ThreadPool::ClampToHardware(threads);
+  const std::vector<graph::NodeId> topo = system.dag().TopologicalOrder();
   std::vector<ColumnBits> derived(keys.size());
   if (threads <= 1 || keys.size() <= 1) {
     for (size_t i = 0; i < keys.size(); ++i) {
-      derived[i] = ComputeColumn(system, keys[i]);
+      derived[i] = ComputeColumn(system, keys[i], topo);
     }
   } else {
-    // Columns share only immutable inputs (the DAG and a read-only
-    // explicit matrix), so each derivation runs lock-free; the caller
-    // counts as one executor, so the pool gets threads - 1 workers.
+    // Columns share only immutable inputs (the DAG, a read-only
+    // explicit matrix, one topological order), so each derivation runs
+    // lock-free; the caller counts as one executor, so the pool gets
+    // threads - 1 workers.
     ThreadPool pool(threads - 1);
     pool.ParallelFor(0, keys.size(), [&](size_t i) {
-      derived[i] = ComputeColumn(system, keys[i]);
+      derived[i] = ComputeColumn(system, keys[i], topo);
     });
   }
   for (size_t i = 0; i < keys.size(); ++i) {
@@ -90,12 +108,17 @@ StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
         "Refresh requires the same hierarchy the matrix was built from");
   }
   // Columns can appear (new authorizations on a fresh object/right) or
-  // change; gather every referenced column and compare epochs.
-  std::set<uint32_t> referenced;
+  // change; gather every referenced column and compare epochs. Sorted
+  // vector + dedup, like Materialize.
+  std::vector<uint32_t> referenced;
+  referenced.reserve(system.eacm().size() + column_epochs_.size());
   for (const auto& e : system.eacm().SortedEntries()) {
-    referenced.insert(ColumnKey(e.object, e.right));
+    referenced.push_back(ColumnKey(e.object, e.right));
   }
-  for (const auto& [key, epoch] : column_epochs_) referenced.insert(key);
+  for (const auto& [key, epoch] : column_epochs_) referenced.push_back(key);
+  std::sort(referenced.begin(), referenced.end());
+  referenced.erase(std::unique(referenced.begin(), referenced.end()),
+                   referenced.end());
 
   std::vector<uint32_t> stale;
   for (uint32_t key : referenced) {

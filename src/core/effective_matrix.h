@@ -2,6 +2,7 @@
 #define UCR_CORE_EFFECTIVE_MATRIX_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -86,10 +87,13 @@ class EffectiveMatrix {
     uint64_t epoch = 0;
   };
 
-  /// Derives one column (extract labels → whole-graph propagation →
-  /// resolve each subject's bag). Pure: reads only const state.
-  ColumnBits ComputeColumn(const AccessControlSystem& system,
-                           uint32_t key) const;
+  /// Derives one column (stage the sparse column → flat whole-graph
+  /// propagation → streaming-resolve each subject's bag) on the
+  /// calling thread's hot-path kernel. `topo` is the hierarchy's
+  /// topological order, computed once per rebuild and shared by every
+  /// column. Reads only const system state.
+  ColumnBits ComputeColumn(const AccessControlSystem& system, uint32_t key,
+                           std::span<const graph::NodeId> topo) const;
 
   /// (Re)derives `keys` — serially, or on `threads` executors when
   /// threads > 1 — and installs the results.

@@ -1,0 +1,53 @@
+#include "core/flat_propagate.h"
+
+namespace ucr::core {
+
+void FlatPropagator::SetLabels(
+    std::span<const acm::ExplicitAcm::ColumnEntry> column, size_t node_count) {
+  if (label_stamp_.size() < node_count) {
+    label_stamp_.resize(node_count, 0);
+    label_mode_.resize(node_count, acm::Mode::kNegative);
+  }
+  ++label_epoch_;
+  for (const acm::ExplicitAcm::ColumnEntry& e : column) {
+    if (e.subject < node_count) {
+      label_stamp_[e.subject] = label_epoch_;
+      label_mode_[e.subject] = e.mode;
+    }
+  }
+}
+
+void FlatPropagator::NormalizeMerge() {
+  std::sort(merge_.begin(), merge_.end(),
+            [](const RightsEntry& a, const RightsEntry& b) {
+              if (a.dis != b.dis) return a.dis < b.dis;
+              return a.mode < b.mode;
+            });
+  size_t out = 0;
+  for (size_t i = 0; i < merge_.size(); ++i) {
+    if (out > 0 && merge_[out - 1].dis == merge_[i].dis &&
+        merge_[out - 1].mode == merge_[i].mode) {
+      merge_[out - 1].multiplicity =
+          SatAdd(merge_[out - 1].multiplicity, merge_[i].multiplicity);
+    } else {
+      merge_[out++] = merge_[i];
+    }
+  }
+  merge_.resize(out);
+}
+
+std::span<const RightsEntry> FlatPropagator::MaterializeBag(
+    graph::LocalId v) {
+  out_.clear();
+  for (size_t i = bag_begin_[v]; i < bag_end_[v]; ++i) {
+    out_.push_back(RightsEntry{pool_dis_[i], pool_mode_[i], pool_mult_[i]});
+  }
+  return {out_.data(), out_.size()};
+}
+
+HotPath& HotPath::ThreadLocal() {
+  thread_local HotPath instance;
+  return instance;
+}
+
+}  // namespace ucr::core

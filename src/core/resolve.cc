@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/flat_propagate.h"
+#include "graph/scratch_subgraph.h"
+
 namespace ucr::core {
 
 namespace {
@@ -93,6 +96,17 @@ Counts CountModes(const std::vector<WorkingEntry>& entries) {
   return c;
 }
 
+/// Streaming counterpart of ApplyDefaultRule for a single entry:
+/// nullopt means the entry is dropped (σ mode <> 'd' with dRule = 0).
+std::optional<Mode> EffectiveModeOf(const RightsEntry& e, DefaultRule rule) {
+  if (e.mode == PropagatedMode::kDefault) {
+    if (rule == DefaultRule::kNone) return std::nullopt;
+    return rule == DefaultRule::kPositive ? Mode::kPositive : Mode::kNegative;
+  }
+  return e.mode == PropagatedMode::kPositive ? Mode::kPositive
+                                             : Mode::kNegative;
+}
+
 }  // namespace
 
 std::string ResolveTrace::AuthToString() const {
@@ -170,6 +184,86 @@ acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
   return t.result;
 }
 
+acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
+                         const Strategy& strategy, ResolveTrace* trace) {
+  const Strategy s = strategy.Canonical();
+  ResolveTrace local_trace;
+  ResolveTrace& t = trace != nullptr ? *trace : local_trace;
+  t = ResolveTrace{};
+
+  const Mode preferred = s.preference_rule == PreferenceRule::kPositive
+                             ? Mode::kPositive
+                             : Mode::kNegative;
+
+  // The locality target distance over surviving entries (streaming
+  // min/max replaces the filtered copy of ApplyLocalityFilter).
+  bool any_surviving = false;
+  uint32_t target = 0;
+  if (s.locality_rule != LocalityRule::kIdentity) {
+    for (const RightsEntry& e : all_rights) {
+      if (!EffectiveModeOf(e, s.default_rule).has_value()) continue;
+      if (!any_surviving) {
+        target = e.dis;
+        any_surviving = true;
+      } else {
+        target = s.locality_rule == LocalityRule::kMostSpecific
+                     ? std::min(target, e.dis)
+                     : std::max(target, e.dis);
+      }
+    }
+  }
+  auto survives_locality = [&](const RightsEntry& e) {
+    return s.locality_rule == LocalityRule::kIdentity || e.dis == target;
+  };
+
+  // Lines 4–6: streamed majority counters.
+  if (s.majority_rule != MajorityRule::kSkip) {
+    uint64_t c1 = 0;
+    uint64_t c2 = 0;
+    for (const RightsEntry& e : all_rights) {
+      const std::optional<Mode> mode = EffectiveModeOf(e, s.default_rule);
+      if (!mode.has_value()) continue;
+      if (s.majority_rule == MajorityRule::kAfter && !survives_locality(e)) {
+        continue;
+      }
+      if (*mode == Mode::kPositive) {
+        c1 = SatAdd(c1, e.multiplicity);
+      } else {
+        c2 = SatAdd(c2, e.multiplicity);
+      }
+    }
+    t.c1 = c1;
+    t.c2 = c2;
+    if (c1 != c2) {
+      t.result = c1 > c2 ? Mode::kPositive : Mode::kNegative;
+      t.returned_line = 6;
+      return t.result;
+    }
+  }
+
+  // Lines 7–8: the Auth set of modes surviving the locality filter.
+  t.auth_computed = true;
+  for (const RightsEntry& e : all_rights) {
+    const std::optional<Mode> mode = EffectiveModeOf(e, s.default_rule);
+    if (!mode.has_value() || !survives_locality(e)) continue;
+    if (*mode == Mode::kPositive) {
+      t.auth_has_positive = true;
+    } else {
+      t.auth_has_negative = true;
+    }
+  }
+  if (t.auth_has_positive != t.auth_has_negative) {
+    t.result = t.auth_has_positive ? Mode::kPositive : Mode::kNegative;
+    t.returned_line = 8;
+    return t.result;
+  }
+
+  // Line 9: preference settles conflicts and the empty set.
+  t.result = preferred;
+  t.returned_line = 9;
+  return t.result;
+}
+
 StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
                                   const acm::ExplicitAcm& eacm,
                                   graph::NodeId subject, acm::ObjectId object,
@@ -188,12 +282,24 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
     return Status::OutOfRange("right id out of range");
   }
 
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = options.propagation_mode;
+
+  if (options.use_fast_path && !options.use_literal_engine) {
+    // Allocation-free hot path (DESIGN.md §7): scratch-arena
+    // extraction, sparse column staging, flat propagation, streaming
+    // resolve. Steady state touches no heap.
+    HotPath& hot = HotPath::ThreadLocal();
+    const graph::ScratchSubgraphView view = hot.scratch.Extract(dag, subject);
+    hot.propagator.SetLabels(eacm.Column(object, right), dag.node_count());
+    const std::span<const RightsEntry> sink_bag =
+        hot.propagator.PropagateSink(view, prop_options, stats);
+    return ResolveEntries(sink_bag, strategy, trace);
+  }
+
   const graph::AncestorSubgraph sub(dag, subject);
   const std::vector<std::optional<acm::Mode>> labels =
       eacm.ExtractLabels(dag.node_count(), object, right);
-
-  PropagateOptions prop_options;
-  prop_options.propagation_mode = options.propagation_mode;
 
   RightsBag all_rights;
   if (options.use_literal_engine) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "acm/acm.h"
@@ -54,11 +55,33 @@ struct ResolveTrace {
 acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
                   ResolveTrace* trace = nullptr);
 
+/// \brief Allocation-free variant of `Resolve` over a normalized entry
+/// span (e.g. a `FlatPropagator` bag): the default rule, majority
+/// counters, locality target, and Auth set are all computed by
+/// streaming over the input instead of materializing filtered copies.
+///
+/// Saturating addition is associative and commutative, so the streamed
+/// counters equal the group-merged ones; results and traces are
+/// identical to `Resolve` on the equivalent bag (the differential
+/// tests assert this for all 48 canonical strategies). `all_rights`
+/// must be normalized (sorted by (dis, mode), groups merged) — both
+/// propagation engines only produce normalized bags.
+acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
+                         const Strategy& strategy,
+                         ResolveTrace* trace = nullptr);
+
 /// Options for the end-to-end `ResolveAccess` entry point.
 struct ResolveAccessOptions {
   /// Propagation engine: the aggregated production engine (default) or
   /// the paper-literal tuple queue (for cost-model experiments).
   bool use_literal_engine = false;
+
+  /// Run Steps 1–4 through the per-thread allocation-free hot path
+  /// (scratch-arena extraction + flat propagation + streaming resolve;
+  /// DESIGN.md §7). Decisions are bit-identical to the classic
+  /// engines; disable to force the classic path as a differential
+  /// oracle. Ignored when `use_literal_engine` is set.
+  bool use_fast_path = true;
 
   /// Tuple budget for the literal engine (ignored by the aggregated
   /// engine); see `PropagateLiteral`.

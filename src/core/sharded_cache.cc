@@ -1,5 +1,7 @@
 #include "core/sharded_cache.h"
 
+#include "core/flat_propagate.h"
+
 namespace ucr::core {
 
 std::optional<acm::Mode> ShardedResolutionCache::Lookup(
@@ -72,7 +74,10 @@ const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
     return *it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  auto sub = std::make_unique<graph::AncestorSubgraph>(dag, subject);
+  // Extract through the caller's warm per-thread arena: the shard lock
+  // is held, but the arena is thread-private, so this is race-free.
+  auto sub = std::make_unique<graph::AncestorSubgraph>(
+      dag, subject, HotPath::ThreadLocal().scratch);
   const graph::AncestorSubgraph& ref = *sub;
   shard.subgraphs.emplace(subject, std::move(sub));
   return ref;

@@ -5,6 +5,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "graph/scratch_subgraph.h"
+
 namespace ucr::graph {
 
 namespace {
@@ -60,10 +62,6 @@ AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink) : dag_(&dag) {
   edge_count_ = children_.size();
   assert(parents_.size() == children_.size());
 
-  for (LocalId v = 0; v < n; ++v) {
-    if (parents(v).empty()) roots_.push_back(v);
-  }
-
   // Topological order (Kahn, FIFO: deterministic).
   {
     std::vector<size_t> indegree(n);
@@ -82,6 +80,49 @@ AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink) : dag_(&dag) {
       }
     }
     assert(topo_.size() == n && "subgraph of a DAG must be acyclic");
+  }
+
+  ComputeMetrics();
+
+  // Retain the lookup table for ToLocal() queries.
+  local_index_ = std::move(local);
+}
+
+AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink,
+                                   SubgraphScratch& scratch)
+    : dag_(&dag) {
+  const ScratchSubgraphView view = scratch.Extract(dag, sink);
+  const std::span<const NodeId> members = scratch.members();
+  members_.assign(members.begin(), members.end());
+  sink_local_ = view.sink();
+  const size_t n = members_.size();
+
+  child_offsets_.assign(1, 0);
+  parent_offsets_.assign(1, 0);
+  for (LocalId v = 0; v < n; ++v) {
+    const std::span<const LocalId> cs = view.children(v);
+    children_.insert(children_.end(), cs.begin(), cs.end());
+    child_offsets_.push_back(children_.size());
+    const std::span<const LocalId> ps = view.parents(v);
+    parents_.insert(parents_.end(), ps.begin(), ps.end());
+    parent_offsets_.push_back(parents_.size());
+  }
+  edge_count_ = children_.size();
+
+  const std::span<const LocalId> topo = view.topological_order();
+  topo_.assign(topo.begin(), topo.end());
+
+  ComputeMetrics();
+
+  local_index_.reserve(n);
+  for (LocalId v = 0; v < n; ++v) local_index_.emplace(members_[v], v);
+}
+
+void AncestorSubgraph::ComputeMetrics() {
+  const size_t n = members_.size();
+  roots_.clear();
+  for (LocalId v = 0; v < n; ++v) {
+    if (parents(v).empty()) roots_.push_back(v);
   }
 
   // Distance and path DP in reverse topological order: children are
@@ -113,9 +154,6 @@ AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink) : dag_(&dag) {
     total_path_len_[v] = tl;
   }
   for (LocalId r : roots_) depth_ = std::max(depth_, longest_dist_[r]);
-
-  // Retain the lookup table for ToLocal() queries.
-  local_index_ = std::move(local);
 }
 
 LocalId AncestorSubgraph::ToLocal(NodeId id) const {

@@ -10,6 +10,8 @@
 
 namespace ucr::graph {
 
+class SubgraphScratch;
+
 /// Dense id local to one `AncestorSubgraph` (0 .. member_count-1).
 using LocalId = uint32_t;
 
@@ -31,6 +33,16 @@ class AncestorSubgraph {
   /// Extracts the ancestor sub-graph of `sink`.
   /// Requires `sink < dag.node_count()`.
   AncestorSubgraph(const Dag& dag, NodeId sink);
+
+  /// Same extraction through an epoch-stamped scratch arena
+  /// (`graph/scratch_subgraph.h`): the per-query dedup hash map is
+  /// replaced by the arena's flat visited/local-id arrays, so repeated
+  /// construction on a warm arena touches no per-node hash buckets.
+  /// The resulting object is bit-identical to `AncestorSubgraph(dag,
+  /// sink)` and fully owns its storage — it stays valid after the
+  /// arena is reused. Invalidates live `ScratchSubgraphView`s of
+  /// `scratch`.
+  AncestorSubgraph(const Dag& dag, NodeId sink, SubgraphScratch& scratch);
 
   /// Number of member nodes (ancestors + the sink itself).
   size_t member_count() const { return members_.size(); }
@@ -97,6 +109,10 @@ class AncestorSubgraph {
   uint64_t TotalPathLength(std::span<const LocalId> sources) const;
 
  private:
+  /// Computes roots, distance/path DP, and depth from the already
+  /// filled members/CSR/topo fields (shared by both constructors).
+  void ComputeMetrics();
+
   std::vector<NodeId> members_;          // local -> global
   std::vector<LocalId> roots_;
   std::vector<LocalId> topo_;

@@ -1,0 +1,82 @@
+#include "graph/scratch_subgraph.h"
+
+#include <cassert>
+
+namespace ucr::graph {
+
+void SubgraphScratch::EnsureNodeCapacity(size_t node_count) {
+  if (visited_epoch_.size() < node_count) {
+    visited_epoch_.resize(node_count, 0);
+    local_id_.resize(node_count, kInvalidNode);
+    indegree_.resize(node_count, 0);
+    child_offsets_.resize(node_count + 1, 0);
+    parent_offsets_.resize(node_count + 1, 0);
+  }
+}
+
+ScratchSubgraphView SubgraphScratch::Extract(const Dag& dag, NodeId sink) {
+  assert(sink < dag.node_count());
+  EnsureNodeCapacity(dag.node_count());
+  ++epoch_;
+
+  // Reverse BFS from the sink over parent edges, identical discovery
+  // order to the classic constructor; `members_` doubles as the queue.
+  members_.clear();
+  auto discover = [&](NodeId g) {
+    if (visited_epoch_[g] != epoch_) {
+      visited_epoch_[g] = epoch_;
+      local_id_[g] = static_cast<LocalId>(members_.size());
+      members_.push_back(g);
+    }
+  };
+  discover(sink);
+  sink_local_ = 0;
+  for (size_t head = 0; head < members_.size(); ++head) {
+    for (NodeId p : dag.parents(members_[head])) discover(p);
+  }
+
+  // Intra-subgraph CSR: every parent of a member is a member, so parent
+  // lists copy verbatim; child lists are filtered by the epoch stamp.
+  const size_t n = members_.size();
+  children_.clear();
+  parents_.clear();
+  child_offsets_[0] = 0;
+  parent_offsets_[0] = 0;
+  for (LocalId v = 0; v < n; ++v) {
+    const NodeId g = members_[v];
+    for (NodeId c : dag.children(g)) {
+      if (visited_epoch_[c] == epoch_) children_.push_back(local_id_[c]);
+    }
+    child_offsets_[v + 1] = children_.size();
+    for (NodeId p : dag.parents(g)) {
+      parents_.push_back(local_id_[p]);
+    }
+    parent_offsets_[v + 1] = parents_.size();
+  }
+  assert(parents_.size() == children_.size());
+
+  // Kahn FIFO topological order; `topo_` doubles as the ready queue.
+  topo_.clear();
+  ScratchSubgraphView view(this);
+  for (LocalId v = 0; v < n; ++v) {
+    indegree_[v] = static_cast<uint32_t>(view.parents(v).size());
+    if (indegree_[v] == 0) topo_.push_back(v);
+  }
+  for (size_t head = 0; head < topo_.size(); ++head) {
+    for (LocalId c : view.children(topo_[head])) {
+      if (--indegree_[c] == 0) topo_.push_back(c);
+    }
+  }
+  assert(topo_.size() == n && "subgraph of a DAG must be acyclic");
+  return view;
+}
+
+LocalId SubgraphScratch::ToLocal(NodeId id) const {
+  if (id >= visited_epoch_.size() || visited_epoch_[id] != epoch_ ||
+      epoch_ == 0) {
+    return kInvalidNode;
+  }
+  return local_id_[id];
+}
+
+}  // namespace ucr::graph

@@ -1,0 +1,149 @@
+#ifndef UCR_GRAPH_SCRATCH_SUBGRAPH_H_
+#define UCR_GRAPH_SCRATCH_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+
+namespace ucr::graph {
+
+class SubgraphScratch;
+
+/// \brief A read-only view of the ancestor sub-graph most recently
+/// extracted into a `SubgraphScratch` — the allocation-free stand-in
+/// for `AncestorSubgraph` on the per-query hot path.
+///
+/// The view exposes the subset of the `AncestorSubgraph` interface the
+/// propagation engines consume (members, CSR adjacency, topological
+/// order, sink); the derived path metrics (distances, path counts) are
+/// deliberately absent because no per-query engine needs them. All
+/// spans alias the scratch arena's buffers: the view is invalidated by
+/// the next `Extract` call on the same scratch.
+class ScratchSubgraphView {
+ public:
+  size_t member_count() const;
+  size_t edge_count() const;
+
+  /// Global node id of local member `v`.
+  NodeId global_id(LocalId v) const;
+
+  /// Local id of the extraction sink.
+  LocalId sink() const;
+
+  /// Children of `v` inside the sub-graph.
+  std::span<const LocalId> children(LocalId v) const;
+
+  /// Parents of `v` inside the sub-graph.
+  std::span<const LocalId> parents(LocalId v) const;
+
+  /// Members in a topological order (parents before children).
+  std::span<const LocalId> topological_order() const;
+
+ private:
+  friend class SubgraphScratch;
+  explicit ScratchSubgraphView(const SubgraphScratch* scratch)
+      : scratch_(scratch) {}
+  const SubgraphScratch* scratch_;
+};
+
+/// \brief Epoch-stamped per-thread scratch arena for ancestor
+/// sub-graph extraction (DESIGN.md §7 "Hot-path memory layout").
+///
+/// The classic `AncestorSubgraph` constructor allocates an
+/// `unordered_map<NodeId, LocalId>` per query to densify member ids.
+/// The scratch arena replaces it with two flat arrays indexed by
+/// *global* node id — `visited_epoch` and `local_id` — sized once per
+/// hierarchy and never cleared: a new query bumps the 64-bit epoch
+/// counter, which invalidates every stale stamp in O(1). All other
+/// buffers (member list, CSR adjacency, topological order) are reused
+/// across queries, so steady-state extraction performs zero heap
+/// allocations.
+///
+/// One instance per thread (see `ucr::core::HotPath`); instances are
+/// not thread-safe and views must not outlive the next `Extract`.
+/// A single scratch may serve hierarchies of different sizes: buffers
+/// only ever grow, and the epoch stamp makes stale entries from a
+/// previous hierarchy unreadable.
+class SubgraphScratch {
+ public:
+  SubgraphScratch() = default;
+
+  SubgraphScratch(const SubgraphScratch&) = delete;
+  SubgraphScratch& operator=(const SubgraphScratch&) = delete;
+
+  /// Extracts the ancestor sub-graph of `sink` (paper §3, Step 1) into
+  /// the arena and returns a view of it. Bit-identical topology to
+  /// `AncestorSubgraph(dag, sink)`: same members in the same discovery
+  /// order, same CSR layout, same Kahn-FIFO topological order.
+  /// Requires `sink < dag.node_count()`. Invalidates previous views.
+  ScratchSubgraphView Extract(const Dag& dag, NodeId sink);
+
+  /// Local id of global node `id` in the *current* extraction, or
+  /// `kInvalidNode` if it is not a member (or no extraction is live).
+  LocalId ToLocal(NodeId id) const;
+
+  /// Members of the current extraction (local -> global).
+  std::span<const NodeId> members() const {
+    return {members_.data(), members_.size()};
+  }
+
+ private:
+  friend class ScratchSubgraphView;
+
+  void EnsureNodeCapacity(size_t node_count);
+
+  uint64_t epoch_ = 0;
+  // Global-id-indexed, epoch-stamped: `local_id_[g]` is meaningful only
+  // while `visited_epoch_[g] == epoch_`. Never cleared.
+  std::vector<uint64_t> visited_epoch_;
+  std::vector<LocalId> local_id_;
+
+  // Reused per query (clear() keeps capacity; no steady-state allocs).
+  std::vector<NodeId> members_;  // Doubles as the BFS discovery queue.
+  std::vector<LocalId> topo_;    // Doubles as the Kahn ready queue.
+  std::vector<uint32_t> indegree_;
+  std::vector<size_t> child_offsets_;
+  std::vector<LocalId> children_;
+  std::vector<size_t> parent_offsets_;
+  std::vector<LocalId> parents_;
+  LocalId sink_local_ = 0;
+};
+
+inline size_t ScratchSubgraphView::member_count() const {
+  return scratch_->members_.size();
+}
+
+inline size_t ScratchSubgraphView::edge_count() const {
+  return scratch_->children_.size();
+}
+
+inline NodeId ScratchSubgraphView::global_id(LocalId v) const {
+  return scratch_->members_[v];
+}
+
+inline LocalId ScratchSubgraphView::sink() const {
+  return scratch_->sink_local_;
+}
+
+inline std::span<const LocalId> ScratchSubgraphView::children(
+    LocalId v) const {
+  return {scratch_->children_.data() + scratch_->child_offsets_[v],
+          scratch_->child_offsets_[v + 1] - scratch_->child_offsets_[v]};
+}
+
+inline std::span<const LocalId> ScratchSubgraphView::parents(LocalId v) const {
+  return {scratch_->parents_.data() + scratch_->parent_offsets_[v],
+          scratch_->parent_offsets_[v + 1] - scratch_->parent_offsets_[v]};
+}
+
+inline std::span<const LocalId> ScratchSubgraphView::topological_order()
+    const {
+  return {scratch_->topo_.data(), scratch_->topo_.size()};
+}
+
+}  // namespace ucr::graph
+
+#endif  // UCR_GRAPH_SCRATCH_SUBGRAPH_H_

@@ -1,0 +1,21 @@
+#ifndef UCR_UTIL_ALLOC_COUNTER_H_
+#define UCR_UTIL_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace ucr {
+
+/// \brief Number of global `operator new` invocations (all forms)
+/// since process start.
+///
+/// Only available in binaries that link `ucr_alloc_counter`, whose
+/// translation unit replaces the global allocation functions with
+/// counting wrappers around malloc/free. The counter is process-wide
+/// and atomic; diff two samples around a region to measure its heap
+/// traffic (`bench/hotpath` and the allocation-regression test assert
+/// the hot path's steady state allocates nothing).
+uint64_t AllocationCount();
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_ALLOC_COUNTER_H_

@@ -60,6 +60,16 @@ class ThreadPool {
   /// `hardware_concurrency` with a floor of 1 (the standard permits 0).
   static size_t DefaultThreadCount();
 
+  /// Caps a requested executor count at the hardware concurrency:
+  /// oversubscribing physical cores with CPU-bound query evaluation
+  /// only adds context-switch overhead (measured in
+  /// BENCH_throughput_parallel.json on a 1-CPU host). 0 stays 0
+  /// ("inline", no workers).
+  static size_t ClampToHardware(size_t threads) {
+    const size_t hw = DefaultThreadCount();
+    return threads < hw ? threads : hw;
+  }
+
  private:
   void WorkerLoop();
 

@@ -1,0 +1,143 @@
+// Allocation-regression test for the hot path (DESIGN.md §7): once the
+// per-thread arenas have grown to their steady-state footprint, a
+// fast-path `ResolveAccess` query performs ZERO heap allocations —
+// no hash maps, no label vectors, no per-node bags. This binary links
+// `ucr_alloc_counter`, which replaces the global allocation functions
+// with counting versions (see util/alloc_counter.h).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "acm/acm.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/alloc_counter.h"
+#include "util/random.h"
+
+// Sanitizer builds interpose their own allocator machinery; the strict
+// zero-allocation bound is asserted by the plain build only.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define UCR_ALLOC_TEST_SKIP 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define UCR_ALLOC_TEST_SKIP 1
+#endif
+#endif
+#ifndef UCR_ALLOC_TEST_SKIP
+#define UCR_ALLOC_TEST_SKIP 0
+#endif
+
+namespace ucr::core {
+namespace {
+
+TEST(HotPathAllocTest, CountingAllocatorIsLive) {
+  const uint64_t before = AllocationCount();
+  // A direct call (not a new-expression) cannot be elided by the
+  // compiler's allocation-elision rules.
+  void* probe = ::operator new(64);
+  const uint64_t after = AllocationCount();
+  ::operator delete(probe);
+  EXPECT_GE(after - before, 1u)
+      << "counting operator new is not linked in; the zero-allocation "
+         "assertions below would be vacuous";
+}
+
+TEST(HotPathAllocTest, SteadyStateResolveAccessIsAllocationFree) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+
+  Random rng(91);
+  graph::LayeredDagOptions shape;
+  shape.layers = 5;
+  shape.nodes_per_layer = 12;
+  shape.skip_edge_probability = 0.1;
+  auto dag = graph::GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId object = eacm.InternObject("o").value();
+  const acm::RightId right = eacm.InternRight("r").value();
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (!rng.Bernoulli(0.2)) continue;
+    const acm::Mode mode =
+        rng.Bernoulli(0.4) ? acm::Mode::kNegative : acm::Mode::kPositive;
+    ASSERT_TRUE(eacm.Set(v, object, right, mode).ok());
+  }
+
+  const std::vector<Strategy> strategies = AllStrategies();
+  const auto resolve_all = [&] {
+    for (const PropagationMode mode :
+         {PropagationMode::kBoth, PropagationMode::kFirstWins,
+          PropagationMode::kSecondWins}) {
+      ResolveAccessOptions options;
+      options.propagation_mode = mode;
+      for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+        for (const Strategy& strategy : strategies) {
+          const auto result =
+              ResolveAccess(*dag, eacm, v, object, right, strategy, options);
+          ASSERT_TRUE(result.ok());
+        }
+      }
+    }
+  };
+
+  // Warm-up: arenas, label stamps, and bag pools grow to the largest
+  // sub-graph in the workload. Buffers only ever grow, so one full
+  // sweep reaches the steady state for every query that follows.
+  resolve_all();
+
+  const uint64_t before = AllocationCount();
+  resolve_all();
+  const uint64_t allocations = AllocationCount() - before;
+  EXPECT_EQ(allocations, 0u)
+      << "the fast path allocated on warm arenas — a regression in "
+         "scratch extraction, flat propagation, or streaming resolve";
+}
+
+TEST(HotPathAllocTest, ArenaSwitchReachesSteadyStateAcrossDagSizes) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+
+  Random rng(92);
+  auto small = graph::GenerateRandomTree(16, rng);
+  auto large = graph::GenerateDiamondStack(8);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  acm::ExplicitAcm small_acm, large_acm;
+  const acm::ObjectId o_small = small_acm.InternObject("o").value();
+  const acm::RightId r_small = small_acm.InternRight("r").value();
+  const acm::ObjectId o_large = large_acm.InternObject("o").value();
+  const acm::RightId r_large = large_acm.InternRight("r").value();
+  ASSERT_TRUE(small_acm.Set(0, o_small, r_small, acm::Mode::kPositive).ok());
+  ASSERT_TRUE(large_acm.Set(1, o_large, r_large, acm::Mode::kNegative).ok());
+
+  const Strategy strategy = ParseStrategy("D+LP-").value();
+  const auto sweep = [&] {
+    for (graph::NodeId v = 0; v < small->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*small, small_acm, v, o_small, r_small, strategy)
+              .ok());
+    }
+    for (graph::NodeId v = 0; v < large->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*large, large_acm, v, o_large, r_large, strategy)
+              .ok());
+    }
+  };
+
+  // Alternating between hierarchies of different sizes must not evict
+  // the arenas back to cold: epochs invalidate, capacity stays.
+  sweep();
+  const uint64_t before = AllocationCount();
+  sweep();
+  sweep();
+  EXPECT_EQ(AllocationCount() - before, 0u);
+}
+
+}  // namespace
+}  // namespace ucr::core

@@ -1,0 +1,157 @@
+// The scratch-arena sub-graph extraction must be bit-identical to the
+// classic hash-map extraction: same members in the same order, same
+// CSR adjacency, same topological order, same derived metrics — on
+// paper-scale shapes, adversarial shapes, and randomized DAGs, with
+// one arena reused across many queries and across hierarchies of
+// different sizes.
+
+#include "graph/scratch_subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/ancestor_subgraph.h"
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+void ExpectViewMatchesClassic(const Dag& dag, NodeId sink,
+                              const ScratchSubgraphView& view,
+                              const SubgraphScratch& scratch) {
+  const AncestorSubgraph classic(dag, sink);
+  ASSERT_EQ(view.member_count(), classic.member_count());
+  ASSERT_EQ(view.edge_count(), classic.edge_count());
+  ASSERT_EQ(view.sink(), classic.sink());
+  const auto n = static_cast<LocalId>(classic.member_count());
+  for (LocalId v = 0; v < n; ++v) {
+    ASSERT_EQ(view.global_id(v), classic.global_id(v)) << "local " << v;
+    ASSERT_TRUE(std::ranges::equal(view.children(v), classic.children(v)))
+        << "children of local " << v;
+    ASSERT_TRUE(std::ranges::equal(view.parents(v), classic.parents(v)))
+        << "parents of local " << v;
+  }
+  ASSERT_TRUE(std::ranges::equal(view.topological_order(),
+                                 classic.topological_order()));
+  for (NodeId g = 0; g < dag.node_count(); ++g) {
+    ASSERT_EQ(scratch.ToLocal(g), classic.ToLocal(g)) << "global " << g;
+  }
+}
+
+void ExpectScratchCtorMatchesClassic(const Dag& dag, NodeId sink,
+                                     SubgraphScratch& scratch) {
+  const AncestorSubgraph classic(dag, sink);
+  const AncestorSubgraph fast(dag, sink, scratch);
+  ASSERT_EQ(fast.member_count(), classic.member_count());
+  ASSERT_EQ(fast.edge_count(), classic.edge_count());
+  ASSERT_EQ(fast.sink(), classic.sink());
+  ASSERT_EQ(fast.depth(), classic.depth());
+  const auto n = static_cast<LocalId>(classic.member_count());
+  for (LocalId v = 0; v < n; ++v) {
+    ASSERT_EQ(fast.global_id(v), classic.global_id(v));
+    ASSERT_TRUE(std::ranges::equal(fast.children(v), classic.children(v)));
+    ASSERT_TRUE(std::ranges::equal(fast.parents(v), classic.parents(v)));
+    ASSERT_EQ(fast.shortest_distance_to_sink(v),
+              classic.shortest_distance_to_sink(v));
+    ASSERT_EQ(fast.longest_distance_to_sink(v),
+              classic.longest_distance_to_sink(v));
+    ASSERT_EQ(fast.path_count(v), classic.path_count(v));
+    ASSERT_EQ(fast.total_path_length(v), classic.total_path_length(v));
+  }
+  ASSERT_TRUE(std::ranges::equal(fast.roots(), classic.roots()));
+  ASSERT_TRUE(std::ranges::equal(fast.topological_order(),
+                                 classic.topological_order()));
+  for (NodeId g = 0; g < dag.node_count(); ++g) {
+    ASSERT_EQ(fast.ToLocal(g), classic.ToLocal(g));
+  }
+}
+
+TEST(SubgraphScratchTest, MatchesClassicOnLayeredDagEverySink) {
+  Random rng(3);
+  auto dag = GenerateLayeredDag({}, rng);
+  ASSERT_TRUE(dag.ok());
+  SubgraphScratch scratch;  // One arena across every query.
+  for (NodeId sink = 0; sink < dag->node_count(); ++sink) {
+    const ScratchSubgraphView view = scratch.Extract(*dag, sink);
+    ExpectViewMatchesClassic(*dag, sink, view, scratch);
+  }
+}
+
+TEST(SubgraphScratchTest, MatchesClassicOnDiamondStackAndKDag) {
+  Random rng(5);
+  auto diamonds = GenerateDiamondStack(6);
+  auto kdag = GenerateKDag(24, rng);
+  ASSERT_TRUE(diamonds.ok());
+  ASSERT_TRUE(kdag.ok());
+  SubgraphScratch scratch;
+  for (const Dag* dag : {&*diamonds, &*kdag}) {
+    for (NodeId sink = 0; sink < dag->node_count(); ++sink) {
+      const ScratchSubgraphView view = scratch.Extract(*dag, sink);
+      ExpectViewMatchesClassic(*dag, sink, view, scratch);
+    }
+  }
+}
+
+TEST(SubgraphScratchTest, ScratchBackedConstructorMatchesClassic) {
+  Random rng(11);
+  LayeredDagOptions shape;
+  shape.layers = 5;
+  shape.nodes_per_layer = 10;
+  shape.skip_edge_probability = 0.2;
+  auto dag = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+  SubgraphScratch scratch;
+  for (NodeId sink = 0; sink < dag->node_count(); ++sink) {
+    ExpectScratchCtorMatchesClassic(*dag, sink, scratch);
+  }
+}
+
+TEST(SubgraphScratchTest, SurvivesSwitchingBetweenDagsOfDifferentSizes) {
+  Random rng(17);
+  auto small = GenerateRandomTree(12, rng);
+  LayeredDagOptions shape;
+  shape.layers = 6;
+  shape.nodes_per_layer = 12;
+  auto large = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  SubgraphScratch scratch;
+  // Interleave: stale stamps from the larger hierarchy must never leak
+  // into the smaller one (epochs, not clears, invalidate state).
+  for (int round = 0; round < 3; ++round) {
+    for (const Dag* dag : {&*small, &*large, &*small}) {
+      const NodeId sink = static_cast<NodeId>(
+          rng.Uniform(static_cast<uint64_t>(dag->node_count())));
+      const ScratchSubgraphView view = scratch.Extract(*dag, sink);
+      ExpectViewMatchesClassic(*dag, sink, view, scratch);
+    }
+  }
+}
+
+TEST(SubgraphScratchTest, ToLocalRejectsNonMembersAndForeignIds) {
+  DagBuilder builder;
+  builder.AddNode("root");
+  builder.AddNode("mid");
+  builder.AddNode("sink");
+  builder.AddNode("bystander");
+  ASSERT_TRUE(builder.AddEdge("root", "mid").ok());
+  ASSERT_TRUE(builder.AddEdge("mid", "sink").ok());
+  ASSERT_TRUE(builder.AddEdge("root", "bystander").ok());
+  auto dag = std::move(builder).Build();
+  ASSERT_TRUE(dag.ok());
+
+  SubgraphScratch scratch;
+  EXPECT_EQ(scratch.ToLocal(0), kInvalidNode) << "no extraction yet";
+  scratch.Extract(*dag, dag->FindNode("sink"));
+  EXPECT_EQ(scratch.ToLocal(dag->FindNode("bystander")), kInvalidNode);
+  EXPECT_EQ(scratch.ToLocal(static_cast<NodeId>(dag->node_count() + 7)),
+            kInvalidNode);
+  EXPECT_NE(scratch.ToLocal(dag->FindNode("mid")), kInvalidNode);
+}
+
+}  // namespace
+}  // namespace ucr::graph
