@@ -19,6 +19,8 @@
 #include "util/table_printer.h"
 #include "workload/enterprise.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
@@ -156,5 +158,6 @@ int main() {
                "lookups; updates cost\none epoch bump plus lazy re-derivation "
                "of touched entries only — supporting the\npaper's conjecture "
                "that caching derived authorizations pays off.\n";
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_cache");
   return 0;
 }

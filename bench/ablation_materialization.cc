@@ -21,6 +21,8 @@
 #include "util/table_printer.h"
 #include "workload/enterprise.h"
 
+#include "bench_obs.h"
+
 int main() {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -168,5 +170,6 @@ int main() {
       "epoch-validated cache, see ablation_cache) never pays\nmore than "
       "the touched entries.\n",
       granted_lookup);
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_materialization");
   return 0;
 }

@@ -19,6 +19,8 @@
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
@@ -132,5 +134,6 @@ int main() {
                "per-authorization\nconvolution — same asymptotics as the "
                "subject-only pipeline, roughly doubled\nconstants at equal "
                "sizes.\n";
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_mixed");
   return 0;
 }

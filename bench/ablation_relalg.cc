@@ -28,6 +28,8 @@
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
@@ -170,5 +172,6 @@ int main() {
          "cannot run at all, and the\nrelational-algebra reference costs "
          "orders of magnitude more than the native\nengine — the price of "
          "operator-literal fidelity, paid only in tests.\n";
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_relalg");
   return 0;
 }

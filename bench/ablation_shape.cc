@@ -15,6 +15,8 @@
 #include "util/table_printer.h"
 #include "workload/experiments.h"
 
+#include "bench_obs.h"
+
 int main() {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -68,5 +70,6 @@ int main() {
          "Resolve()'s literal cost —\nsuper-linearly while the hierarchy "
          "size never changes. This is §5's point:\ntree-only solutions "
          "dodge exactly the regime real systems live in.\n";
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_shape");
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "util/table_printer.h"
 #include "workload/enterprise.h"
 
+#include "bench_obs.h"
+
 int main() {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -143,5 +145,6 @@ int main() {
       "   where strategies differ on the paper's own example).\n",
       users.size(), 100.0 * total_disagree / static_cast<double>(pair_count),
       100.0 * max_disagree, max_pair.c_str(), identical_pairs, pair_count);
+  ucr::bench_obs::EmitMetricsSnapshot("ablation_strategies");
   return 0;
 }

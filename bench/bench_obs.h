@@ -1,0 +1,37 @@
+// Shared tail-of-run metrics exposition for the bench binaries
+// (DESIGN.md §8). Every bench ends by printing one machine-readable
+// snapshot of the process-wide registry so the BENCH_*.json collectors
+// capture the run's counters and histograms next to its timing rows:
+//
+//   JSON {"bench":"<name>","section":"metrics_snapshot","metrics":{...}}
+//
+// The snapshot is validated before printing and the process aborts on
+// malformed JSON — the smoke-mode CI runs double as the check that the
+// exposition surface stays parseable.
+
+#ifndef UCR_BENCH_BENCH_OBS_H_
+#define UCR_BENCH_BENCH_OBS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ucr::bench_obs {
+
+inline void EmitMetricsSnapshot(const char* bench) {
+  const std::string metrics = obs::Registry::Global().RenderJson();
+  if (!obs::JsonLooksValid(metrics)) {
+    std::cerr << "FATAL: " << bench
+              << " metrics snapshot is not valid JSON\n";
+    std::abort();
+  }
+  std::cout << "JSON {\"bench\":\"" << bench
+            << "\",\"section\":\"metrics_snapshot\",\"metrics\":" << metrics
+            << "}\n";
+}
+
+}  // namespace ucr::bench_obs
+
+#endif  // UCR_BENCH_BENCH_OBS_H_

@@ -23,6 +23,8 @@
 #include "util/table_printer.h"
 #include "workload/experiments.h"
 
+#include "bench_obs.h"
+
 int main(int argc, char** argv) {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -86,5 +88,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper: \"for small authorization rates ... the running "
                "time is linearly\nproportional to the authorization rates\" "
                "— reproduced if R^2 is near 1.\n";
+  ucr::bench_obs::EmitMetricsSnapshot("fig6_kdag_sweep");
   return 0;
 }

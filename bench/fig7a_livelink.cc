@@ -25,6 +25,8 @@
 #include "util/table_printer.h"
 #include "workload/experiments.h"
 
+#include "bench_obs.h"
+
 int main(int argc, char** argv) {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -136,5 +138,6 @@ int main(int argc, char** argv) {
       "occasionally\n  higher\").\n",
       dominance_faster, result->rows.size(), dominance_slower,
       dominance_more_work);
+  ucr::bench_obs::EmitMetricsSnapshot("fig7a_livelink");
   return 0;
 }

@@ -21,6 +21,8 @@
 #include "util/table_printer.h"
 #include "workload/experiments.h"
 
+#include "bench_obs.h"
+
 int main(int argc, char** argv) {
   using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
 
@@ -95,5 +97,6 @@ int main(int argc, char** argv) {
       "exponential: the diamond-stack blow-up of §3.3 does not occur in\n"
       "organization-shaped hierarchies.\n",
       fit.intercept, fit.slope, fit.r_squared, worst_ratio, worst_nodes);
+  ucr::bench_obs::EmitMetricsSnapshot("fig7b_paths_vs_nodes");
   return 0;
 }

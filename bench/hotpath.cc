@@ -35,6 +35,8 @@
 #include "workload/enterprise.h"
 #include "workload/query_stream.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
@@ -190,5 +192,7 @@ int main(int argc, char** argv) {
                "staging, and streaming resolution — zero\nsteady-state heap "
                "allocations per query.\n\n";
   for (const SectionResult& r : results) std::cout << JsonLine(r) << "\n";
+  PublishAllocationGauge();  // ucr_heap_allocations joins the snapshot.
+  ucr::bench_obs::EmitMetricsSnapshot("hotpath");
   return 0;
 }

@@ -20,6 +20,8 @@
 #include "graph/ancestor_subgraph.h"
 #include "util/table_printer.h"
 
+#include "bench_obs.h"
+
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
@@ -140,5 +142,6 @@ int main() {
             << (failures == 0 ? "ALL TABLES MATCH the publication."
                               : "TABLES DEVIATE from the publication!")
             << "\n";
+  ucr::bench_obs::EmitMetricsSnapshot("repro_tables");
   return failures == 0 ? 0 : 1;
 }

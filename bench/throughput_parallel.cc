@@ -15,6 +15,7 @@
 // only.
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -30,6 +31,8 @@
 #include "util/thread_pool.h"
 #include "workload/enterprise.h"
 #include "workload/query_stream.h"
+
+#include "bench_obs.h"
 
 namespace {
 
@@ -88,10 +91,16 @@ double Rate(uint64_t hits, uint64_t misses) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
   constexpr uint64_t kSeed = 42;
-  constexpr size_t kQueries = 30000;
-  const size_t thread_counts[] = {1, 2, 4, 8};
+  const size_t kQueries = smoke ? 2000 : 30000;
+  const std::vector<size_t> thread_counts =
+      smoke ? std::vector<size_t>{1, 2} : std::vector<size_t>{1, 2, 4, 8};
   const core::Strategy strategy = core::ParseStrategy("D+LP-").value();
 
   core::AccessControlSystem system = MakeSystem(kSeed);
@@ -106,7 +115,8 @@ int main() {
             << "enterprise hierarchy: " << system.dag().node_count()
             << " subjects, " << system.eacm().size()
             << " explicit authorizations; " << kQueries
-            << " hot-set queries, strategy D+LP-\n"
+            << " hot-set queries, strategy D+LP-"
+            << (smoke ? " (smoke)" : "") << "\n"
             << "host concurrency: " << ThreadPool::DefaultThreadCount()
             << " (speedup is bounded by this)\n\n";
 
@@ -167,5 +177,6 @@ int main() {
                "added threads scale the independent\nwork (propagation) "
                "without duplicating the shared state.\n\n";
   for (const std::string& line : json_lines) std::cout << line << "\n";
+  ucr::bench_obs::EmitMetricsSnapshot("throughput_parallel");
   return 0;
 }

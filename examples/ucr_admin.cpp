@@ -14,6 +14,8 @@
 //   ucr_admin set-strategy <file> <mnemonic>
 //   ucr_admin check   <file> <subject> <object> <right>
 //   ucr_admin explain <file> <subject> <object> <right>
+//   ucr_admin metrics <file> [prom|json]       sweep + metrics snapshot
+//   ucr_admin trace   <file> <subject> <object> <right>
 
 #include <functional>
 #include <iostream>
@@ -25,6 +27,8 @@
 #include "core/storage.h"
 #include "core/strategy.h"
 #include "core/system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -66,12 +70,82 @@ int WithSystem(const std::string& path,
   return rc;
 }
 
+// Runs every ⟨subject, object, right⟩ query in the system once so the
+// metrics snapshot reflects a full decision sweep, then renders the
+// registry. `format` is "prom", "json", or "" (both).
+int Metrics(const std::string& path, const std::string& format) {
+  return WithSystem(path, [&](core::AccessControlSystem& system) {
+    const size_t subjects = system.dag().node_count();
+    const size_t objects = system.eacm().object_count();
+    const size_t rights = system.eacm().right_count();
+    // Latency histograms only record sampled queries (the hot path
+    // skips the clock for the rest); sweep at interval 1 so every
+    // decision lands in the histograms, then restore.
+    const uint64_t previous = obs::QueryTracer::Global().sample_interval();
+    obs::QueryTracer::Global().SetSampleInterval(1);
+    for (size_t s = 0; s < subjects; ++s) {
+      for (size_t o = 0; o < objects; ++o) {
+        for (size_t r = 0; r < rights; ++r) {
+          auto mode = system.CheckAccess(
+              static_cast<graph::NodeId>(s), static_cast<acm::ObjectId>(o),
+              static_cast<acm::RightId>(r), system.strategy());
+          if (!mode.ok()) return Fail(mode.status());
+        }
+      }
+    }
+    obs::QueryTracer::Global().SetSampleInterval(previous);
+    if (format.empty() || format == "prom") {
+      std::cout << obs::Registry::Global().RenderPrometheus();
+    }
+    if (format.empty() || format == "json") {
+      const std::string json = obs::Registry::Global().RenderJson();
+      if (!obs::JsonLooksValid(json)) {
+        return Fail(
+            Status::FailedPrecondition("metrics JSON failed validation"));
+      }
+      std::cout << json << "\n";
+    }
+    return 0;
+  }, /*save_back=*/false);
+}
+
+// Forces the tracer to sample the next query, runs it, and prints the
+// audit-grade record: the Fig. 4 derivation plus the full span JSON.
+int Trace(const std::string& path, const std::string& subject,
+          const std::string& object, const std::string& right) {
+  return WithSystem(path, [&](core::AccessControlSystem& system) {
+    const uint64_t previous = obs::QueryTracer::Global().sample_interval();
+    obs::QueryTracer::Global().SetSampleInterval(1);
+    auto mode = system.CheckAccessByName(subject, object, right);
+    obs::QueryTracer::Global().SetSampleInterval(previous);
+    if (!mode.ok()) return Fail(mode.status());
+    const std::vector<obs::QueryTraceRecord> records =
+        obs::QueryTracer::Global().Snapshot();
+    if (records.empty()) {
+      return Fail(Status::FailedPrecondition(
+          "no trace captured (built with UCR_METRICS=OFF?)"));
+    }
+    const obs::QueryTraceRecord& record = records.back();
+    const core::Strategy& strategy =
+        core::AllStrategies()[record.strategy_index];
+    std::cout << subject << (mode.value() == acm::Mode::kPositive
+                                 ? " MAY "
+                                 : " may NOT ")
+              << right << " " << object << " (strategy "
+              << strategy.ToMnemonic() << ")\n"
+              << obs::ToFig4String(record) << "\n"
+              << obs::ToJson(record) << "\n";
+    return 0;
+  }, /*save_back=*/false);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
       "usage: ucr_admin <demo|info|grant|deny|revoke|add-member|"
-      "remove-member|set-strategy|check|explain> <file> [args...]\n";
+      "remove-member|set-strategy|check|explain|metrics|trace> "
+      "<file> [args...]\n";
   if (argc < 3) {
     std::cerr << usage;
     return 2;
@@ -126,6 +200,19 @@ int main(int argc, char** argv) {
     }, /*save_back=*/true);
   }
 
+  if (command == "metrics") {
+    if (argc != 3 && argc != 4) {
+      std::cerr << usage;
+      return 2;
+    }
+    const std::string format = argc == 4 ? argv[3] : "";
+    if (!format.empty() && format != "prom" && format != "json") {
+      std::cerr << "metrics format must be 'prom' or 'json'\n";
+      return 2;
+    }
+    return Metrics(path, format);
+  }
+
   if (argc != 6) {
     std::cerr << usage;
     return 2;
@@ -145,6 +232,8 @@ int main(int argc, char** argv) {
       return 0;
     }, /*save_back=*/true);
   }
+
+  if (command == "trace") return Trace(path, subject, object, right);
 
   if (command == "check" || command == "explain") {
     return WithSystem(path, [&](core::AccessControlSystem& system) {

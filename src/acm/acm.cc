@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace ucr::acm {
 
 namespace {
+
+/// Counts successful explicit-matrix mutations — the events that bump
+/// column epochs and therefore lapse cached derived decisions.
+/// Exposed so operators can correlate cache invalidation spikes with
+/// policy churn (DESIGN.md §8).
+void CountMutation() {
+  if constexpr (obs::kEnabled) {
+    static obs::Counter& mutations = obs::Registry::Global().GetCounter(
+        "ucr_eacm_mutations_total",
+        "Explicit ACM mutations (grants, denies, revocations)");
+    mutations.Inc();
+  }
+}
 
 template <typename IdType>
 StatusOr<IdType> Intern(std::string_view name, std::vector<std::string>& names,
@@ -62,6 +76,7 @@ Status ExplicitAcm::Set(graph::NodeId subject, ObjectId object, RightId right,
   column_index_[ColumnKey(object, right)].push_back(
       ColumnEntry{subject, mode});
   BumpEpoch(object, right);
+  CountMutation();
   return Status::OK();
 }
 
@@ -79,6 +94,7 @@ void ExplicitAcm::Overwrite(graph::NodeId subject, ObjectId object,
   }
   if (!updated) column.push_back(ColumnEntry{subject, mode});
   BumpEpoch(object, right);
+  CountMutation();
 }
 
 bool ExplicitAcm::Erase(graph::NodeId subject, ObjectId object,
@@ -94,6 +110,7 @@ bool ExplicitAcm::Erase(graph::NodeId subject, ObjectId object,
       }
     }
     BumpEpoch(object, right);
+    CountMutation();
   }
   return erased;
 }

@@ -7,6 +7,8 @@
 #include "core/rights_bag.h"
 #include "graph/ancestor_subgraph.h"
 #include "graph/scratch_subgraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ucr::core {
 
@@ -16,6 +18,63 @@ size_t PoolWorkers(size_t threads) { return threads <= 1 ? 0 : threads - 1; }
 BatchResolverOptions Clamped(BatchResolverOptions options) {
   options.threads = ThreadPool::ClampToHardware(options.threads);
   return options;
+}
+
+/// Serving-path telemetry (DESIGN.md §8): per-query counters/latency
+/// for the batch engine, distinct from the uncached ResolveAccess
+/// family so dashboards can separate cold derivations from served
+/// traffic. Lock-free, allocation-free recording.
+struct BatchMetrics {
+  obs::Counter& queries = obs::Registry::Global().GetCounter(
+      "ucr_batch_queries_total", "Queries answered by BatchResolver");
+  obs::Counter& batches = obs::Registry::Global().GetCounter(
+      "ucr_batch_batches_total", "ResolveBatch invocations");
+  obs::Histogram& latency = obs::Registry::Global().GetHistogram(
+      "ucr_batch_query_latency_ns",
+      "Per-query latency inside ResolveBatch, cache hits included (ns)");
+};
+
+BatchMetrics& GetBatchMetrics() {
+  static BatchMetrics* metrics = new BatchMetrics();
+  return *metrics;
+}
+
+/// Trace record for a batch query: identical Fig. 4 payload to the
+/// ResolveAccess tracer, plus the cache interactions. A resolution
+/// cache hit records no stage spans and no Fig. 4 derivation of its
+/// own (the derivation happened when the entry was stored).
+[[gnu::noinline, gnu::cold]] void RecordBatchTrace(const BatchResolver::Query& query,
+                      const Strategy& canonical, bool fast_path,
+                      bool resolution_hit, bool subgraph_hit,
+                      uint64_t t_start, uint64_t t_propagate, uint64_t t_end,
+                      const ResolveTrace* trace, acm::Mode mode) {
+  obs::QueryTraceRecord record;
+  record.subject = query.subject;
+  record.object = query.object;
+  record.right = query.right;
+  record.strategy_index = canonical.CanonicalIndex();
+  record.fast_path = fast_path;
+  record.resolution_cache_hit = resolution_hit;
+  record.subgraph_cache_hit = subgraph_hit;
+  if (!resolution_hit) {
+    // Extraction and propagation are fused in the batch engine (the
+    // flat kernel pulls from the sub-graph cache internally), so the
+    // pipeline splits into propagate (Steps 1-3) and resolve (Step 4).
+    record.propagate_ns = t_propagate - t_start;
+    record.resolve_ns = t_end - t_propagate;
+  }
+  record.total_ns = t_end - t_start;
+  if (trace != nullptr) {
+    record.has_majority = trace->c1.has_value();
+    record.c1 = trace->c1.value_or(0);
+    record.c2 = trace->c2.value_or(0);
+    record.auth_computed = trace->auth_computed;
+    record.auth_has_positive = trace->auth_has_positive;
+    record.auth_has_negative = trace->auth_has_negative;
+    record.returned_line = trace->returned_line;
+  }
+  record.granted = mode == acm::Mode::kPositive;
+  obs::QueryTracer::Global().Record(record);
 }
 }  // namespace
 
@@ -37,6 +96,12 @@ BatchResolver::BatchResolver(const AccessControlSystem& system, size_t threads)
 
 acm::Mode BatchResolver::ResolveOne(const Query& query,
                                     const Strategy& canonical) {
+  // Per-query telemetry mirrors ResolveAccess: unsampled queries pay
+  // one countdown and one counter increment; clock reads, the latency
+  // histogram, and the Fig. 4 trace fire only for sampled queries.
+  const bool sampled = obs::QueryTracer::ShouldSample();
+  const uint64_t t_start = sampled ? obs::NowNs() : 0;
+
   // Mirrors AccessControlSystem::CheckAccess step for step; decisions
   // are deterministic, so sharing them across threads is sound.
   const uint64_t column_epoch = eacm_->ColumnEpoch(query.object, query.right);
@@ -44,13 +109,29 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
     const std::optional<acm::Mode> cached =
         resolution_cache_.Lookup(query.subject, query.object, query.right,
                                  canonical, column_epoch);
-    if (cached.has_value()) return *cached;
+    if (cached.has_value()) {
+      if constexpr (obs::kEnabled) {
+        GetBatchMetrics().queries.Inc();
+        if (sampled) [[unlikely]] {
+          const uint64_t t_end = obs::NowNs();
+          GetBatchMetrics().latency.Observe(t_end - t_start);
+          RecordBatchTrace(query, canonical, options_.use_fast_path,
+                           /*resolution_hit=*/true, /*subgraph_hit=*/false,
+                           t_start, t_start, t_end, nullptr, *cached);
+        }
+      }
+      return *cached;
+    }
   }
 
   PropagateOptions prop_options;
   prop_options.propagation_mode = options_.propagation_mode;
 
   acm::Mode mode;
+  bool subgraph_hit = false;
+  uint64_t t_propagate = 0;
+  ResolveTrace sampled_trace;
+  ResolveTrace* trace_out = sampled ? &sampled_trace : nullptr;
   if (options_.use_fast_path) {
     // Allocation-free hot path (DESIGN.md §7). With the sub-graph
     // cache on, the flat kernel propagates over the shared cached
@@ -61,29 +142,43 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
     std::span<const RightsEntry> sink_bag;
     if (options_.enable_subgraph_cache) {
       sink_bag = hot.propagator.PropagateSink(
-          subgraph_cache_.Get(*dag_, query.subject), prop_options);
+          subgraph_cache_.Get(*dag_, query.subject, &subgraph_hit),
+          prop_options);
     } else {
       const graph::ScratchSubgraphView view =
           hot.scratch.Extract(*dag_, query.subject);
       sink_bag = hot.propagator.PropagateSink(view, prop_options);
     }
-    mode = ResolveEntries(sink_bag, canonical);
+    t_propagate = sampled ? obs::NowNs() : 0;
+    mode = ResolveEntries(sink_bag, canonical, trace_out);
   } else {
     const std::vector<std::optional<acm::Mode>> labels =
         eacm_->ExtractLabels(dag_->node_count(), query.object, query.right);
     RightsBag all_rights;
     if (options_.enable_subgraph_cache) {
       all_rights = PropagateAggregated(
-          subgraph_cache_.Get(*dag_, query.subject), labels, prop_options);
+          subgraph_cache_.Get(*dag_, query.subject, &subgraph_hit), labels,
+          prop_options);
     } else {
       const graph::AncestorSubgraph sub(*dag_, query.subject);
       all_rights = PropagateAggregated(sub, labels, prop_options);
     }
-    mode = Resolve(all_rights, canonical);
+    t_propagate = sampled ? obs::NowNs() : 0;
+    mode = Resolve(all_rights, canonical, trace_out);
   }
   if (options_.enable_resolution_cache) {
     resolution_cache_.Store(query.subject, query.object, query.right,
                             canonical, column_epoch, mode);
+  }
+  if constexpr (obs::kEnabled) {
+    GetBatchMetrics().queries.Inc();
+    if (sampled) [[unlikely]] {
+      const uint64_t t_end = obs::NowNs();
+      GetBatchMetrics().latency.Observe(t_end - t_start);
+      RecordBatchTrace(query, canonical, options_.use_fast_path,
+                       /*resolution_hit=*/false, subgraph_hit, t_start,
+                       t_propagate, t_end, trace_out, mode);
+    }
   }
   return mode;
 }
@@ -98,6 +193,7 @@ StatusOr<std::vector<acm::Mode>> BatchResolver::ResolveBatch(
     }
   }
   const Strategy canonical = strategy.Canonical();
+  if constexpr (obs::kEnabled) GetBatchMetrics().batches.Inc();
   std::vector<acm::Mode> results(queries.size(), acm::Mode::kNegative);
   pool_.ParallelFor(0, queries.size(), [&](size_t i) {
     results[i] = ResolveOne(queries[i], canonical);

@@ -1,15 +1,28 @@
 #include "core/cache.h"
 
+#include "obs/metrics.h"
+
 namespace ucr::core {
+
+namespace internal {
+
+CacheMetrics& GetCacheMetrics() {
+  static CacheMetrics* metrics = new CacheMetrics();
+  return *metrics;
+}
+
+}  // namespace internal
 
 std::optional<acm::Mode> ResolutionCache::Lookup(graph::NodeId subject,
                                                  acm::ObjectId object,
                                                  acm::RightId right,
                                                  const Strategy& strategy,
                                                  uint64_t epoch) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   auto it = entries_.find(Key(subject, object, right, strategy));
   if (it == entries_.end()) {
     ++stats_.misses;
+    m.resolution_misses.Inc();
     return std::nullopt;
   }
   if (it->second.epoch != epoch) {
@@ -17,9 +30,12 @@ std::optional<acm::Mode> ResolutionCache::Lookup(graph::NodeId subject,
     entries_.erase(it);
     ++stats_.invalidations;
     ++stats_.misses;
+    m.resolution_invalidations.Inc();
+    m.resolution_misses.Inc();
     return std::nullopt;
   }
   ++stats_.hits;
+  m.resolution_hits.Inc();
   return it->second.mode;
 }
 
@@ -29,20 +45,40 @@ void ResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
   entries_[Key(subject, object, right, strategy)] = Entry{epoch, mode};
 }
 
-void ResolutionCache::Clear() { entries_.clear(); }
+void ResolutionCache::Clear() {
+  const uint64_t dropped = entries_.size();
+  internal::GetCacheMetrics().resolution_evictions.Inc(dropped);
+  entries_.clear();
+  // Rate stats reset so a cleared cache reports hit rates like a fresh
+  // one (the PR-1 stats-leak class); the eviction count is a drop
+  // tally, not a rate, and accumulates for the instance lifetime.
+  const uint64_t evictions = stats_.evictions + dropped;
+  stats_ = Stats{};
+  stats_.evictions = evictions;
+}
 
 const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
                                                   graph::NodeId subject) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   auto it = subgraphs_.find(subject);
   if (it != subgraphs_.end()) {
     ++hits_;
+    m.subgraph_hits.Inc();
     return *it->second;
   }
   ++misses_;
+  m.subgraph_misses.Inc();
   auto sub = std::make_unique<graph::AncestorSubgraph>(dag, subject);
   const graph::AncestorSubgraph& ref = *sub;
   subgraphs_.emplace(subject, std::move(sub));
   return ref;
+}
+
+void SubgraphCache::Clear() {
+  internal::GetCacheMetrics().subgraph_evictions.Inc(subgraphs_.size());
+  subgraphs_.clear();
+  hits_ = 0;
+  misses_ = 0;
 }
 
 }  // namespace ucr::core

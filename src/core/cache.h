@@ -10,8 +10,40 @@
 #include "core/strategy.h"
 #include "graph/ancestor_subgraph.h"
 #include "graph/dag.h"
+#include "obs/metrics.h"
 
 namespace ucr::core {
+
+namespace internal {
+
+/// Registry handles for the cache metric family (DESIGN.md §8),
+/// shared by the serial caches here and their sharded variants
+/// (core/sharded_cache.h): both implement the same semantic caches,
+/// so they feed one process-wide family. Interned once; every
+/// recording call is lock-free.
+struct CacheMetrics {
+  obs::Counter& resolution_hits = obs::Registry::Global().GetCounter(
+      "ucr_resolution_cache_hits_total", "Resolution cache hits");
+  obs::Counter& resolution_misses = obs::Registry::Global().GetCounter(
+      "ucr_resolution_cache_misses_total", "Resolution cache misses");
+  obs::Counter& resolution_invalidations = obs::Registry::Global().GetCounter(
+      "ucr_resolution_cache_invalidations_total",
+      "Resolution cache entries dropped because their column epoch lapsed");
+  obs::Counter& resolution_evictions = obs::Registry::Global().GetCounter(
+      "ucr_resolution_cache_evictions_total",
+      "Resolution cache entries dropped by Clear()");
+  obs::Counter& subgraph_hits = obs::Registry::Global().GetCounter(
+      "ucr_subgraph_cache_hits_total", "Sub-graph cache hits");
+  obs::Counter& subgraph_misses = obs::Registry::Global().GetCounter(
+      "ucr_subgraph_cache_misses_total", "Sub-graph cache misses");
+  obs::Counter& subgraph_evictions = obs::Registry::Global().GetCounter(
+      "ucr_subgraph_cache_evictions_total",
+      "Sub-graph cache entries dropped by Clear()");
+};
+
+CacheMetrics& GetCacheMetrics();
+
+}  // namespace internal
 
 /// \brief Memo of resolved authorizations — the paper's future-work
 /// item #1 (§6): "it would significantly improve the performance of
@@ -33,6 +65,7 @@ class ResolutionCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t invalidations = 0;  ///< Entries dropped due to epoch change.
+    uint64_t evictions = 0;      ///< Entries dropped by Clear().
   };
 
   /// Looks up a cached decision valid at `epoch`. Updates stats.
@@ -44,7 +77,11 @@ class ResolutionCache {
   void Store(graph::NodeId subject, acm::ObjectId object, acm::RightId right,
              const Strategy& strategy, uint64_t epoch, acm::Mode mode);
 
-  /// Drops everything.
+  /// Drops every entry and resets the rate stats (hits, misses,
+  /// invalidations), so hit rates never mix cache lifetimes. The
+  /// `evictions` tally accumulates across clears — it counts drops,
+  /// not a rate — and the registry's eviction counter mirrors it
+  /// process-wide.
   void Clear();
 
   size_t size() const { return entries_.size(); }
@@ -100,11 +137,7 @@ class SubgraphCache {
   /// Drops the sub-graphs *and* the hit/miss counters: after a clear
   /// the cache is indistinguishable from a fresh one, so hit-rate
   /// reporting never mixes epochs of the hierarchy.
-  void Clear() {
-    subgraphs_.clear();
-    hits_ = 0;
-    misses_ = 0;
-  }
+  void Clear();
 
  private:
   std::unordered_map<graph::NodeId,

@@ -6,9 +6,36 @@
 #include "core/propagate.h"
 #include "core/resolve.h"
 #include "core/rights_bag.h"
+#include "obs/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ucr::core {
+
+namespace {
+
+/// Materialization telemetry (DESIGN.md §8): build/refresh volume and
+/// the per-column derivation cost, which is the §5 trade-off operators
+/// need to watch (columns × build time vs on-demand resolution).
+struct MatrixMetrics {
+  obs::Counter& materializations = obs::Registry::Global().GetCounter(
+      "ucr_matrix_materializations_total",
+      "Full EffectiveMatrix::Materialize builds");
+  obs::Counter& refreshes = obs::Registry::Global().GetCounter(
+      "ucr_matrix_refreshes_total", "EffectiveMatrix::Refresh passes");
+  obs::Counter& columns_rebuilt = obs::Registry::Global().GetCounter(
+      "ucr_matrix_columns_rebuilt_total",
+      "Columns derived by Materialize or Refresh");
+  obs::Histogram& column_build = obs::Registry::Global().GetHistogram(
+      "ucr_matrix_column_build_ns",
+      "Per-column derivation time inside RebuildColumns (ns)");
+};
+
+MatrixMetrics& GetMatrixMetrics() {
+  static MatrixMetrics* metrics = new MatrixMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
     const AccessControlSystem& system, const Strategy& strategy,
@@ -40,6 +67,7 @@ StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
   referenced.erase(std::unique(referenced.begin(), referenced.end()),
                    referenced.end());
   matrix.RebuildColumns(system, referenced, threads);
+  if constexpr (obs::kEnabled) GetMatrixMetrics().materializations.Inc();
   return matrix;
 }
 
@@ -81,19 +109,27 @@ void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
   threads = ThreadPool::ClampToHardware(threads);
   const std::vector<graph::NodeId> topo = system.dag().TopologicalOrder();
   std::vector<ColumnBits> derived(keys.size());
-  if (threads <= 1 || keys.size() <= 1) {
-    for (size_t i = 0; i < keys.size(); ++i) {
-      derived[i] = ComputeColumn(system, keys[i], topo);
+  // Column derivations are ms-scale, so two clock reads per column are
+  // noise; the histogram feeds capacity planning for Refresh cadence.
+  const auto timed_compute = [&](size_t i) {
+    const uint64_t t0 = obs::NowNs();
+    derived[i] = ComputeColumn(system, keys[i], topo);
+    if constexpr (obs::kEnabled) {
+      GetMatrixMetrics().column_build.Observe(obs::NowNs() - t0);
     }
+  };
+  if (threads <= 1 || keys.size() <= 1) {
+    for (size_t i = 0; i < keys.size(); ++i) timed_compute(i);
   } else {
     // Columns share only immutable inputs (the DAG, a read-only
     // explicit matrix, one topological order), so each derivation runs
     // lock-free; the caller counts as one executor, so the pool gets
     // threads - 1 workers.
     ThreadPool pool(threads - 1);
-    pool.ParallelFor(0, keys.size(), [&](size_t i) {
-      derived[i] = ComputeColumn(system, keys[i], topo);
-    });
+    pool.ParallelFor(0, keys.size(), timed_compute);
+  }
+  if constexpr (obs::kEnabled) {
+    GetMatrixMetrics().columns_rebuilt.Inc(keys.size());
   }
   for (size_t i = 0; i < keys.size(); ++i) {
     columns_[keys[i]] = std::move(derived[i].bits);
@@ -130,6 +166,7 @@ StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
     stale.push_back(key);
   }
   RebuildColumns(system, stale, threads);
+  if constexpr (obs::kEnabled) GetMatrixMetrics().refreshes.Inc();
   object_count_ = system.eacm().object_count();
   right_count_ = system.eacm().right_count();
   epoch_ = system.eacm().epoch();

@@ -5,6 +5,8 @@
 
 #include "core/flat_propagate.h"
 #include "graph/scratch_subgraph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ucr::core {
 
@@ -12,6 +14,58 @@ namespace {
 
 using acm::Mode;
 using acm::PropagatedMode;
+
+/// End-to-end query telemetry (DESIGN.md §8). Counter/histogram
+/// handles are interned once; per-query cost is two clock reads, one
+/// sharded increment, and one sharded observe — all lock-free and
+/// allocation-free, so the §7 zero-allocation bound holds with
+/// metrics ON (asserted by tests/hotpath_alloc_test.cc).
+struct ResolveMetrics {
+  obs::Counter& fast = obs::Registry::Global().GetCounter(
+      "ucr_resolve_fast_queries_total",
+      "ResolveAccess queries answered by the allocation-free hot path");
+  obs::Counter& classic = obs::Registry::Global().GetCounter(
+      "ucr_resolve_classic_queries_total",
+      "ResolveAccess queries answered by the classic aggregated engine");
+  obs::Counter& literal = obs::Registry::Global().GetCounter(
+      "ucr_resolve_literal_queries_total",
+      "ResolveAccess queries answered by the paper-literal tuple engine");
+  obs::Histogram& latency = obs::Registry::Global().GetHistogram(
+      "ucr_resolve_latency_ns", "End-to-end ResolveAccess latency (ns)");
+};
+
+ResolveMetrics& GetResolveMetrics() {
+  static ResolveMetrics* metrics = new ResolveMetrics();
+  return *metrics;
+}
+
+/// Fills a tracer record from the query identity, the span clock
+/// stamps, and the Fig. 4 trace, then hands it to the global sampler.
+[[gnu::noinline, gnu::cold]] void RecordQueryTrace(graph::NodeId subject, acm::ObjectId object,
+                      acm::RightId right, const Strategy& canonical,
+                      bool fast_path, uint64_t t_start, uint64_t t_extract,
+                      uint64_t t_propagate, uint64_t t_end,
+                      const ResolveTrace& trace) {
+  obs::QueryTraceRecord record;
+  record.subject = subject;
+  record.object = object;
+  record.right = right;
+  record.strategy_index = canonical.CanonicalIndex();
+  record.fast_path = fast_path;
+  record.extract_ns = t_extract - t_start;
+  record.propagate_ns = t_propagate - t_extract;
+  record.resolve_ns = t_end - t_propagate;
+  record.total_ns = t_end - t_start;
+  record.has_majority = trace.c1.has_value();
+  record.c1 = trace.c1.value_or(0);
+  record.c2 = trace.c2.value_or(0);
+  record.auth_computed = trace.auth_computed;
+  record.auth_has_positive = trace.auth_has_positive;
+  record.auth_has_negative = trace.auth_has_negative;
+  record.returned_line = trace.returned_line;
+  record.granted = trace.result == Mode::kPositive;
+  obs::QueryTracer::Global().Record(record);
+}
 
 uint64_t SatAdd(uint64_t a, uint64_t b) {
   return a > UINT64_MAX - b ? UINT64_MAX : a + b;
@@ -285,21 +339,47 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
   PropagateOptions prop_options;
   prop_options.propagation_mode = options.propagation_mode;
 
+  // Per-query telemetry. Unsampled queries pay only the sampler's
+  // thread-local countdown plus one counter increment; clock reads and
+  // the latency histogram fire only for sampled queries, so the
+  // histogram is a sampled distribution (ucr_admin's sweep runs at
+  // interval 1 to make it exhaustive). Everything vanishes under
+  // UCR_METRICS=OFF.
+  const bool sampled = obs::QueryTracer::ShouldSample();
+  const uint64_t t_start = sampled ? obs::NowNs() : 0;
+
   if (options.use_fast_path && !options.use_literal_engine) {
     // Allocation-free hot path (DESIGN.md §7): scratch-arena
     // extraction, sparse column staging, flat propagation, streaming
     // resolve. Steady state touches no heap.
     HotPath& hot = HotPath::ThreadLocal();
     const graph::ScratchSubgraphView view = hot.scratch.Extract(dag, subject);
+    const uint64_t t_extract = sampled ? obs::NowNs() : 0;
     hot.propagator.SetLabels(eacm.Column(object, right), dag.node_count());
     const std::span<const RightsEntry> sink_bag =
         hot.propagator.PropagateSink(view, prop_options, stats);
-    return ResolveEntries(sink_bag, strategy, trace);
+    const uint64_t t_propagate = sampled ? obs::NowNs() : 0;
+    ResolveTrace sampled_trace;
+    ResolveTrace* trace_out =
+        trace != nullptr ? trace : (sampled ? &sampled_trace : nullptr);
+    const acm::Mode mode = ResolveEntries(sink_bag, strategy, trace_out);
+    if constexpr (obs::kEnabled) {
+      GetResolveMetrics().fast.Inc();
+      if (sampled) [[unlikely]] {
+        const uint64_t t_end = obs::NowNs();
+        GetResolveMetrics().latency.Observe(t_end - t_start);
+        RecordQueryTrace(subject, object, right, strategy.Canonical(),
+                         /*fast_path=*/true, t_start, t_extract, t_propagate,
+                         t_end, *trace_out);
+      }
+    }
+    return mode;
   }
 
   const graph::AncestorSubgraph sub(dag, subject);
   const std::vector<std::optional<acm::Mode>> labels =
       eacm.ExtractLabels(dag.node_count(), object, right);
+  const uint64_t t_extract = sampled ? obs::NowNs() : 0;
 
   RightsBag all_rights;
   if (options.use_literal_engine) {
@@ -309,7 +389,23 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
   } else {
     all_rights = PropagateAggregated(sub, labels, prop_options, stats);
   }
-  return Resolve(all_rights, strategy, trace);
+  const uint64_t t_propagate = sampled ? obs::NowNs() : 0;
+  ResolveTrace sampled_trace;
+  ResolveTrace* trace_out =
+      trace != nullptr ? trace : (sampled ? &sampled_trace : nullptr);
+  const acm::Mode mode = Resolve(all_rights, strategy, trace_out);
+  if constexpr (obs::kEnabled) {
+    ResolveMetrics& m = GetResolveMetrics();
+    (options.use_literal_engine ? m.literal : m.classic).Inc();
+    if (sampled) [[unlikely]] {
+      const uint64_t t_end = obs::NowNs();
+      m.latency.Observe(t_end - t_start);
+      RecordQueryTrace(subject, object, right, strategy.Canonical(),
+                       /*fast_path=*/false, t_start, t_extract, t_propagate,
+                       t_end, *trace_out);
+    }
+  }
+  return mode;
 }
 
 }  // namespace ucr::core

@@ -1,18 +1,21 @@
 #include "core/sharded_cache.h"
 
 #include "core/flat_propagate.h"
+#include "obs/metrics.h"
 
 namespace ucr::core {
 
 std::optional<acm::Mode> ShardedResolutionCache::Lookup(
     graph::NodeId subject, acm::ObjectId object, acm::RightId right,
     const Strategy& strategy, uint64_t epoch) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   const CacheKey key = Key(subject, object, right, strategy);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
+    m.resolution_misses.Inc();
     return std::nullopt;
   }
   if (it->second.epoch != epoch) {
@@ -20,9 +23,12 @@ std::optional<acm::Mode> ShardedResolutionCache::Lookup(
     shard.entries.erase(it);
     ++shard.stats.invalidations;
     ++shard.stats.misses;
+    m.resolution_invalidations.Inc();
+    m.resolution_misses.Inc();
     return std::nullopt;
   }
   ++shard.stats.hits;
+  m.resolution_hits.Inc();
   return it->second.mode;
 }
 
@@ -37,10 +43,17 @@ void ShardedResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
 }
 
 void ShardedResolutionCache::Clear() {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    const uint64_t dropped = shard.entries.size();
+    m.resolution_evictions.Inc(dropped);
     shard.entries.clear();
+    // Rate stats reset (the PR-1 stats-leak class); the eviction tally
+    // accumulates, mirroring the serial ResolutionCache.
+    const uint64_t evictions = shard.stats.evictions + dropped;
     shard.stats = ResolutionCache::Stats{};
+    shard.stats.evictions = evictions;
   }
 }
 
@@ -60,20 +73,26 @@ ResolutionCache::Stats ShardedResolutionCache::stats() const {
     total.hits += shard.stats.hits;
     total.misses += shard.stats.misses;
     total.invalidations += shard.stats.invalidations;
+    total.evictions += shard.stats.evictions;
   }
   return total;
 }
 
 const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
-    const graph::Dag& dag, graph::NodeId subject) {
+    const graph::Dag& dag, graph::NodeId subject, bool* hit) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   Shard& shard = shards_[subject & (kShardCount - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.subgraphs.find(subject);
   if (it != shard.subgraphs.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    m.subgraph_hits.Inc();
+    if (hit != nullptr) *hit = true;
     return *it->second;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  m.subgraph_misses.Inc();
+  if (hit != nullptr) *hit = false;
   // Extract through the caller's warm per-thread arena: the shard lock
   // is held, but the arena is thread-private, so this is race-free.
   auto sub = std::make_unique<graph::AncestorSubgraph>(
@@ -84,8 +103,10 @@ const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
 }
 
 void ShardedSubgraphCache::Clear() {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    m.subgraph_evictions.Inc(shard.subgraphs.size());
     shard.subgraphs.clear();
   }
   hits_.store(0, std::memory_order_relaxed);

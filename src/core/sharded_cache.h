@@ -55,9 +55,12 @@ class ShardedResolutionCache {
   void Store(graph::NodeId subject, acm::ObjectId object, acm::RightId right,
              const Strategy& strategy, uint64_t epoch, acm::Mode mode);
 
-  /// Drops every entry and resets the stats. Takes all shard locks;
-  /// callers must quiesce concurrent writers if they need the clear to
-  /// be a clean point-in-time cut.
+  /// Drops every entry and resets the stats (a clear is a fresh cache:
+  /// hit-rate reporting never mixes lifetimes — the PR-1 stats-leak
+  /// regression class). Dropped entries are counted as evictions in
+  /// the metrics registry, which is monotonic and survives the reset.
+  /// Takes all shard locks; callers must quiesce concurrent writers if
+  /// they need the clear to be a clean point-in-time cut.
   void Clear();
 
   /// Entry count; locks shard-by-shard (exact only while quiescent).
@@ -124,9 +127,13 @@ class ShardedSubgraphCache {
   ShardedSubgraphCache& operator=(const ShardedSubgraphCache&) = delete;
 
   /// Returns the cached sub-graph of `subject`, extracting on miss.
-  /// Thread-safe; the reference stays valid until `Clear`.
+  /// Thread-safe; the reference stays valid until `Clear`. When `hit`
+  /// is non-null it reports whether this call was served from cache
+  /// (for trace records; reading the global counters instead would be
+  /// racy under concurrency).
   const graph::AncestorSubgraph& Get(const graph::Dag& dag,
-                                     graph::NodeId subject);
+                                     graph::NodeId subject,
+                                     bool* hit = nullptr);
 
   /// Drops all sub-graphs and resets the counters (see
   /// `SubgraphCache::Clear`). Not safe concurrently with `Get`.

@@ -5,9 +5,66 @@
 #include <optional>
 
 #include "core/propagate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ucr::core {
+
+namespace {
+
+/// Front-door telemetry (DESIGN.md §8): CheckAccess is the serving
+/// entry point of the installed system (the cached, single-threaded
+/// path behind CheckAccessByName and the admin CLI), distinct from the
+/// uncached ResolveAccess family and the batch engine.
+struct SystemMetrics {
+  obs::Counter& queries = obs::Registry::Global().GetCounter(
+      "ucr_system_queries_total",
+      "Queries answered by AccessControlSystem::CheckAccess");
+  obs::Histogram& latency = obs::Registry::Global().GetHistogram(
+      "ucr_system_query_latency_ns",
+      "CheckAccess latency, cache hits included (ns)");
+};
+
+SystemMetrics& GetSystemMetrics() {
+  static SystemMetrics* metrics = new SystemMetrics();
+  return *metrics;
+}
+
+/// Same Fig. 4 payload as the ResolveAccess/BatchResolver tracers; a
+/// resolution cache hit records no derivation of its own.
+[[gnu::noinline, gnu::cold]] void RecordSystemTrace(graph::NodeId subject, acm::ObjectId object,
+                       acm::RightId right, const Strategy& canonical,
+                       bool resolution_hit, bool subgraph_hit,
+                       uint64_t t_start, uint64_t t_propagate, uint64_t t_end,
+                       const ResolveTrace* trace, acm::Mode mode) {
+  obs::QueryTraceRecord record;
+  record.subject = subject;
+  record.object = object;
+  record.right = right;
+  record.strategy_index = canonical.CanonicalIndex();
+  record.fast_path = false;  // CheckAccess runs the classic cached path.
+  record.resolution_cache_hit = resolution_hit;
+  record.subgraph_cache_hit = subgraph_hit;
+  if (!resolution_hit) {
+    record.propagate_ns = t_propagate - t_start;
+    record.resolve_ns = t_end - t_propagate;
+  }
+  record.total_ns = t_end - t_start;
+  if (trace != nullptr) {
+    record.has_majority = trace->c1.has_value();
+    record.c1 = trace->c1.value_or(0);
+    record.c2 = trace->c2.value_or(0);
+    record.auth_computed = trace->auth_computed;
+    record.auth_has_positive = trace->auth_has_positive;
+    record.auth_has_negative = trace->auth_has_negative;
+    record.returned_line = trace->returned_line;
+  }
+  record.granted = mode == acm::Mode::kPositive;
+  obs::QueryTracer::Global().Record(record);
+}
+
+}  // namespace
 
 AccessControlSystem::AccessControlSystem(graph::Dag dag, SystemOptions options)
     : dag_(std::move(dag)), options_(options) {
@@ -130,6 +187,8 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
     return Status::OutOfRange("object/right id out of range");
   }
   const Strategy canonical = strategy.Canonical();
+  const bool sampled = obs::QueryTracer::ShouldSample();
+  const uint64_t t_start = sampled ? obs::NowNs() : 0;
   // Cache entries are validated against the (object, right) column's
   // own epoch, so edits to unrelated columns keep their cached
   // decisions warm.
@@ -137,7 +196,19 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
   if (options_.enable_resolution_cache) {
     const std::optional<acm::Mode> cached = resolution_cache_.Lookup(
         subject, object, right, canonical, column_epoch);
-    if (cached.has_value()) return *cached;
+    if (cached.has_value()) {
+      if constexpr (obs::kEnabled) {
+        GetSystemMetrics().queries.Inc();
+        if (sampled) [[unlikely]] {
+          const uint64_t t_end = obs::NowNs();
+          GetSystemMetrics().latency.Observe(t_end - t_start);
+          RecordSystemTrace(subject, object, right, canonical,
+                            /*resolution_hit=*/true, /*subgraph_hit=*/false,
+                            t_start, t_start, t_end, nullptr, *cached);
+        }
+      }
+      return *cached;
+    }
   }
 
   const std::vector<std::optional<acm::Mode>> labels =
@@ -145,17 +216,33 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
   PropagateOptions prop_options;
   prop_options.propagation_mode = options_.propagation_mode;
   RightsBag all_rights;
+  bool subgraph_hit = false;
   if (options_.enable_subgraph_cache) {
+    const uint64_t hits_before = subgraph_cache_.hits();
     all_rights = PropagateAggregated(subgraph_cache_.Get(dag_, subject),
                                      labels, prop_options);
+    subgraph_hit = subgraph_cache_.hits() > hits_before;
   } else {
     const graph::AncestorSubgraph sub(dag_, subject);
     all_rights = PropagateAggregated(sub, labels, prop_options);
   }
-  const acm::Mode mode = Resolve(all_rights, canonical);
+  const uint64_t t_propagate = sampled ? obs::NowNs() : 0;
+  ResolveTrace sampled_trace;
+  const acm::Mode mode =
+      Resolve(all_rights, canonical, sampled ? &sampled_trace : nullptr);
   if (options_.enable_resolution_cache) {
     resolution_cache_.Store(subject, object, right, canonical, column_epoch,
                             mode);
+  }
+  if constexpr (obs::kEnabled) {
+    GetSystemMetrics().queries.Inc();
+    if (sampled) [[unlikely]] {
+      const uint64_t t_end = obs::NowNs();
+      GetSystemMetrics().latency.Observe(t_end - t_start);
+      RecordSystemTrace(subject, object, right, canonical,
+                        /*resolution_hit=*/false, subgraph_hit, t_start,
+                        t_propagate, t_end, &sampled_trace, mode);
+    }
   }
   return mode;
 }

@@ -2,7 +2,31 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace ucr::graph {
+
+namespace {
+
+/// Step-1 telemetry (DESIGN.md §8): extraction volume and sub-graph
+/// size distribution. Handles are cached statics; the recording calls
+/// are lock-free and allocation-free, preserving the arena's
+/// zero-allocation contract.
+struct ExtractMetrics {
+  obs::Counter& extractions = obs::Registry::Global().GetCounter(
+      "ucr_subgraph_extractions_total",
+      "Ancestor sub-graph extractions (scratch arena, Step 1)");
+  obs::Histogram& nodes = obs::Registry::Global().GetHistogram(
+      "ucr_subgraph_nodes",
+      "Members per extracted ancestor sub-graph (log2 buckets)");
+};
+
+ExtractMetrics& Metrics() {
+  static ExtractMetrics* metrics = new ExtractMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 void SubgraphScratch::EnsureNodeCapacity(size_t node_count) {
   if (visited_epoch_.size() < node_count) {
@@ -68,6 +92,11 @@ ScratchSubgraphView SubgraphScratch::Extract(const Dag& dag, NodeId sink) {
     }
   }
   assert(topo_.size() == n && "subgraph of a DAG must be acyclic");
+  if constexpr (obs::kEnabled) {
+    ExtractMetrics& m = Metrics();
+    m.extractions.Inc();
+    m.nodes.Observe(n);
+  }
   return view;
 }
 

@@ -1,0 +1,259 @@
+#ifndef UCR_OBS_METRICS_H_
+#define UCR_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+// Compile-time kill switch (CMake option UCR_METRICS). With the
+// option OFF every recording primitive below compiles to an empty
+// inline body, so instrumented call sites cost literally nothing —
+// no clock reads, no atomic traffic, no branches.
+#ifndef UCR_METRICS_ENABLED
+#define UCR_METRICS_ENABLED 1
+#endif
+
+namespace ucr::obs {
+
+/// True when the instrumentation layer is compiled in. Call sites use
+/// this to skip work that only feeds metrics (e.g. clock reads around
+/// a region whose duration would be observed).
+inline constexpr bool kEnabled = UCR_METRICS_ENABLED != 0;
+
+namespace internal {
+
+/// Number of cache-line-isolated slots every sharded metric spreads
+/// its writers over. Threads are assigned round-robin; two threads
+/// share a slot only beyond kSlots concurrent writers, and even then
+/// the slot is a relaxed atomic, never a lock.
+inline constexpr size_t kSlots = 16;
+
+/// Assigns the calling thread a stable slot index (round-robin over a
+/// process-wide counter).
+size_t AssignThreadSlot();
+
+inline size_t ThreadSlot() {
+  // Zero-initialized TLS carries no dynamic-init guard; the +1 bias
+  // reserves 0 as "unassigned" so the steady state is load + branch.
+  thread_local size_t slot_plus_one = 0;
+  if (slot_plus_one == 0) slot_plus_one = AssignThreadSlot() + 1;
+  return slot_plus_one - 1;
+}
+
+struct alignas(64) PaddedCount {
+  std::atomic<uint64_t> value{0};
+};
+
+}  // namespace internal
+
+/// Monotonic nanosecond clock for latency metrics. Returns 0 when the
+/// instrumentation is compiled out, so disabled builds never pay for a
+/// clock read.
+inline uint64_t NowNs() {
+#if UCR_METRICS_ENABLED
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#else
+  return 0;
+#endif
+}
+
+/// \brief Monotonic counter, per-thread sharded and merged on read.
+///
+/// `Inc` is one relaxed fetch_add on a cache-line-private slot:
+/// lock-free, allocation-free, and contention-free up to
+/// `internal::kSlots` concurrent threads — safe inside the
+/// zero-allocation hot path (DESIGN.md §7). `Value` sums the slots;
+/// it is exact once concurrent writers have quiesced and never under-
+/// counts a finished increment.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Inc(uint64_t n = 1) {
+#if UCR_METRICS_ENABLED
+    slots_[internal::ThreadSlot()].value.fetch_add(n,
+                                                   std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& slot : slots_) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::PaddedCount, internal::kSlots> slots_;
+};
+
+/// \brief Instantaneous signed value (queue depth, active workers,
+/// resident bytes). One padded atomic: gauges sit on control paths
+/// (task submission, worker wake-up) that already serialize, so
+/// sharding buys nothing and a single cell keeps `Set` trivially
+/// correct alongside `Add`/`Sub`.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) {
+#if UCR_METRICS_ENABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void Add(int64_t n = 1) {
+#if UCR_METRICS_ENABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+  void Sub(int64_t n = 1) { Add(-n); }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<int64_t> value_{0};
+};
+
+/// \brief Fixed log-bucket histogram for latency-like values
+/// (nanoseconds, node counts).
+///
+/// Bucket layout is power-of-two: bucket 0 holds exact zeros and
+/// bucket i >= 1 holds values in [2^(i-1), 2^i - 1] — i.e. the bucket
+/// index is `bit_width(value)`. The mapping is two instructions, needs
+/// no configuration, and spans 1 ns to ~9 minutes in 40 buckets.
+/// `Observe` is per-thread sharded exactly like `Counter`.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(uint64_t value) {
+#if UCR_METRICS_ENABLED
+    Shard& shard = shards_[internal::ThreadSlot()];
+    shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+#else
+    (void)value;
+#endif
+  }
+
+  /// Bucket index of `value`: 0 for 0, else bit_width clamped.
+  static size_t BucketIndex(uint64_t value) {
+    const size_t width = static_cast<size_t>(std::bit_width(value));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `i` (2^i - 1; the last bucket is
+  /// unbounded and reported as +Inf).
+  static uint64_t BucketUpperBound(size_t i) {
+    return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+  }
+
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> counts{};
+    uint64_t count = 0;  ///< Total observations.
+    uint64_t sum = 0;    ///< Sum of observed values.
+  };
+
+  /// Merged view over all shards (exact while writers are quiescent).
+  Snapshot Snap() const {
+    Snapshot snap;
+    for (const Shard& shard : shards_) {
+      for (size_t i = 0; i < kBuckets; ++i) {
+        snap.counts[i] += shard.counts[i].load(std::memory_order_relaxed);
+      }
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+    }
+    for (const uint64_t c : snap.counts) snap.count += c;
+    return snap;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  std::array<Shard, internal::kSlots> shards_;
+};
+
+/// \brief Process-wide metric registry and exposition surface.
+///
+/// `Get*` interns a metric by name and returns a reference that stays
+/// valid for the process lifetime; repeated calls with one name return
+/// the same object, so instrumented translation units simply hold a
+/// function-local `static Counter&`. Registration takes a mutex and
+/// may allocate — it happens once per call site, never per operation.
+///
+/// Exposition renders every registered metric as Prometheus text
+/// (counters, gauges, and cumulative histogram buckets) or as one JSON
+/// snapshot object; both are cold-path, read-only, and safe to call
+/// while writers are running (values are merge-on-read).
+class Registry {
+ public:
+  /// The process-wide registry. Deliberately leaked so counters stay
+  /// usable during static destruction (worker threads may still be
+  /// draining).
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  Counter& GetCounter(std::string_view name, std::string_view help);
+  Gauge& GetGauge(std::string_view name, std::string_view help);
+  Histogram& GetHistogram(std::string_view name, std::string_view help);
+
+  /// Prometheus text exposition format (HELP/TYPE + samples,
+  /// histograms as cumulative `_bucket{le=...}` series).
+  std::string RenderPrometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{"count":..,"sum":..,"buckets":[...]}}}.
+  /// Histogram buckets with zero count are omitted.
+  std::string RenderJson() const;
+
+  size_t metric_count() const;
+
+ private:
+  struct Entry;
+  Entry* FindOrCreate(std::string_view name, std::string_view help, int kind);
+
+  mutable std::mutex mu_;
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< Lazily built; owned.
+};
+
+/// \brief Minimal structural validity check for a JSON document:
+/// non-empty, starts with '{', balanced braces/brackets outside string
+/// literals, properly closed strings. Used by bench `--smoke` modes to
+/// assert the metrics snapshot parses without dragging in a JSON
+/// library.
+bool JsonLooksValid(std::string_view json);
+
+}  // namespace ucr::obs
+
+#endif  // UCR_OBS_METRICS_H_

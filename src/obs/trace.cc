@@ -1,0 +1,123 @@
+#include "obs/trace.h"
+
+#include <sstream>
+
+namespace ucr::obs {
+
+QueryTracer& QueryTracer::Global() {
+  static QueryTracer* global = new QueryTracer();
+  return *global;
+}
+
+void QueryTracer::Record(const QueryTraceRecord& record) {
+#if UCR_METRICS_ENABLED
+  static Counter& sampled_total = Registry::Global().GetCounter(
+      "ucr_traces_sampled_total", "Query traces recorded by the sampler");
+  sampled_total.Inc();
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_] = record;
+  ring_[next_].sequence = recorded_total_.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  next_ = (next_ + 1) % kRingCapacity;
+  if (ring_size_ < kRingCapacity) ++ring_size_;
+#else
+  (void)record;
+#endif
+}
+
+std::vector<QueryTraceRecord> QueryTracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTraceRecord> out;
+  out.reserve(ring_size_);
+  const size_t start = (next_ + kRingCapacity - ring_size_) % kRingCapacity;
+  for (size_t i = 0; i < ring_size_; ++i) {
+    out.push_back(ring_[(start + i) % kRingCapacity]);
+  }
+  return out;
+}
+
+void QueryTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_size_ = 0;
+  next_ = 0;
+  recorded_total_.store(0, std::memory_order_relaxed);
+}
+
+std::string ToJson(const QueryTraceRecord& r) {
+  std::ostringstream out;
+  out << "{\"sequence\":" << r.sequence << ",\"subject\":" << r.subject
+      << ",\"object\":" << r.object << ",\"right\":" << r.right
+      << ",\"strategy_index\":" << static_cast<int>(r.strategy_index)
+      << ",\"fast_path\":" << (r.fast_path ? "true" : "false")
+      << ",\"resolution_cache_hit\":"
+      << (r.resolution_cache_hit ? "true" : "false")
+      << ",\"subgraph_cache_hit\":"
+      << (r.subgraph_cache_hit ? "true" : "false")
+      << ",\"extract_ns\":" << r.extract_ns
+      << ",\"propagate_ns\":" << r.propagate_ns
+      << ",\"resolve_ns\":" << r.resolve_ns << ",\"total_ns\":" << r.total_ns
+      << ",\"fig4\":{";
+  if (r.has_majority) {
+    out << "\"c1\":" << r.c1 << ",\"c2\":" << r.c2 << ",";
+  }
+  out << "\"auth\":\"";
+  if (!r.auth_computed) {
+    out << "n/a";
+  } else if (r.auth_has_positive && r.auth_has_negative) {
+    out << "+,-";
+  } else if (r.auth_has_positive) {
+    out << "+";
+  } else if (r.auth_has_negative) {
+    out << "-";
+  } else {
+    out << "{}";
+  }
+  out << "\",\"returned_line\":" << r.returned_line << ",\"granted\":"
+      << (r.granted ? "true" : "false") << "}}";
+  return out.str();
+}
+
+std::string ToFig4String(const QueryTraceRecord& r) {
+  std::ostringstream out;
+  out << "Resolve() derivation (paper Fig. 4):\n";
+  if (r.resolution_cache_hit) {
+    out << "  served from the resolution cache — the derivation below "
+           "was recorded when the entry was first computed\n";
+  }
+  if (r.has_majority) {
+    out << "  lines 4-5: majority counters c1 = " << r.c1 << " ('+'), c2 = "
+        << r.c2 << " ('-')\n";
+  } else {
+    out << "  lines 4-5: skipped (mRule = skip; c1, c2 = n/a)\n";
+  }
+  if (r.returned_line == 6) {
+    out << "  line 6:    strict majority decides -> "
+        << (r.granted ? "'+'" : "'-'") << "\n";
+    return out.str();
+  }
+  out << "  line 7:    Auth = ";
+  if (!r.auth_computed) {
+    out << "n/a";
+  } else if (r.auth_has_positive && r.auth_has_negative) {
+    out << "{+,-}";
+  } else if (r.auth_has_positive) {
+    out << "{+}";
+  } else if (r.auth_has_negative) {
+    out << "{-}";
+  } else {
+    out << "{}";
+  }
+  out << "\n";
+  if (r.returned_line == 8) {
+    out << "  line 8:    a single mode survives -> "
+        << (r.granted ? "'+'" : "'-'") << "\n";
+  } else {
+    out << "  line 9:    preference rule settles the "
+        << (r.auth_has_positive && r.auth_has_negative ? "conflict"
+                                                       : "empty set")
+        << " -> " << (r.granted ? "'+'" : "'-'") << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ucr::obs

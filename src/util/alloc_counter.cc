@@ -9,6 +9,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+
 namespace ucr {
 namespace alloc_counter_internal {
 
@@ -18,6 +20,16 @@ std::atomic<uint64_t> g_news{0};
 
 uint64_t AllocationCount() {
   return alloc_counter_internal::g_news.load(std::memory_order_relaxed);
+}
+
+void PublishAllocationGauge() {
+  if constexpr (obs::kEnabled) {
+    static obs::Gauge& gauge = obs::Registry::Global().GetGauge(
+        "ucr_heap_allocations",
+        "Global operator new invocations since process start (only in "
+        "binaries linking the counting allocator)");
+    gauge.Set(static_cast<int64_t>(AllocationCount()));
+  }
 }
 
 }  // namespace ucr

@@ -16,6 +16,13 @@ namespace ucr {
 /// the hot path's steady state allocates nothing).
 uint64_t AllocationCount();
 
+/// Publishes the current `AllocationCount()` into the metrics registry
+/// as the gauge `ucr_heap_allocations`, so snapshots emitted by
+/// measuring binaries (bench `--smoke`, `ucr_admin metrics`) carry the
+/// allocator's view next to the query counters. No-op with metrics
+/// compiled out.
+void PublishAllocationGauge();
+
 }  // namespace ucr
 
 #endif  // UCR_UTIL_ALLOC_COUNTER_H_

@@ -4,7 +4,33 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace ucr {
+
+namespace {
+
+/// Process-wide pool telemetry, summed over every live pool: gauges
+/// track instantaneous queue depth and busy workers, the counter
+/// totals executed tasks. Registered once; updates are relaxed
+/// atomics, so the dispatch path stays as cheap as before.
+struct PoolMetrics {
+  obs::Gauge& queued = obs::Registry::Global().GetGauge(
+      "ucr_threadpool_queued_tasks",
+      "Tasks submitted to thread pools and not yet started");
+  obs::Gauge& active = obs::Registry::Global().GetGauge(
+      "ucr_threadpool_active_workers",
+      "Pool workers currently executing a task");
+  obs::Counter& tasks = obs::Registry::Global().GetCounter(
+      "ucr_threadpool_tasks_total", "Tasks executed by pool workers");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t thread_count) {
   workers_.reserve(thread_count);
@@ -32,6 +58,8 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  queued_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kEnabled) Metrics().queued.Add(1);
   work_ready_.notify_one();
 }
 
@@ -51,7 +79,18 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    active_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      Metrics().queued.Sub(1);
+      Metrics().active.Add(1);
+    }
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    if constexpr (obs::kEnabled) {
+      Metrics().active.Sub(1);
+      Metrics().tasks.Inc();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

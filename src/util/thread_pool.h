@@ -1,6 +1,7 @@
 #ifndef UCR_UTIL_THREAD_POOL_H_
 #define UCR_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -47,6 +48,18 @@ class ThreadPool {
   /// Blocks until every submitted task has finished.
   void Wait();
 
+  /// Tasks submitted but not yet popped by a worker. Lock-free read
+  /// (a relaxed atomic maintained alongside the queue), so monitoring
+  /// never contends with the dispatch path.
+  size_t queued_tasks() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently executing a task. Lock-free read, same design.
+  size_t active_workers() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
   /// \brief Runs `body(i)` for every i in [begin, end), distributing
   /// indices dynamically over the workers *and* the calling thread,
   /// and returns when all indices are done.
@@ -80,6 +93,11 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;  ///< Tasks popped but not yet finished.
   bool stopping_ = false;
+
+  /// Mirrors of queue depth / busy workers, readable without the
+  /// mutex; also published as registry gauges (DESIGN.md §8).
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> active_{0};
 };
 
 }  // namespace ucr

@@ -14,6 +14,7 @@
 #include "core/strategy.h"
 #include "graph/dag.h"
 #include "graph/generators.h"
+#include "obs/trace.h"
 #include "util/alloc_counter.h"
 #include "util/random.h"
 
@@ -96,6 +97,61 @@ TEST(HotPathAllocTest, SteadyStateResolveAccessIsAllocationFree) {
   EXPECT_EQ(allocations, 0u)
       << "the fast path allocated on warm arenas — a regression in "
          "scratch extraction, flat propagation, or streaming resolve";
+}
+
+// The observability acceptance bound (DESIGN.md §8): metrics recording
+// and even 1-in-1 query tracing stay inside the zero-allocation
+// budget. Counters/histograms are relaxed atomics on preallocated
+// shards, trace records are fixed-size copies into a preallocated
+// ring, and registry interning happens once during warm-up.
+TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithTracingEveryQuery) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (UCR_METRICS=OFF)";
+  }
+
+  Random rng(93);
+  graph::LayeredDagOptions shape;
+  shape.layers = 4;
+  shape.nodes_per_layer = 10;
+  shape.skip_edge_probability = 0.15;
+  auto dag = graph::GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId object = eacm.InternObject("o").value();
+  const acm::RightId right = eacm.InternRight("r").value();
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (!rng.Bernoulli(0.25)) continue;
+    const acm::Mode mode =
+        rng.Bernoulli(0.4) ? acm::Mode::kNegative : acm::Mode::kPositive;
+    ASSERT_TRUE(eacm.Set(v, object, right, mode).ok());
+  }
+
+  obs::QueryTracer& tracer = obs::QueryTracer::Global();
+  const uint64_t previous_interval = tracer.sample_interval();
+  tracer.SetSampleInterval(1);  // Worst case: every query is sampled.
+
+  // A majority strategy, so the sampled records carry c1/c2 too.
+  const Strategy strategy = ParseStrategy("D+LMP-").value();
+  const auto sweep = [&] {
+    for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*dag, eacm, v, object, right, strategy).ok());
+    }
+  };
+
+  sweep();  // Warm-up: arenas AND metric handles reach steady state.
+  const uint64_t before = AllocationCount();
+  sweep();
+  const uint64_t allocations = AllocationCount() - before;
+  tracer.SetSampleInterval(previous_interval);
+  EXPECT_EQ(allocations, 0u)
+      << "instrumentation allocated on the hot path — a regression in "
+         "the sharded metrics, the trace ring, or a renderer leaked "
+         "into the recording path";
 }
 
 TEST(HotPathAllocTest, ArenaSwitchReachesSteadyStateAcrossDagSizes) {

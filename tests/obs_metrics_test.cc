@@ -1,0 +1,178 @@
+// Unit tests for the metrics layer (src/obs/metrics.h, DESIGN.md §8):
+// histogram bucket geometry, multi-thread counter exactness, gauge
+// semantics, registry interning, and both exposition formats.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ucr::obs {
+namespace {
+
+#if !UCR_METRICS_ENABLED
+// The recording API must stay callable with the kill switch off; the
+// value-based assertions below only hold with instrumentation on.
+TEST(ObsMetricsTest, DisabledBuildCompilesAndRecordsNothing) {
+  Counter& c = Registry::Global().GetCounter("ucr_test_disabled", "t");
+  c.Inc();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(NowNs(), 0u);
+}
+#else
+
+TEST(ObsMetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 is exact zeros; bucket i >= 1 covers [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+
+  // Every value maps inside its bucket's range.
+  for (uint64_t v : {1u, 2u, 3u, 5u, 100u, 4096u, 1000000u}) {
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+    if (i > 1) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(i - 1)) << v;
+    }
+  }
+
+  // Values past the top bucket clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
+}
+
+TEST(ObsMetricsTest, HistogramObserveAndSnapshot) {
+  Histogram& h = Registry::Global().GetHistogram(
+      "ucr_test_histogram_snapshot", "test");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(2);
+  h.Observe(3);
+  h.Observe(1000);
+  const Histogram::Snapshot snap = h.Snap();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 1006u);
+  EXPECT_EQ(snap.counts[0], 1u);  // the zero
+  EXPECT_EQ(snap.counts[1], 1u);  // 1
+  EXPECT_EQ(snap.counts[2], 2u);  // 2, 3
+  EXPECT_EQ(snap.counts[10], 1u);  // 1000 in [512, 1023]
+}
+
+TEST(ObsMetricsTest, CounterIsExactUnderConcurrentIncrements) {
+  Counter& c = Registry::Global().GetCounter(
+      "ucr_test_counter_exactness", "test");
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Sharded slots merge exactly once writers are quiescent: no lost
+  // updates, no double counts.
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetricsTest, CounterIncByDelta) {
+  Counter& c = Registry::Global().GetCounter("ucr_test_counter_delta", "t");
+  c.Inc(5);
+  c.Inc();
+  c.Inc(0);
+  EXPECT_EQ(c.Value(), 6u);
+}
+
+TEST(ObsMetricsTest, GaugeSetAddSub) {
+  Gauge& g = Registry::Global().GetGauge("ucr_test_gauge", "test");
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.Add(5);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+  g.Sub(20);
+  EXPECT_EQ(g.Value(), -8);  // Gauges are signed.
+  g.Set(0);
+}
+
+TEST(ObsMetricsTest, RegistryInternsByName) {
+  Registry& r = Registry::Global();
+  Counter& a = r.GetCounter("ucr_test_interned", "first registration");
+  Counter& b = r.GetCounter("ucr_test_interned", "ignored: already known");
+  EXPECT_EQ(&a, &b);
+
+  const size_t before = r.metric_count();
+  r.GetCounter("ucr_test_interned", "still ignored");
+  EXPECT_EQ(r.metric_count(), before);
+  r.GetGauge("ucr_test_interned_gauge", "distinct name, distinct metric");
+  EXPECT_EQ(r.metric_count(), before + 1);
+}
+
+TEST(ObsMetricsTest, PrometheusExposition) {
+  Registry& r = Registry::Global();
+  r.GetCounter("ucr_test_prom_counter", "a counter").Inc(7);
+  r.GetGauge("ucr_test_prom_gauge", "a gauge").Set(-3);
+  r.GetHistogram("ucr_test_prom_histogram", "a histogram").Observe(5);
+
+  const std::string text = r.RenderPrometheus();
+  EXPECT_NE(text.find("# HELP ucr_test_prom_counter a counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE ucr_test_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ucr_test_prom_counter 7\n"), std::string::npos);
+  EXPECT_NE(text.find("ucr_test_prom_gauge -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE ucr_test_prom_histogram histogram"),
+            std::string::npos);
+  // 5 lands in bucket 3 (le = 7); the +Inf bucket is mandatory.
+  EXPECT_NE(text.find("ucr_test_prom_histogram_bucket{le=\"7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ucr_test_prom_histogram_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("ucr_test_prom_histogram_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("ucr_test_prom_histogram_count 1"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, JsonExpositionIsStructurallyValid) {
+  Registry& r = Registry::Global();
+  r.GetCounter("ucr_test_json_counter", "c").Inc();
+  r.GetHistogram("ucr_test_json_histogram", "h").Observe(42);
+  const std::string json = r.RenderJson();
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"ucr_test_json_counter\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ucr_test_json_histogram\":{\"count\":"),
+            std::string::npos);
+}
+
+#endif  // UCR_METRICS_ENABLED
+
+TEST(ObsMetricsTest, JsonValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(JsonLooksValid("{}"));
+  EXPECT_TRUE(JsonLooksValid("{\"a\":[1,2,{\"b\":\"}\"}]}"));
+  EXPECT_TRUE(JsonLooksValid("{\"esc\":\"quote \\\" brace {\"}"));
+  EXPECT_FALSE(JsonLooksValid(""));
+  EXPECT_FALSE(JsonLooksValid("[1]"));       // Snapshots are objects.
+  EXPECT_FALSE(JsonLooksValid("{"));         // Unbalanced brace.
+  EXPECT_FALSE(JsonLooksValid("{\"a\":1"));  // Unterminated object.
+  EXPECT_FALSE(JsonLooksValid("{\"a\":\"x}"));  // Unterminated string.
+  EXPECT_FALSE(JsonLooksValid("{]}"));       // Mismatched nesting depth.
+}
+
+}  // namespace
+}  // namespace ucr::obs

@@ -174,5 +174,76 @@ TEST(ShardedSubgraphCacheTest, ConcurrentGetSharesOneExtraction) {
   }
 }
 
+// -- Observability (DESIGN.md §8): registry mirrors of the books. ----
+
+#if UCR_METRICS_ENABLED
+
+// Clear() must reset the rate stats (the PR-1 stats-leak regression
+// class) while the eviction tally and the process-wide registry
+// counter both record the drop.
+TEST(ShardedResolutionCacheTest, ClearCountsEvictionsInStatsAndRegistry) {
+  obs::Counter& evictions =
+      internal::GetCacheMetrics().resolution_evictions;
+  const uint64_t registry_before = evictions.Value();
+
+  ShardedResolutionCache cache;
+  cache.Store(1, 0, 0, S("P-"), 0, Mode::kNegative);
+  cache.Store(2, 0, 0, S("P-"), 0, Mode::kPositive);
+  cache.Store(3, 0, 0, S("P-"), 0, Mode::kPositive);
+  (void)cache.Lookup(1, 0, 0, S("P-"), 0);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u) << "hit rates must not mix lifetimes";
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().evictions, 3u) << "drop tally accumulates";
+  EXPECT_EQ(evictions.Value(), registry_before + 3);
+
+  cache.Store(4, 0, 0, S("P-"), 0, Mode::kNegative);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  EXPECT_EQ(evictions.Value(), registry_before + 4)
+      << "the registry eviction counter is monotonic across clears";
+}
+
+// Epoch lapses (explicit-matrix mutations) must surface in the
+// registry invalidation counter, not just the per-instance stats.
+TEST(ShardedResolutionCacheTest, EpochInvalidationReachesRegistry) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
+  const uint64_t invalidations_before = m.resolution_invalidations.Value();
+  const uint64_t misses_before = m.resolution_misses.Value();
+
+  ShardedResolutionCache cache;
+  cache.Store(7, 0, 0, S("P-"), 10, Mode::kPositive);
+  EXPECT_EQ(cache.Lookup(7, 0, 0, S("P-"), 11), std::nullopt);
+
+  EXPECT_EQ(m.resolution_invalidations.Value(), invalidations_before + 1);
+  EXPECT_EQ(m.resolution_misses.Value(), misses_before + 1)
+      << "an invalidation rides a miss in the registry too";
+}
+
+TEST(ShardedSubgraphCacheTest, RegistryMirrorsHitsMissesAndEvictions) {
+  internal::CacheMetrics& m = internal::GetCacheMetrics();
+  const uint64_t hits_before = m.subgraph_hits.Value();
+  const uint64_t misses_before = m.subgraph_misses.Value();
+  const uint64_t evictions_before = m.subgraph_evictions.Value();
+
+  const PaperExample ex = MakePaperExample();
+  ShardedSubgraphCache cache;
+  bool hit = true;
+  cache.Get(ex.dag, ex.user, &hit);
+  EXPECT_FALSE(hit);
+  cache.Get(ex.dag, ex.user, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(m.subgraph_hits.Value(), hits_before + 1);
+  EXPECT_EQ(m.subgraph_misses.Value(), misses_before + 1);
+
+  cache.Clear();
+  EXPECT_EQ(m.subgraph_evictions.Value(), evictions_before + 1);
+  EXPECT_EQ(cache.hits(), 0u) << "instance counters reset on Clear";
+}
+
+#endif  // UCR_METRICS_ENABLED
+
 }  // namespace
 }  // namespace ucr::core

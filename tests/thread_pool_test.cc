@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <vector>
 
 namespace ucr {
@@ -72,6 +74,57 @@ TEST(ThreadPoolTest, SequentialParallelForsReuseTheSamePool) {
 
 TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+}
+
+// -- Observability accessors (DESIGN.md §8): lock-free reads. --------
+
+// queued_tasks()/active_workers() are relaxed atomic loads — readable
+// from a monitoring thread without touching the queue mutex. While a
+// worker is pinned inside a task, the books must show it.
+TEST(ThreadPoolTest, QueueDepthAndActiveWorkersAreObservable) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
+
+  std::mutex gate;
+  std::condition_variable cv;
+  bool task_started = false;
+  bool release_task = false;
+
+  pool.Submit([&] {
+    {
+      std::lock_guard<std::mutex> lock(gate);
+      task_started = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(gate);
+    cv.wait(lock, [&] { return release_task; });
+  });
+  {
+    std::unique_lock<std::mutex> lock(gate);
+    cv.wait(lock, [&] { return task_started; });
+  }
+  // The single worker is blocked inside the task: it must read as
+  // active, and a second submission must read as queued.
+  EXPECT_EQ(pool.active_workers(), 1u);
+  pool.Submit([] {});
+  EXPECT_EQ(pool.queued_tasks(), 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(gate);
+    release_task = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
+}
+
+TEST(ThreadPoolTest, InlinePoolKeepsGaugesAtZero) {
+  ThreadPool pool(0);
+  pool.Submit([] {});  // Runs inline; never queued, never a worker.
+  EXPECT_EQ(pool.queued_tasks(), 0u);
+  EXPECT_EQ(pool.active_workers(), 0u);
 }
 
 }  // namespace
