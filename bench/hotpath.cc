@@ -15,18 +15,26 @@
 //   JSON {"bench":"hotpath","section":"batch_resolve","fast_path":true,...}
 //
 // `--smoke` shrinks the workload so CI finishes in well under 5s.
+// `--audit` starts the audit log on a discard sink and `--shadow <N>`
+// turns on 1-in-N shadow verification, so the DESIGN.md §9 overhead
+// budget (≤2% with audit + shadow at N≥64) is measurable in place.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/batch_resolver.h"
 #include "core/resolve.h"
 #include "core/strategy.h"
 #include "core/system.h"
+#include "obs/audit_log.h"
+#include "obs/shadow.h"
 #include "util/alloc_counter.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -78,6 +86,8 @@ struct SectionResult {
   double millis;
   double qps;
   double allocs_per_query;
+  bool audit = false;
+  uint64_t shadow_interval = 0;
 };
 
 std::string JsonLine(const SectionResult& r) {
@@ -85,9 +95,12 @@ std::string JsonLine(const SectionResult& r) {
   std::snprintf(buffer, sizeof(buffer),
                 "JSON {\"bench\":\"hotpath\",\"section\":\"%s\","
                 "\"fast_path\":%s,\"threads\":1,\"queries\":%zu,"
-                "\"millis\":%.3f,\"qps\":%.1f,\"allocs_per_query\":%.4f}",
+                "\"millis\":%.3f,\"qps\":%.1f,\"allocs_per_query\":%.4f,"
+                "\"audit\":%s,\"shadow_interval\":%llu}",
                 r.section, r.fast_path ? "true" : "false", r.queries,
-                r.millis, r.qps, r.allocs_per_query);
+                r.millis, r.qps, r.allocs_per_query,
+                r.audit ? "true" : "false",
+                static_cast<unsigned long long>(r.shadow_interval));
   return buffer;
 }
 
@@ -114,9 +127,21 @@ SectionResult Measure(const char* section, bool fast_path,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool audit = false;
+  uint64_t shadow_interval = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--audit") == 0) audit = true;
+    if (std::strcmp(argv[i], "--shadow") == 0 && i + 1 < argc) {
+      shadow_interval = std::strtoull(argv[++i], nullptr, 10);
+    }
   }
+  if (audit) {
+    obs::AuditLogOptions options;
+    options.sinks.push_back(std::make_unique<obs::DiscardSink>());
+    obs::AuditLog::Global().Start(std::move(options));
+  }
+  obs::ShadowVerifier::Global().SetInterval(shadow_interval);
 
   constexpr uint64_t kSeed = 42;
   const size_t query_count = smoke ? 2000 : 30000;
@@ -136,7 +161,12 @@ int main(int argc, char** argv) {
             << " subjects, " << system.eacm().size()
             << " explicit authorizations; " << query_count
             << " hot-set queries, strategy D+LP-, 1 thread"
-            << (smoke ? " (smoke)" : "") << "\n\n";
+            << (smoke ? " (smoke)" : "");
+  if (audit) std::cout << ", audit log on";
+  if (shadow_interval != 0) {
+    std::cout << ", shadow 1-in-" << shadow_interval;
+  }
+  std::cout << "\n\n";
 
   std::vector<SectionResult> results;
 
@@ -191,8 +221,14 @@ int main(int argc, char** argv) {
                "scratch arenas, one\npooled SoA bag buffer, sparse column "
                "staging, and streaming resolution — zero\nsteady-state heap "
                "allocations per query.\n\n";
-  for (const SectionResult& r : results) std::cout << JsonLine(r) << "\n";
+  for (SectionResult& r : results) {
+    r.audit = audit;
+    r.shadow_interval = shadow_interval;
+    std::cout << JsonLine(r) << "\n";
+  }
   PublishAllocationGauge();  // ucr_heap_allocations joins the snapshot.
   ucr::bench_obs::EmitMetricsSnapshot("hotpath");
+  obs::ShadowVerifier::Global().SetInterval(0);
+  if (audit) obs::AuditLog::Global().Stop();
   return 0;
 }

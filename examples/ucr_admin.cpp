@@ -16,10 +16,19 @@
 //   ucr_admin explain <file> <subject> <object> <right>
 //   ucr_admin metrics <file> [prom|json]       sweep + metrics snapshot
 //   ucr_admin trace   <file> <subject> <object> <right>
+//   ucr_admin serve   <file> [port]            live exposition server
+//
+// Exit codes: 0 success, 1 operation failed, 2 bad usage, 3 the system
+// file could not be loaded.
 
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "core/explain.h"
@@ -27,16 +36,27 @@
 #include "core/storage.h"
 #include "core/strategy.h"
 #include "core/system.h"
+#include "obs/audit_log.h"
+#include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/shadow.h"
 #include "obs/trace.h"
+
+#ifndef UCR_ADMIN_VERSION
+#define UCR_ADMIN_VERSION "dev"
+#endif
 
 namespace {
 
 using namespace ucr;  // NOLINT(build/namespaces): example brevity.
 
+constexpr int kExitOperationFailed = 1;
+constexpr int kExitBadUsage = 2;
+constexpr int kExitLoadFailed = 3;
+
 int Fail(const Status& status) {
   std::cerr << "error: " << status.ToString() << "\n";
-  return 1;
+  return kExitOperationFailed;
 }
 
 int Demo(const std::string& path) {
@@ -61,7 +81,11 @@ int WithSystem(const std::string& path,
                const std::function<int(core::AccessControlSystem&)>& body,
                bool save_back) {
   auto system = core::LoadSystemFromFile(path);
-  if (!system.ok()) return Fail(system.status());
+  if (!system.ok()) {
+    std::cerr << "error: cannot load '" << path
+              << "': " << system.status().ToString() << "\n";
+    return kExitLoadFailed;
+  }
   const int rc = body(*system);
   if (rc == 0 && save_back) {
     const Status saved = core::SaveSystemToFile(*system, path);
@@ -139,21 +163,137 @@ int Trace(const std::string& path, const std::string& subject,
   }, /*save_back=*/false);
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+// Long-running operational mode (DESIGN.md §9): loads the system,
+// starts the audit log (rotating file next to the system file), turns
+// on 1-in-64 shadow verification, and serves /metrics /healthz /varz
+// /tracez until SIGINT or SIGTERM. The demo traffic loop keeps the
+// gauges moving so a curl shows live numbers.
+int Serve(const std::string& path, uint16_t port) {
+  return WithSystem(path, [&](core::AccessControlSystem& system) {
+    obs::AuditLogOptions audit_options;
+    const std::string audit_path = path + ".audit.jsonl";
+    auto file_sink = std::make_unique<obs::RotatingFileSink>(audit_path);
+    if constexpr (obs::kEnabled) {
+      if (!file_sink->ok()) {
+        return Fail(Status::Internal("cannot open audit log " + audit_path));
+      }
+    }
+    audit_options.sinks.push_back(std::move(file_sink));
+    obs::AuditLog::Global().Start(std::move(audit_options));
+    obs::ShadowVerifier::Global().SetInterval(64);
+
+    obs::HttpExporter exporter;
+    std::string error;
+    if (!exporter.Start(port, &error)) {
+      obs::AuditLog::Global().Stop();
+      return Fail(Status::Internal("cannot start exporter: " + error));
+    }
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+    std::cout << "serving http://127.0.0.1:" << exporter.port()
+              << "/{metrics,healthz,varz,tracez}\n"
+              << "audit log: " << audit_path << "\n"
+              << "shadow verification: 1-in-64\n"
+              << "press Ctrl-C to stop" << std::endl;
+
+    // Background decision traffic: sweep every triple under the
+    // session strategy so the exported counters, histograms, traces
+    // and shadow checks reflect a live system rather than zeros.
+    const size_t subjects = system.dag().node_count();
+    const size_t objects = system.eacm().object_count();
+    const size_t rights = system.eacm().right_count();
+    while (g_stop_requested == 0) {
+      for (size_t s = 0; s < subjects && g_stop_requested == 0; ++s) {
+        for (size_t o = 0; o < objects; ++o) {
+          for (size_t r = 0; r < rights; ++r) {
+            auto mode = system.CheckAccess(
+                static_cast<graph::NodeId>(s), static_cast<acm::ObjectId>(o),
+                static_cast<acm::RightId>(r), system.strategy());
+            if (!mode.ok()) {
+              exporter.Stop();
+              obs::AuditLog::Global().Stop();
+              return Fail(mode.status());
+            }
+          }
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cout << "\nstopping (" << exporter.requests_total()
+              << " requests served)\n";
+    exporter.Stop();
+    obs::ShadowVerifier::Global().SetInterval(0);
+    obs::AuditLog::Global().Stop();
+    return 0;
+  }, /*save_back=*/false);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string usage =
-      "usage: ucr_admin <demo|info|grant|deny|revoke|add-member|"
-      "remove-member|set-strategy|check|explain|metrics|trace> "
-      "<file> [args...]\n";
+      "usage: ucr_admin <command> <file> [args...]\n"
+      "\n"
+      "commands:\n"
+      "  demo <file>                          write the Fig. 1 system\n"
+      "  info <file>                          summarize the system\n"
+      "  grant  <file> <subject> <object> <right>\n"
+      "  deny   <file> <subject> <object> <right>\n"
+      "  revoke <file> <subject> <object> <right>\n"
+      "  add-member    <file> <group> <member>\n"
+      "  remove-member <file> <group> <member>\n"
+      "  set-strategy <file> <mnemonic>       e.g. D+LP-\n"
+      "  check   <file> <subject> <object> <right>\n"
+      "  explain <file> <subject> <object> <right>\n"
+      "  metrics <file> [prom|json]           sweep + metrics snapshot\n"
+      "  trace   <file> <subject> <object> <right>\n"
+      "  serve   <file> [port]                live exposition server\n"
+      "                                       (default port 9464) with\n"
+      "                                       audit log + shadow checks\n"
+      "\n"
+      "flags: --help, --version\n"
+      "exit codes: 0 ok, 1 operation failed, 2 bad usage, 3 load failed\n";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage;
+      return 0;
+    }
+    if (arg == "--version") {
+      std::cout << "ucr_admin " << UCR_ADMIN_VERSION << "\n";
+      return 0;
+    }
+  }
   if (argc < 3) {
     std::cerr << usage;
-    return 2;
+    return kExitBadUsage;
   }
   const std::string command = argv[1];
   const std::string path = argv[2];
 
   if (command == "demo") return Demo(path);
+
+  if (command == "serve") {
+    if (argc != 3 && argc != 4) {
+      std::cerr << usage;
+      return kExitBadUsage;
+    }
+    uint16_t port = 9464;
+    if (argc == 4) {
+      char* end = nullptr;
+      const long parsed = std::strtol(argv[3], &end, 10);
+      if (end == argv[3] || *end != '\0' || parsed < 0 || parsed > 65535) {
+        std::cerr << "serve: port must be 0..65535 (0 = ephemeral)\n";
+        return kExitBadUsage;
+      }
+      port = static_cast<uint16_t>(parsed);
+    }
+    return Serve(path, port);
+  }
 
   if (command == "info") {
     return WithSystem(path, [](core::AccessControlSystem& system) {
@@ -170,7 +310,7 @@ int main(int argc, char** argv) {
   if (command == "set-strategy") {
     if (argc != 4) {
       std::cerr << usage;
-      return 2;
+      return kExitBadUsage;
     }
     auto strategy = core::ParseStrategy(argv[3]);
     if (!strategy.ok()) return Fail(strategy.status());
@@ -184,7 +324,7 @@ int main(int argc, char** argv) {
   if (command == "add-member" || command == "remove-member") {
     if (argc != 5) {
       std::cerr << usage;
-      return 2;
+      return kExitBadUsage;
     }
     const std::string group = argv[3];
     const std::string member = argv[4];
@@ -203,19 +343,19 @@ int main(int argc, char** argv) {
   if (command == "metrics") {
     if (argc != 3 && argc != 4) {
       std::cerr << usage;
-      return 2;
+      return kExitBadUsage;
     }
     const std::string format = argc == 4 ? argv[3] : "";
     if (!format.empty() && format != "prom" && format != "json") {
       std::cerr << "metrics format must be 'prom' or 'json'\n";
-      return 2;
+      return kExitBadUsage;
     }
     return Metrics(path, format);
   }
 
   if (argc != 6) {
     std::cerr << usage;
-    return 2;
+    return kExitBadUsage;
   }
   const std::string subject = argv[3];
   const std::string object = argv[4];
@@ -260,5 +400,5 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << usage;
-  return 2;
+  return kExitBadUsage;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/audit_log.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -21,6 +22,23 @@ void CountMutation() {
         "Explicit ACM mutations (grants, denies, revocations)");
     mutations.Inc();
   }
+}
+
+/// Audit trail for column-epoch advances (DESIGN.md §9): every matrix
+/// edit lapses the column's cached derived decisions, and the trail
+/// records which column and the epoch it reached.
+[[gnu::noinline, gnu::cold]] void AuditEpochBump(graph::NodeId subject,
+                                                 ObjectId object,
+                                                 RightId right,
+                                                 uint64_t epoch) {
+  obs::AuditEvent event;
+  event.type = obs::AuditEventType::kEpochBump;
+  event.has_ids = true;
+  event.subject = subject;
+  event.object = object;
+  event.right = right;
+  event.value = epoch;
+  obs::AuditLog::Global().Emit(event);
 }
 
 template <typename IdType>
@@ -77,6 +95,9 @@ Status ExplicitAcm::Set(graph::NodeId subject, ObjectId object, RightId right,
       ColumnEntry{subject, mode});
   BumpEpoch(object, right);
   CountMutation();
+  if (obs::AuditLog::Enabled()) {
+    AuditEpochBump(subject, object, right, ColumnEpoch(object, right));
+  }
   return Status::OK();
 }
 
@@ -95,6 +116,9 @@ void ExplicitAcm::Overwrite(graph::NodeId subject, ObjectId object,
   if (!updated) column.push_back(ColumnEntry{subject, mode});
   BumpEpoch(object, right);
   CountMutation();
+  if (obs::AuditLog::Enabled()) {
+    AuditEpochBump(subject, object, right, ColumnEpoch(object, right));
+  }
 }
 
 bool ExplicitAcm::Erase(graph::NodeId subject, ObjectId object,
@@ -111,6 +135,9 @@ bool ExplicitAcm::Erase(graph::NodeId subject, ObjectId object,
     }
     BumpEpoch(object, right);
     CountMutation();
+    if (obs::AuditLog::Enabled()) {
+      AuditEpochBump(subject, object, right, ColumnEpoch(object, right));
+    }
   }
   return erased;
 }

@@ -8,6 +8,7 @@
 #include "graph/ancestor_subgraph.h"
 #include "graph/scratch_subgraph.h"
 #include "obs/metrics.h"
+#include "obs/shadow.h"
 #include "obs/trace.h"
 
 namespace ucr::core {
@@ -130,8 +131,14 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
   acm::Mode mode;
   bool subgraph_hit = false;
   uint64_t t_propagate = 0;
+  // Shadow verification (DESIGN.md §9) only covers the fast engine —
+  // re-resolving the classic engine with itself proves nothing — and
+  // needs the Fig. 4 trace for the bit-for-bit comparison.
+  const bool shadowed =
+      options_.use_fast_path && obs::ShadowVerifier::ShouldShadow();
   ResolveTrace sampled_trace;
-  ResolveTrace* trace_out = sampled ? &sampled_trace : nullptr;
+  ResolveTrace* trace_out =
+      sampled || shadowed ? &sampled_trace : nullptr;
   if (options_.use_fast_path) {
     // Allocation-free hot path (DESIGN.md §7). With the sub-graph
     // cache on, the flat kernel propagates over the shared cached
@@ -178,6 +185,11 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
       RecordBatchTrace(query, canonical, options_.use_fast_path,
                        /*resolution_hit=*/false, subgraph_hit, t_start,
                        t_propagate, t_end, trace_out, mode);
+    }
+    if (shadowed) [[unlikely]] {
+      ShadowVerifyDecision(*dag_, *eacm_, query.subject, query.object,
+                           query.right, canonical, prop_options, mode,
+                           *trace_out);
     }
   }
   return mode;

@@ -1,5 +1,6 @@
 #include "core/cache.h"
 
+#include "obs/audit_log.h"
 #include "obs/metrics.h"
 
 namespace ucr::core {
@@ -9,6 +10,15 @@ namespace internal {
 CacheMetrics& GetCacheMetrics() {
   static CacheMetrics* metrics = new CacheMetrics();
   return *metrics;
+}
+
+void AuditCacheClear(const char* which, uint64_t dropped) {
+  if (!obs::AuditLog::Enabled()) return;
+  obs::AuditEvent event;
+  event.type = obs::AuditEventType::kCacheClear;
+  event.value = dropped;
+  event.SetDetail(which);
+  obs::AuditLog::Global().Emit(event);
 }
 
 }  // namespace internal
@@ -55,6 +65,7 @@ void ResolutionCache::Clear() {
   const uint64_t evictions = stats_.evictions + dropped;
   stats_ = Stats{};
   stats_.evictions = evictions;
+  internal::AuditCacheClear("resolution", dropped);
 }
 
 const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
@@ -75,10 +86,12 @@ const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
 }
 
 void SubgraphCache::Clear() {
-  internal::GetCacheMetrics().subgraph_evictions.Inc(subgraphs_.size());
+  const uint64_t dropped = subgraphs_.size();
+  internal::GetCacheMetrics().subgraph_evictions.Inc(dropped);
   subgraphs_.clear();
   hits_ = 0;
   misses_ = 0;
+  internal::AuditCacheClear("subgraph", dropped);
 }
 
 }  // namespace ucr::core

@@ -43,6 +43,11 @@ struct CacheMetrics {
 
 CacheMetrics& GetCacheMetrics();
 
+/// Emits a kCacheClear audit event (`which` names the cache, `dropped`
+/// counts the discarded entries). Shared by the serial and sharded
+/// cache variants; no-op when the audit log is not running.
+void AuditCacheClear(const char* which, uint64_t dropped);
+
 }  // namespace internal
 
 /// \brief Memo of resolved authorizations — the paper's future-work

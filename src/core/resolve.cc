@@ -4,8 +4,10 @@
 #include <vector>
 
 #include "core/flat_propagate.h"
+#include "graph/ancestor_subgraph.h"
 #include "graph/scratch_subgraph.h"
 #include "obs/metrics.h"
+#include "obs/shadow.h"
 #include "obs/trace.h"
 
 namespace ucr::core {
@@ -69,6 +71,21 @@ ResolveMetrics& GetResolveMetrics() {
 
 uint64_t SatAdd(uint64_t a, uint64_t b) {
   return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
+/// Copies a ResolveTrace's Fig. 4 fields into a tracer record (the
+/// shape the obs-layer formatters consume).
+obs::QueryTraceRecord Fig4Record(const ResolveTrace& trace) {
+  obs::QueryTraceRecord record;
+  record.has_majority = trace.c1.has_value();
+  record.c1 = trace.c1.value_or(0);
+  record.c2 = trace.c2.value_or(0);
+  record.auth_computed = trace.auth_computed;
+  record.auth_has_positive = trace.auth_has_positive;
+  record.auth_has_negative = trace.auth_has_negative;
+  record.returned_line = trace.returned_line;
+  record.granted = trace.result == Mode::kPositive;
+  return record;
 }
 
 /// A (dis, mode) group after the default rule has been applied: only
@@ -318,6 +335,75 @@ acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
   return t.result;
 }
 
+[[gnu::noinline, gnu::cold]] void ShadowVerifyDecision(
+    const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+    graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+    const Strategy& canonical, const PropagateOptions& prop_options,
+    acm::Mode fast_mode, const ResolveTrace& fast_trace) {
+  // Deliberate sampled work: its heap traffic is excluded from the
+  // hot path's zero-allocation budget (util/alloc_counter.cc).
+  obs::ScopedAllocExclusion off_budget;
+
+  // Reusable per-thread staging so the steady-state oracle cost is
+  // O(sub-graph), not O(node-count) vector churn per shadowed query.
+  struct ShadowScratch {
+    graph::SubgraphScratch extraction;
+    std::vector<std::optional<acm::Mode>> labels;
+  };
+  thread_local ShadowScratch scratch;
+  const size_t node_count = dag.node_count();
+  if (scratch.labels.size() < node_count) scratch.labels.resize(node_count);
+
+  // Stage the sparse column into the dense label view the classic
+  // engine consumes, exactly like ExtractLabels would build it.
+  const std::span<const acm::ExplicitAcm::ColumnEntry> column =
+      eacm.Column(object, right);
+  for (const acm::ExplicitAcm::ColumnEntry& e : column) {
+    if (e.subject < node_count) scratch.labels[e.subject] = e.mode;
+  }
+  const graph::AncestorSubgraph sub(dag, subject, scratch.extraction);
+  ResolveTrace oracle_trace;
+  const RightsBag bag = PropagateAggregated(
+      sub, LabelView(scratch.labels.data(), node_count), prop_options);
+  acm::Mode oracle_mode = Resolve(bag, canonical, &oracle_trace);
+  for (const acm::ExplicitAcm::ColumnEntry& e : column) {
+    if (e.subject < node_count) scratch.labels[e.subject].reset();
+  }
+
+  if (obs::ShadowVerifier::perturb_oracle_for_testing()) {
+    oracle_mode = oracle_mode == Mode::kPositive ? Mode::kNegative
+                                                 : Mode::kPositive;
+    oracle_trace.result = oracle_mode;
+  }
+
+  obs::ShadowVerifier& verifier = obs::ShadowVerifier::Global();
+  verifier.RecordCheck();
+  const bool identical =
+      oracle_mode == fast_mode && oracle_trace.c1 == fast_trace.c1 &&
+      oracle_trace.c2 == fast_trace.c2 &&
+      oracle_trace.auth_computed == fast_trace.auth_computed &&
+      oracle_trace.auth_has_positive == fast_trace.auth_has_positive &&
+      oracle_trace.auth_has_negative == fast_trace.auth_has_negative &&
+      oracle_trace.returned_line == fast_trace.returned_line;
+  if (identical) return;
+
+  obs::ShadowVerifier::Mismatch mismatch;
+  mismatch.subject = subject;
+  mismatch.object = object;
+  mismatch.right = right;
+  mismatch.strategy_index = canonical.CanonicalIndex();
+  mismatch.fast_granted = fast_mode == Mode::kPositive;
+  mismatch.oracle_granted = oracle_mode == Mode::kPositive;
+  char derivation[160];
+  obs::FormatFig4Compact(Fig4Record(fast_trace), derivation,
+                         sizeof(derivation));
+  mismatch.fast_derivation = derivation;
+  obs::FormatFig4Compact(Fig4Record(oracle_trace), derivation,
+                         sizeof(derivation));
+  mismatch.oracle_derivation = derivation;
+  verifier.RecordMismatch(std::move(mismatch));
+}
+
 StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
                                   const acm::ExplicitAcm& eacm,
                                   graph::NodeId subject, acm::ObjectId object,
@@ -359,9 +445,14 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
     const std::span<const RightsEntry> sink_bag =
         hot.propagator.PropagateSink(view, prop_options, stats);
     const uint64_t t_propagate = sampled ? obs::NowNs() : 0;
+    // Shadow verification (DESIGN.md §9) needs the fast path's Fig. 4
+    // trace for the bit-for-bit comparison, so a shadowed query also
+    // fills the stack-local trace.
+    const bool shadowed = obs::ShadowVerifier::ShouldShadow();
     ResolveTrace sampled_trace;
     ResolveTrace* trace_out =
-        trace != nullptr ? trace : (sampled ? &sampled_trace : nullptr);
+        trace != nullptr ? trace
+                         : (sampled || shadowed ? &sampled_trace : nullptr);
     const acm::Mode mode = ResolveEntries(sink_bag, strategy, trace_out);
     if constexpr (obs::kEnabled) {
       GetResolveMetrics().fast.Inc();
@@ -371,6 +462,11 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
         RecordQueryTrace(subject, object, right, strategy.Canonical(),
                          /*fast_path=*/true, t_start, t_extract, t_propagate,
                          t_end, *trace_out);
+      }
+      if (shadowed) [[unlikely]] {
+        ShadowVerifyDecision(dag, eacm, subject, object, right,
+                             strategy.Canonical(), prop_options, mode,
+                             *trace_out);
       }
     }
     return mode;

@@ -104,6 +104,24 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
                                   ResolveTrace* trace = nullptr,
                                   PropagateStats* stats = nullptr);
 
+/// \brief Online shadow-verification oracle (DESIGN.md §9): re-resolves
+/// one fast-path decision with the classic engines (ancestor-sub-graph
+/// extraction, aggregated propagation, Fig. 4 `Resolve`) and compares
+/// decision *and* derivation (c1/c2, Auth set, returned line)
+/// bit-for-bit against the fast path's. A divergence is counted
+/// (`ucr_shadow_mismatch_total`), retained in the mismatch dump, and
+/// emitted as an audit event carrying both derivations.
+///
+/// Called by `ResolveAccess`/`BatchResolver` for queries selected by
+/// `obs::ShadowVerifier::ShouldShadow()`. Cold path; its heap traffic
+/// runs under an allocation-exclusion scope, so the hot path's
+/// 0-allocs/query bound refers to unshadowed queries.
+void ShadowVerifyDecision(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                          graph::NodeId subject, acm::ObjectId object,
+                          acm::RightId right, const Strategy& canonical,
+                          const PropagateOptions& prop_options,
+                          acm::Mode fast_mode, const ResolveTrace& fast_trace);
+
 }  // namespace ucr::core
 
 #endif  // UCR_CORE_RESOLVE_H_

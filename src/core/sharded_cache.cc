@@ -44,9 +44,11 @@ void ShardedResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
 
 void ShardedResolutionCache::Clear() {
   internal::CacheMetrics& m = internal::GetCacheMetrics();
+  uint64_t total_dropped = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     const uint64_t dropped = shard.entries.size();
+    total_dropped += dropped;
     m.resolution_evictions.Inc(dropped);
     shard.entries.clear();
     // Rate stats reset (the PR-1 stats-leak class); the eviction tally
@@ -55,6 +57,7 @@ void ShardedResolutionCache::Clear() {
     shard.stats = ResolutionCache::Stats{};
     shard.stats.evictions = evictions;
   }
+  internal::AuditCacheClear("sharded_resolution", total_dropped);
 }
 
 size_t ShardedResolutionCache::size() const {
@@ -104,13 +107,17 @@ const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
 
 void ShardedSubgraphCache::Clear() {
   internal::CacheMetrics& m = internal::GetCacheMetrics();
+  uint64_t total_dropped = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
-    m.subgraph_evictions.Inc(shard.subgraphs.size());
+    const uint64_t dropped = shard.subgraphs.size();
+    total_dropped += dropped;
+    m.subgraph_evictions.Inc(dropped);
     shard.subgraphs.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  internal::AuditCacheClear("sharded_subgraph", total_dropped);
 }
 
 size_t ShardedSubgraphCache::size() const {

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/propagate.h"
+#include "obs/audit_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -64,11 +65,32 @@ SystemMetrics& GetSystemMetrics() {
   obs::QueryTracer::Global().Record(record);
 }
 
+/// Audit hook for the named administrative operations (DESIGN.md §9).
+/// Cold by construction: only successful state changes reach it, and
+/// the Enabled() check is done by the caller.
+[[gnu::noinline, gnu::cold]] void EmitAdminEvent(
+    obs::AuditEventType type, std::string_view detail, uint64_t value = 0) {
+  obs::AuditEvent event;
+  event.type = type;
+  event.value = value;
+  event.SetDetail(detail);
+  obs::AuditLog::Global().Emit(event);
+}
+
 }  // namespace
 
 AccessControlSystem::AccessControlSystem(graph::Dag dag, SystemOptions options)
     : dag_(std::move(dag)), options_(options) {
   options_.default_strategy = options_.default_strategy.Canonical();
+}
+
+void AccessControlSystem::SetStrategy(const Strategy& strategy) {
+  options_.default_strategy = strategy.Canonical();
+  if (obs::AuditLog::Enabled()) {
+    EmitAdminEvent(obs::AuditEventType::kStrategyChange,
+                   options_.default_strategy.ToMnemonic(),
+                   options_.default_strategy.CanonicalIndex());
+  }
 }
 
 Status AccessControlSystem::SetMode(std::string_view subject,
@@ -80,7 +102,20 @@ Status AccessControlSystem::SetMode(std::string_view subject,
   }
   UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.InternObject(object));
   UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.InternRight(right));
-  return eacm_.Set(s, o, r, mode);
+  UCR_RETURN_IF_ERROR(eacm_.Set(s, o, r, mode));
+  if (obs::AuditLog::Enabled()) {
+    obs::AuditEvent event;
+    event.type = mode == acm::Mode::kPositive ? obs::AuditEventType::kGrant
+                                              : obs::AuditEventType::kDeny;
+    event.has_ids = true;
+    event.subject = s;
+    event.object = o;
+    event.right = r;
+    event.SetDetail(std::string(subject) + " " + std::string(object) + " " +
+                    std::string(right));
+    obs::AuditLog::Global().Emit(event);
+  }
+  return Status::OK();
 }
 
 Status AccessControlSystem::Grant(std::string_view subject,
@@ -118,7 +153,13 @@ Status AccessControlSystem::AddMembership(std::string_view parent,
   UCR_RETURN_IF_ERROR(builder.AddEdge(parent, child));
   auto rebuilt = std::move(builder).Build();
   if (!rebuilt.ok()) return rebuilt.status();  // Cycle: state unchanged.
-  return RebuildHierarchy(std::move(rebuilt).value());
+  UCR_RETURN_IF_ERROR(RebuildHierarchy(std::move(rebuilt).value()));
+  if (obs::AuditLog::Enabled()) {
+    EmitAdminEvent(obs::AuditEventType::kAddMember,
+                   std::string(parent) + " -> " + std::string(child),
+                   dag_.edge_count());
+  }
+  return Status::OK();
 }
 
 Status AccessControlSystem::RemoveMembership(std::string_view parent,
@@ -142,7 +183,13 @@ Status AccessControlSystem::RemoveMembership(std::string_view parent,
   }
   auto rebuilt = std::move(builder).Build();
   if (!rebuilt.ok()) return rebuilt.status();
-  return RebuildHierarchy(std::move(rebuilt).value());
+  UCR_RETURN_IF_ERROR(RebuildHierarchy(std::move(rebuilt).value()));
+  if (obs::AuditLog::Enabled()) {
+    EmitAdminEvent(obs::AuditEventType::kRemoveMember,
+                   std::string(parent) + " -> " + std::string(child),
+                   dag_.edge_count());
+  }
+  return Status::OK();
 }
 
 Status AccessControlSystem::Revoke(std::string_view subject,
@@ -154,7 +201,18 @@ Status AccessControlSystem::Revoke(std::string_view subject,
   }
   UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.FindObject(object));
   UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.FindRight(right));
-  eacm_.Erase(s, o, r);
+  const bool erased = eacm_.Erase(s, o, r);
+  if (erased && obs::AuditLog::Enabled()) {
+    obs::AuditEvent event;
+    event.type = obs::AuditEventType::kRevoke;
+    event.has_ids = true;
+    event.subject = s;
+    event.object = o;
+    event.right = r;
+    event.SetDetail(std::string(subject) + " " + std::string(object) + " " +
+                    std::string(right));
+    obs::AuditLog::Global().Emit(event);
+  }
   return Status::OK();
 }
 

@@ -79,9 +79,9 @@ class AccessControlSystem {
 
   /// Reconfigures the session strategy. Cached decisions keyed under
   /// other strategies stay valid (the strategy is part of the key).
-  void SetStrategy(const Strategy& strategy) {
-    options_.default_strategy = strategy.Canonical();
-  }
+  /// Audit-logged: a strategy change flips every decision the old
+  /// strategy and the new one disagree on, so the trail must show it.
+  void SetStrategy(const Strategy& strategy);
 
   /// Grants `right` on `object` to `subject` explicitly.
   /// All three names are created/interned on first use except the

@@ -1,0 +1,292 @@
+#include "obs/audit_log.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace ucr::obs {
+
+std::string_view AuditEventTypeName(AuditEventType type) {
+  switch (type) {
+    case AuditEventType::kGrant: return "grant";
+    case AuditEventType::kDeny: return "deny";
+    case AuditEventType::kRevoke: return "revoke";
+    case AuditEventType::kAddMember: return "add_member";
+    case AuditEventType::kRemoveMember: return "remove_member";
+    case AuditEventType::kStrategyChange: return "strategy_change";
+    case AuditEventType::kCacheClear: return "cache_clear";
+    case AuditEventType::kEpochBump: return "epoch_bump";
+    case AuditEventType::kAccessDecision: return "access_decision";
+    case AuditEventType::kSlowQuery: return "slow_query";
+    case AuditEventType::kShadowMismatch: return "shadow_mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// JSON string escaping for the free-form detail field (quotes,
+/// backslashes, control characters).
+void AppendEscaped(std::ostringstream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string AuditEventToJson(const AuditEvent& e) {
+  std::ostringstream out;
+  out << "{\"seq\":" << e.sequence << ",\"ts_unix_ns\":" << e.wall_ns
+      << ",\"type\":\"" << AuditEventTypeName(e.type) << "\"";
+  if (e.has_ids) {
+    out << ",\"subject\":" << e.subject << ",\"object\":" << e.object
+        << ",\"right\":" << e.right;
+  }
+  if (e.has_decision) {
+    out << ",\"granted\":" << (e.granted ? "true" : "false");
+  }
+  if (e.has_strategy) {
+    out << ",\"strategy_index\":" << static_cast<int>(e.strategy_index);
+  }
+  if (e.latency_ns != 0) out << ",\"latency_ns\":" << e.latency_ns;
+  if (e.value != 0) out << ",\"value\":" << e.value;
+  if (e.detail[0] != '\0') {
+    out << ",\"detail\":\"";
+    AppendEscaped(out, e.detail);
+    out << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+#if UCR_METRICS_ENABLED
+
+namespace {
+
+uint64_t WallNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+struct AuditMetrics {
+  Counter& events = Registry::Global().GetCounter(
+      "ucr_audit_events_total", "Audit events accepted into the ring");
+  Counter& dropped = Registry::Global().GetCounter(
+      "ucr_audit_dropped_total",
+      "Audit events dropped because the ring was full");
+  Counter& written = Registry::Global().GetCounter(
+      "ucr_audit_written_total", "Audit events rendered to sinks");
+};
+
+AuditMetrics& GetAuditMetrics() {
+  static AuditMetrics* metrics = new AuditMetrics();
+  return *metrics;
+}
+
+}  // namespace
+
+AuditSink::~AuditSink() = default;
+
+RotatingFileSink::RotatingFileSink(std::string path, size_t max_bytes,
+                                   int max_backups)
+    : path_(std::move(path)),
+      max_bytes_(max_bytes),
+      max_backups_(max_backups < 1 ? 1 : max_backups) {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ != nullptr) {
+    const long pos = std::ftell(file_);
+    bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+  }
+}
+
+RotatingFileSink::~RotatingFileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RotatingFileSink::Rotate() {
+  std::fclose(file_);
+  file_ = nullptr;
+  // path.N-1 -> path.N, ..., path -> path.1; the oldest falls off.
+  std::remove((path_ + "." + std::to_string(max_backups_)).c_str());
+  for (int i = max_backups_ - 1; i >= 1; --i) {
+    std::rename((path_ + "." + std::to_string(i)).c_str(),
+                (path_ + "." + std::to_string(i + 1)).c_str());
+  }
+  std::rename(path_.c_str(), (path_ + ".1").c_str());
+  file_ = std::fopen(path_.c_str(), "ab");
+  bytes_ = 0;
+  ++rotations_;
+}
+
+void RotatingFileSink::Write(std::string_view line) {
+  if (file_ == nullptr) return;
+  if (bytes_ > 0 && bytes_ + line.size() + 1 > max_bytes_) Rotate();
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  bytes_ += line.size() + 1;
+}
+
+void RotatingFileSink::Flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void StderrSink::Write(std::string_view line) {
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fputc('\n', stderr);
+}
+
+void StderrSink::Flush() { std::fflush(stderr); }
+
+AuditLog& AuditLog::Global() {
+  // Leaked on purpose: producers may still emit during static
+  // destruction of other translation units.
+  static AuditLog* global = new AuditLog();
+  return *global;
+}
+
+AuditLog::AuditLog() {
+  for (size_t i = 0; i < kRingCapacity; ++i) {
+    ring_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool AuditLog::Start(AuditLogOptions options) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (running_.load(std::memory_order_relaxed)) return false;
+  sinks_ = std::move(options.sinks);
+  g_slow_ns.store(options.slow_query_threshold_ns, std::memory_order_relaxed);
+  g_log_decisions.store(options.log_sampled_decisions,
+                        std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  writer_ = std::thread([this] { WriterLoop(); });
+  g_enabled.store(true, std::memory_order_release);
+  return true;
+}
+
+void AuditLog::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (!running_.load(std::memory_order_relaxed)) return;
+  // Close the front door first so the final drain converges.
+  g_enabled.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> wake(wake_mu_);
+    running_.store(false, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  writer_.join();
+  DrainOnce();  // Writer is gone; drain the tail inline.
+  for (auto& sink : sinks_) sink->Flush();
+  sinks_.clear();
+  g_slow_ns.store(0, std::memory_order_relaxed);
+  g_log_decisions.store(false, std::memory_order_relaxed);
+}
+
+bool AuditLog::Emit(const AuditEvent& event) {
+  if (!Enabled()) return false;
+  uint64_t pos = head_.load(std::memory_order_relaxed);
+  for (;;) {
+    Slot& slot = ring_[pos & (kRingCapacity - 1)];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    const int64_t dif = static_cast<int64_t>(seq) - static_cast<int64_t>(pos);
+    if (dif == 0) {
+      if (head_.compare_exchange_weak(pos, pos + 1,
+                                      std::memory_order_relaxed)) {
+        slot.event = event;
+        slot.event.sequence = pos;
+        if (slot.event.wall_ns == 0) slot.event.wall_ns = WallNs();
+        slot.seq.store(pos + 1, std::memory_order_release);
+        emitted_.fetch_add(1, std::memory_order_relaxed);
+        GetAuditMetrics().events.Inc();
+        return true;
+      }
+    } else if (dif < 0) {
+      // Ring full: the consumer is behind by a whole lap. Backpressure
+      // policy is drop-and-count — auditing must never block serving.
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      GetAuditMetrics().dropped.Inc();
+      return false;
+    } else {
+      pos = head_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t AuditLog::DrainOnce() {
+  // All the heap traffic of rendering happens on this thread, inside
+  // an exclusion scope: deliberate observability work, off the
+  // hot-path allocation budget.
+  ScopedAllocExclusion off_budget;
+  size_t drained = 0;
+  for (;;) {
+    Slot& slot = ring_[tail_ & (kRingCapacity - 1)];
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<int64_t>(seq) - static_cast<int64_t>(tail_ + 1) < 0) {
+      break;  // Not yet published.
+    }
+    const AuditEvent event = slot.event;
+    slot.seq.store(tail_ + kRingCapacity, std::memory_order_release);
+    ++tail_;
+    ++drained;
+    const std::string line = AuditEventToJson(event);
+    for (auto& sink : sinks_) sink->Write(line);
+    written_.fetch_add(1, std::memory_order_relaxed);
+    GetAuditMetrics().written.Inc();
+  }
+  return drained;
+}
+
+void AuditLog::WriterLoop() {
+  while (true) {
+    const size_t drained = DrainOnce();
+    std::unique_lock<std::mutex> wake(wake_mu_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    if (drained == 0) {
+      wake_cv_.wait_for(wake, std::chrono::milliseconds(5));
+    }
+  }
+}
+
+void AuditLog::Flush() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  const uint64_t target = head_.load(std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // Dropped events never claim a ring position, so the writer's
+  // written count alone converges on the claim cursor.
+  while (written_.load(std::memory_order_relaxed) < target) {
+    wake_cv_.notify_all();
+    if (std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  for (auto& sink : sinks_) sink->Flush();
+}
+
+#else  // !UCR_METRICS_ENABLED
+
+AuditLog& AuditLog::Global() {
+  static AuditLog* global = new AuditLog();
+  return *global;
+}
+
+#endif  // UCR_METRICS_ENABLED
+
+}  // namespace ucr::obs

@@ -1,0 +1,252 @@
+#include "obs/http_exporter.h"
+
+#include <sstream>
+
+#include "obs/audit_log.h"
+#include "obs/shadow.h"
+#include "obs/trace.h"
+
+#if UCR_METRICS_ENABLED
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace ucr::obs {
+
+namespace {
+
+#if UCR_METRICS_ENABLED
+/// /varz: one JSON object joining the metric registry snapshot with
+/// the status of the other observability subsystems.
+std::string RenderVarz() {
+  const QueryTracer& tracer = QueryTracer::Global();
+  const ShadowVerifier& shadow = ShadowVerifier::Global();
+  const AuditLog& audit = AuditLog::Global();
+  std::ostringstream out;
+  out << "{\"metrics\":" << Registry::Global().RenderJson()
+      << ",\"tracer\":{\"sample_interval\":" << tracer.sample_interval()
+      << ",\"recorded_total\":" << tracer.recorded_total() << "}"
+      << ",\"audit\":{\"enabled\":" << (AuditLog::Enabled() ? "true" : "false")
+      << ",\"emitted_total\":" << audit.emitted_total()
+      << ",\"dropped_total\":" << audit.dropped_total()
+      << ",\"written_total\":" << audit.written_total() << "}"
+      << ",\"shadow\":{\"interval\":" << shadow.interval()
+      << ",\"checks_total\":" << shadow.checks_total()
+      << ",\"mismatch_total\":" << shadow.mismatch_total() << "}}";
+  return out.str();
+}
+
+/// /tracez: recent sampled traces plus the shadow mismatch dump — the
+/// live debugging surface.
+std::string RenderTracez() {
+  std::ostringstream out;
+  out << "{\"traces\":[";
+  bool first = true;
+  for (const QueryTraceRecord& record : QueryTracer::Global().Snapshot()) {
+    out << (first ? "" : ",") << ToJson(record);
+    first = false;
+  }
+  out << "],\"shadow_mismatches\":[";
+  first = true;
+  for (const ShadowVerifier::Mismatch& m :
+       ShadowVerifier::Global().RecentMismatches()) {
+    out << (first ? "" : ",") << "{\"sequence\":" << m.sequence
+        << ",\"subject\":" << m.subject << ",\"object\":" << m.object
+        << ",\"right\":" << m.right
+        << ",\"strategy_index\":" << static_cast<int>(m.strategy_index)
+        << ",\"fast_granted\":" << (m.fast_granted ? "true" : "false")
+        << ",\"oracle_granted\":" << (m.oracle_granted ? "true" : "false")
+        << "}";
+    first = false;
+  }
+  out << "]}";
+  return out.str();
+}
+#endif  // UCR_METRICS_ENABLED
+
+}  // namespace
+
+bool HttpExporter::RenderEndpoint(const std::string& path, std::string* body,
+                                  std::string* content_type) {
+#if UCR_METRICS_ENABLED
+  if (path == "/metrics") {
+    *body = Registry::Global().RenderPrometheus();
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/healthz") {
+    *body = "ok\n";
+    *content_type = "text/plain; charset=utf-8";
+    return true;
+  }
+  if (path == "/varz") {
+    *body = RenderVarz();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/tracez") {
+    *body = RenderTracez();
+    *content_type = "application/json";
+    return true;
+  }
+#else
+  (void)path;
+  (void)body;
+  (void)content_type;
+#endif
+  return false;
+}
+
+#if UCR_METRICS_ENABLED
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+bool HttpExporter::Start(uint16_t port, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  if (running_.load(std::memory_order_relaxed)) {
+    if (error != nullptr) *error = "exporter already running";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  running_.store(true, std::memory_order_relaxed);
+  server_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  // shutdown() unblocks the accept() in the serving thread.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  server_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+void HttpExporter::ServeLoop() {
+  static Counter& requests_metric = Registry::Global().GetCounter(
+      "ucr_http_requests_total", "Requests served by the exposition server");
+  while (running_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // shutdown() during Stop lands here.
+      if (!running_.load(std::memory_order_relaxed)) return;
+      continue;
+    }
+    // One short request per connection; read until the header break or
+    // the buffer fills (request bodies are ignored — all endpoints are
+    // GET).
+    char buffer[2048];
+    size_t total = 0;
+    while (total < sizeof(buffer) - 1) {
+      const ssize_t n =
+          ::recv(client, buffer + total, sizeof(buffer) - 1 - total, 0);
+      if (n <= 0) break;
+      total += static_cast<size_t>(n);
+      buffer[total] = '\0';
+      if (std::strstr(buffer, "\r\n\r\n") != nullptr ||
+          std::strstr(buffer, "\n\n") != nullptr) {
+        break;
+      }
+    }
+    buffer[total] = '\0';
+
+    // Parse "<METHOD> <path> ..." from the request line.
+    std::string method;
+    std::string path;
+    {
+      const char* p = buffer;
+      while (*p != '\0' && *p != ' ' && *p != '\r' && *p != '\n') {
+        method += *p++;
+      }
+      while (*p == ' ') ++p;
+      while (*p != '\0' && *p != ' ' && *p != '?' && *p != '\r' &&
+             *p != '\n') {
+        path += *p++;
+      }
+    }
+
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    requests_metric.Inc();
+
+    std::string body;
+    std::string content_type;
+    std::string status_line;
+    if (method != "GET") {
+      status_line = "HTTP/1.1 405 Method Not Allowed";
+      body = "method not allowed\n";
+      content_type = "text/plain; charset=utf-8";
+    } else if (RenderEndpoint(path, &body, &content_type)) {
+      status_line = "HTTP/1.1 200 OK";
+    } else {
+      status_line = "HTTP/1.1 404 Not Found";
+      body = "not found; try /metrics /healthz /varz /tracez\n";
+      content_type = "text/plain; charset=utf-8";
+    }
+
+    std::ostringstream response;
+    response << status_line << "\r\nContent-Type: " << content_type
+             << "\r\nContent-Length: " << body.size()
+             << "\r\nConnection: close\r\n\r\n"
+             << body;
+    const std::string out = response.str();
+    size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n =
+          ::send(client, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+#else  // !UCR_METRICS_ENABLED
+
+HttpExporter::~HttpExporter() = default;
+
+bool HttpExporter::Start(uint16_t port, std::string* error) {
+  (void)port;
+  if (error != nullptr) {
+    *error = "instrumentation compiled out (UCR_METRICS=OFF)";
+  }
+  return false;
+}
+
+void HttpExporter::Stop() {}
+
+void HttpExporter::ServeLoop() {}
+
+#endif  // UCR_METRICS_ENABLED
+
+}  // namespace ucr::obs

@@ -1,0 +1,65 @@
+#ifndef UCR_OBS_HTTP_EXPORTER_H_
+#define UCR_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ucr::obs {
+
+/// \brief Dependency-free blocking HTTP/1.1 exposition server
+/// (DESIGN.md §9): one dedicated accept thread, one request per
+/// connection (`Connection: close`), four read-only endpoints:
+///
+///   /metrics  Prometheus text (text/plain; version=0.0.4)
+///   /healthz  liveness ("ok")
+///   /varz     JSON snapshot: metrics + tracer/audit/shadow status
+///   /tracez   JSON: recent sampled traces + last shadow mismatches
+///
+/// Binds 127.0.0.1 only — this is an operator/scrape port, not a
+/// public API. Under `UCR_METRICS=OFF`, `Start` fails with an
+/// explanatory error and everything else is a no-op.
+class HttpExporter {
+ public:
+  HttpExporter() = default;
+  ~HttpExporter();
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds `port` (0 picks an ephemeral port) and starts the serving
+  /// thread. Returns false on failure with a reason in `error`.
+  bool Start(uint16_t port, std::string* error = nullptr);
+
+  /// Unblocks the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  /// The bound port (useful after Start(0)); 0 when not running.
+  uint16_t port() const { return port_; }
+
+  uint64_t requests_total() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Builds the response body + content type for `path`. Exposed for
+  /// tests; returns false for unknown paths (a 404).
+  static bool RenderEndpoint(const std::string& path, std::string* body,
+                             std::string* content_type);
+
+ private:
+  void ServeLoop();
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread server_;
+};
+
+}  // namespace ucr::obs
+
+#endif  // UCR_OBS_HTTP_EXPORTER_H_

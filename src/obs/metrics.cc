@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -13,7 +15,50 @@ size_t AssignThreadSlot() {
   return next.fetch_add(1, std::memory_order_relaxed) % kSlots;
 }
 
+int& AllocExclusionDepth() {
+  // Trivially initialized: no dynamic-init guard, so the counting
+  // allocator may call this from any allocation context.
+  thread_local int depth = 0;
+  return depth;
+}
+
 }  // namespace internal
+
+namespace {
+
+/// HELP text is a single line in the exposition format; backslashes
+/// and newlines must be escaped (the only two escapes the format
+/// defines for HELP).
+std::string EscapeHelp(std::string_view help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
 
 /// One registered metric: its help string plus exactly one of the
 /// three metric objects. unique_ptr keeps addresses stable across map
@@ -42,6 +87,14 @@ Registry::~Registry() { delete impl_; }
 
 Registry::Entry* Registry::FindOrCreate(std::string_view name,
                                         std::string_view help, int kind) {
+  if (!IsValidMetricName(name)) {
+    // A malformed name is a programming error at an interning call
+    // site; letting it through would corrupt every scrape of the
+    // exposition endpoint, so fail loudly and immediately.
+    std::fprintf(stderr, "ucr/obs: invalid metric name '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   if (impl_ == nullptr) impl_ = new Impl();
   auto it = impl_->entries.find(name);
@@ -91,7 +144,7 @@ std::string Registry::RenderPrometheus() const {
   std::ostringstream out;
   if (impl_ == nullptr) return out.str();
   for (const auto& [name, entry] : impl_->entries) {
-    out << "# HELP " << name << " " << entry.help << "\n";
+    out << "# HELP " << name << " " << EscapeHelp(entry.help) << "\n";
     switch (entry.kind) {
       case 0:
         out << "# TYPE " << name << " counter\n"

@@ -50,7 +50,32 @@ struct alignas(64) PaddedCount {
   std::atomic<uint64_t> value{0};
 };
 
+/// Per-thread depth of `ScopedAllocExclusion` scopes. Kept behind an
+/// out-of-line accessor (function-local zero-initialized TLS) rather
+/// than an `extern thread_local`: cross-TU extern TLS goes through the
+/// compiler's init wrapper, which GCC resolves to a null address for
+/// trivially-initialized ints on non-main threads under UBSan.
+int& AllocExclusionDepth();
+
 }  // namespace internal
+
+/// True while the calling thread is inside deliberate observability
+/// work (audit writer formatting, shadow-oracle re-resolution) whose
+/// heap traffic is excluded from the hot path's zero-allocation
+/// budget. Honored by util/alloc_counter.cc in measuring binaries.
+inline bool AllocCountingSuspended() {
+  return internal::AllocExclusionDepth() > 0;
+}
+
+/// RAII scope marking the enclosed work as off-budget for the counting
+/// allocator (see `AllocCountingSuspended`). Nestable; per-thread.
+class ScopedAllocExclusion {
+ public:
+  ScopedAllocExclusion() { ++internal::AllocExclusionDepth(); }
+  ~ScopedAllocExclusion() { --internal::AllocExclusionDepth(); }
+  ScopedAllocExclusion(const ScopedAllocExclusion&) = delete;
+  ScopedAllocExclusion& operator=(const ScopedAllocExclusion&) = delete;
+};
 
 /// Monotonic nanosecond clock for latency metrics. Returns 0 when the
 /// instrumentation is compiled out, so disabled builds never pay for a
@@ -246,6 +271,11 @@ class Registry {
   struct Impl;
   Impl* impl_ = nullptr;  ///< Lazily built; owned.
 };
+
+/// True when `name` is a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Registration aborts on an illegal name
+/// (a programming error that would corrupt the exposition output).
+bool IsValidMetricName(std::string_view name);
 
 /// \brief Minimal structural validity check for a JSON document:
 /// non-empty, starts with '{', balanced braces/brackets outside string

@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <cstdio>
 #include <sstream>
+
+#include "obs/audit_log.h"
 
 namespace ucr::obs {
 
@@ -9,17 +12,57 @@ QueryTracer& QueryTracer::Global() {
   return *global;
 }
 
+#if UCR_METRICS_ENABLED
+namespace {
+
+/// Audit emission for a sampled query (DESIGN.md §9): a decision event
+/// for every sample, plus a slow-query event carrying the compact
+/// Fig. 4 derivation when the latency threshold is breached. Runs on
+/// the query thread, so everything stays on the stack — the events are
+/// fixed-size PODs and the derivation is snprintf-formatted.
+[[gnu::noinline, gnu::cold]] void AuditSampledQuery(
+    const QueryTraceRecord& record) {
+  AuditEvent event;
+  event.has_ids = true;
+  event.subject = record.subject;
+  event.object = record.object;
+  event.right = record.right;
+  event.has_strategy = true;
+  event.strategy_index = record.strategy_index;
+  event.has_decision = true;
+  event.granted = record.granted;
+  event.latency_ns = record.total_ns;
+  if (AuditLog::log_sampled_decisions()) {
+    event.type = AuditEventType::kAccessDecision;
+    AuditLog::Global().Emit(event);
+  }
+  const uint64_t slow_ns = AuditLog::slow_query_threshold_ns();
+  if (slow_ns != 0 && record.total_ns >= slow_ns) {
+    event.type = AuditEventType::kSlowQuery;
+    FormatFig4Compact(record, event.detail, sizeof(event.detail));
+    AuditLog::Global().Emit(event);
+  }
+}
+
+}  // namespace
+#endif
+
 void QueryTracer::Record(const QueryTraceRecord& record) {
 #if UCR_METRICS_ENABLED
   static Counter& sampled_total = Registry::Global().GetCounter(
       "ucr_traces_sampled_total", "Query traces recorded by the sampler");
   sampled_total.Inc();
-  std::lock_guard<std::mutex> lock(mu_);
-  ring_[next_] = record;
-  ring_[next_].sequence = recorded_total_.fetch_add(1,
-                                                    std::memory_order_relaxed);
-  next_ = (next_ + 1) % kRingCapacity;
-  if (ring_size_ < kRingCapacity) ++ring_size_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_[next_] = record;
+    ring_[next_].sequence =
+        recorded_total_.fetch_add(1, std::memory_order_relaxed);
+    next_ = (next_ + 1) % kRingCapacity;
+    if (ring_size_ < kRingCapacity) ++ring_size_;
+  }
+  if (AuditLog::Enabled()) [[unlikely]] {
+    AuditSampledQuery(record);
+  }
 #else
   (void)record;
 #endif
@@ -118,6 +161,38 @@ std::string ToFig4String(const QueryTraceRecord& r) {
         << " -> " << (r.granted ? "'+'" : "'-'") << "\n";
   }
   return out.str();
+}
+
+size_t FormatFig4Compact(const QueryTraceRecord& r, char* buf, size_t size) {
+  if (size == 0) return 0;
+  char c1[24];
+  char c2[24];
+  if (r.has_majority) {
+    std::snprintf(c1, sizeof(c1), "%llu",
+                  static_cast<unsigned long long>(r.c1));
+    std::snprintf(c2, sizeof(c2), "%llu",
+                  static_cast<unsigned long long>(r.c2));
+  } else {
+    std::snprintf(c1, sizeof(c1), "n/a");
+    std::snprintf(c2, sizeof(c2), "n/a");
+  }
+  const char* auth = "n/a";
+  if (r.auth_computed) {
+    if (r.auth_has_positive && r.auth_has_negative) {
+      auth = "{+,-}";
+    } else if (r.auth_has_positive) {
+      auth = "{+}";
+    } else if (r.auth_has_negative) {
+      auth = "{-}";
+    } else {
+      auth = "{}";
+    }
+  }
+  const int n = std::snprintf(buf, size, "c1=%s c2=%s auth=%s line=%d -> '%c'",
+                              c1, c2, auth, r.returned_line,
+                              r.granted ? '+' : '-');
+  return n < 0 ? 0 : static_cast<size_t>(n) < size ? static_cast<size_t>(n)
+                                                   : size - 1;
 }
 
 }  // namespace ucr::obs

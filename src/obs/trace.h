@@ -139,6 +139,14 @@ std::string ToJson(const QueryTraceRecord& record);
 /// audit-grade explanation of the decision.
 std::string ToFig4String(const QueryTraceRecord& record);
 
+/// Single-line, allocation-free rendering of the same derivation into
+/// `buf` (e.g. "c1=3 c2=1 auth=n/a line=6 -> '+'"). Used by the audit
+/// log's slow-query events, which are emitted on the query thread and
+/// must not touch the heap. Returns the number of characters written
+/// (excluding the NUL); output is truncated to `size`.
+size_t FormatFig4Compact(const QueryTraceRecord& record, char* buf,
+                         size_t size);
+
 }  // namespace ucr::obs
 
 #endif  // UCR_OBS_TRACE_H_

@@ -36,14 +36,24 @@ void PublishAllocationGauge() {
 
 namespace {
 
-void* CountedAllocate(std::size_t size) noexcept {
+// Threads inside an obs::ScopedAllocExclusion scope (audit-writer
+// formatting, sampled shadow-oracle re-resolution) allocate off the
+// books: their traffic is deliberate observability work, not hot-path
+// leakage, and excluding it keeps the 0-allocs/query bound meaningful
+// with sampling enabled.
+void CountOne() noexcept {
+  if (ucr::obs::AllocCountingSuspended()) return;
   ucr::alloc_counter_internal::g_news.fetch_add(1, std::memory_order_relaxed);
+}
+
+void* CountedAllocate(std::size_t size) noexcept {
+  CountOne();
   if (size == 0) size = 1;
   return std::malloc(size);
 }
 
 void* CountedAllocateAligned(std::size_t size, std::size_t align) noexcept {
-  ucr::alloc_counter_internal::g_news.fetch_add(1, std::memory_order_relaxed);
+  CountOne();
   if (size == 0) size = align;
   // aligned_alloc requires the size to be a multiple of the alignment.
   const std::size_t rounded = (size + align - 1) / align * align;

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "acm/acm.h"
@@ -14,6 +16,8 @@
 #include "core/strategy.h"
 #include "graph/dag.h"
 #include "graph/generators.h"
+#include "obs/audit_log.h"
+#include "obs/shadow.h"
 #include "obs/trace.h"
 #include "util/alloc_counter.h"
 #include "util/random.h"
@@ -152,6 +156,69 @@ TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithTracingEveryQuery) {
       << "instrumentation allocated on the hot path — a regression in "
          "the sharded metrics, the trace ring, or a renderer leaked "
          "into the recording path";
+}
+
+// The §9 extension of the same bound: with the audit log running
+// (sampled decisions -> discard sink) AND shadow verification firing
+// on every query, the *query thread's* budget stays at zero. Event
+// emission is a trivially-copyable write into the preallocated ring;
+// the writer thread's rendering and the shadow oracle's deliberate
+// classic re-resolution run under ScopedAllocExclusion, off budget.
+TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithAuditAndShadow) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (UCR_METRICS=OFF)";
+  }
+
+  Random rng(94);
+  graph::LayeredDagOptions shape;
+  shape.layers = 4;
+  shape.nodes_per_layer = 10;
+  shape.skip_edge_probability = 0.15;
+  auto dag = graph::GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId object = eacm.InternObject("o").value();
+  const acm::RightId right = eacm.InternRight("r").value();
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (!rng.Bernoulli(0.25)) continue;
+    const acm::Mode mode =
+        rng.Bernoulli(0.4) ? acm::Mode::kNegative : acm::Mode::kPositive;
+    ASSERT_TRUE(eacm.Set(v, object, right, mode).ok());
+  }
+
+  obs::QueryTracer& tracer = obs::QueryTracer::Global();
+  const uint64_t previous_interval = tracer.sample_interval();
+  tracer.SetSampleInterval(1);
+  obs::AuditLogOptions audit_options;
+  audit_options.sinks.push_back(std::make_unique<obs::DiscardSink>());
+  ASSERT_TRUE(obs::AuditLog::Global().Start(std::move(audit_options)));
+  obs::ShadowVerifier::Global().SetInterval(1);  // Worst case.
+
+  const Strategy strategy = ParseStrategy("D+LMP-").value();
+  const auto sweep = [&] {
+    for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*dag, eacm, v, object, right, strategy).ok());
+    }
+  };
+
+  sweep();  // Warm-up: arenas, metric handles, oracle scratch.
+  const uint64_t before = AllocationCount();
+  sweep();
+  const uint64_t allocations = AllocationCount() - before;
+  obs::ShadowVerifier::Global().SetInterval(0);
+  obs::AuditLog::Global().Stop();
+  tracer.SetSampleInterval(previous_interval);
+  EXPECT_EQ(allocations, 0u)
+      << "audit emission or shadow verification allocated on the query "
+         "thread's budget — an event field grew past the POD buffer, or "
+         "an exclusion scope was dropped";
+  EXPECT_EQ(obs::ShadowVerifier::Global().mismatch_total(), 0u)
+      << "the shadow oracle disagreed with the fast path";
 }
 
 TEST(HotPathAllocTest, ArenaSwitchReachesSteadyStateAcrossDagSizes) {

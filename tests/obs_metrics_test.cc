@@ -162,6 +162,22 @@ TEST(ObsMetricsTest, JsonExpositionIsStructurallyValid) {
 
 #endif  // UCR_METRICS_ENABLED
 
+// Exposition-format contract: names the registry accepts must match
+// the Prometheus identifier grammar [a-zA-Z_:][a-zA-Z0-9_:]* — an
+// invalid name would poison every scrape of the shared endpoint.
+TEST(ObsMetricsTest, MetricNameValidation) {
+  EXPECT_TRUE(IsValidMetricName("ucr_queries_total"));
+  EXPECT_TRUE(IsValidMetricName("_private"));
+  EXPECT_TRUE(IsValidMetricName("ns:subsystem:metric"));
+  EXPECT_TRUE(IsValidMetricName("A9"));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidMetricName("has-dash"));
+  EXPECT_FALSE(IsValidMetricName("has space"));
+  EXPECT_FALSE(IsValidMetricName("unicode_\xc3\xa9"));
+  EXPECT_FALSE(IsValidMetricName("brace{"));
+}
+
 TEST(ObsMetricsTest, JsonValidatorRejectsMalformedDocuments) {
   EXPECT_TRUE(JsonLooksValid("{}"));
   EXPECT_TRUE(JsonLooksValid("{\"a\":[1,2,{\"b\":\"}\"}]}"));

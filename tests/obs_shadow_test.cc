@@ -1,0 +1,169 @@
+// Tests for online shadow verification (src/obs/shadow.h +
+// core::ShadowVerifyDecision, DESIGN.md §9): sampling cadence, the
+// agreeing steady state (checks counted, zero mismatches), and — via
+// the perturbed-oracle hook — that a genuine fast/classic divergence
+// is counted, retained with both Fig. 4 derivations, and audit-logged.
+
+#include "obs/shadow.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/paper_example.h"
+#include "core/resolve.h"
+#include "core/strategy.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+
+namespace ucr::obs {
+namespace {
+
+#if !UCR_METRICS_ENABLED
+
+TEST(ObsShadowTest, DisabledBuildNeverShadows) {
+  ShadowVerifier::Global().SetInterval(1);
+  EXPECT_FALSE(ShadowVerifier::ShouldShadow());
+  ShadowVerifier::Global().SetInterval(0);
+}
+
+#else
+
+using core::ParseStrategy;
+using core::ResolveAccess;
+using core::ResolveAccessOptions;
+
+/// Fresh Fig. 1 fixture: the `user`/obj/read query the paper walks
+/// through, against the hierarchy and matrix of the worked example.
+struct Fixture {
+  Fixture() : ex(core::MakePaperExample()) {}
+  core::PaperExample ex;
+};
+
+/// Runs one fast-path ResolveAccess with shadowing forced on for
+/// exactly that query, then disables it again.
+acm::Mode ResolveShadowed(Fixture& f, const core::Strategy& strategy) {
+  ShadowVerifier::Global().SetInterval(1);
+  ResolveAccessOptions options;
+  options.use_fast_path = true;
+  auto mode = ResolveAccess(f.ex.dag, f.ex.eacm, f.ex.user, f.ex.obj,
+                            f.ex.read, strategy.Canonical(), options);
+  ShadowVerifier::Global().SetInterval(0);
+  EXPECT_TRUE(mode.ok());
+  return *mode;
+}
+
+TEST(ObsShadowTest, SamplesEveryNthQueryPerThread) {
+  ShadowVerifier::Global().SetInterval(1);
+  ASSERT_TRUE(ShadowVerifier::ShouldShadow());  // Reset countdown.
+  ShadowVerifier::Global().SetInterval(3);
+  const std::vector<bool> expected = {false, false, true, false, false, true};
+  for (const bool want : expected) {
+    EXPECT_EQ(ShadowVerifier::ShouldShadow(), want);
+  }
+  ShadowVerifier::Global().SetInterval(0);
+  EXPECT_FALSE(ShadowVerifier::ShouldShadow());
+}
+
+TEST(ObsShadowTest, AgreeingEnginesCountChecksAndNoMismatches) {
+  ShadowVerifier::Global().Clear();
+  Fixture f;
+  for (const char* mnemonic : {"D+LP-", "P+", "N-", "D-GN+"}) {
+    ResolveShadowed(f, ParseStrategy(mnemonic).value());
+  }
+  EXPECT_EQ(ShadowVerifier::Global().checks_total(), 4u);
+  EXPECT_EQ(ShadowVerifier::Global().mismatch_total(), 0u);
+  EXPECT_TRUE(ShadowVerifier::Global().RecentMismatches().empty());
+}
+
+TEST(ObsShadowTest, PerturbedOracleProvesDivergenceIsCaught) {
+  ShadowVerifier::Global().Clear();
+  Fixture f;
+  const core::Strategy strategy = ParseStrategy("D+LP-").value();
+
+  ShadowVerifier::Global().SetPerturbOracleForTesting(true);
+  const acm::Mode fast_mode = ResolveShadowed(f, strategy);
+  ShadowVerifier::Global().SetPerturbOracleForTesting(false);
+
+  EXPECT_EQ(ShadowVerifier::Global().checks_total(), 1u);
+  ASSERT_EQ(ShadowVerifier::Global().mismatch_total(), 1u);
+  const std::vector<ShadowVerifier::Mismatch> dump =
+      ShadowVerifier::Global().RecentMismatches();
+  ASSERT_EQ(dump.size(), 1u);
+  const ShadowVerifier::Mismatch& m = dump[0];
+  EXPECT_EQ(m.subject, f.ex.user);
+  EXPECT_EQ(m.object, f.ex.obj);
+  EXPECT_EQ(m.right, f.ex.read);
+  EXPECT_EQ(m.strategy_index, strategy.Canonical().CanonicalIndex());
+  EXPECT_EQ(m.fast_granted, fast_mode == acm::Mode::kPositive);
+  EXPECT_NE(m.fast_granted, m.oracle_granted);
+  // Both derivations are rendered so the dump alone explains the
+  // divergence (compact Fig. 4 form: counters, Auth set, line).
+  EXPECT_NE(m.fast_derivation.find("line="), std::string::npos)
+      << m.fast_derivation;
+  EXPECT_NE(m.oracle_derivation.find("line="), std::string::npos)
+      << m.oracle_derivation;
+}
+
+TEST(ObsShadowTest, MismatchEmitsAuditEventWithBothDerivations) {
+  ShadowVerifier::Global().Clear();
+  std::vector<std::string> lines;
+  class VectorSink : public AuditSink {
+   public:
+    explicit VectorSink(std::vector<std::string>* out) : out_(out) {}
+    void Write(std::string_view line) override { out_->emplace_back(line); }
+
+   private:
+    std::vector<std::string>* out_;
+  };
+  AuditLogOptions options;
+  options.log_sampled_decisions = false;
+  options.slow_query_threshold_ns = 0;
+  options.sinks.push_back(std::make_unique<VectorSink>(&lines));
+  ASSERT_TRUE(AuditLog::Global().Start(std::move(options)));
+
+  Fixture f;
+  ShadowVerifier::Global().SetPerturbOracleForTesting(true);
+  ResolveShadowed(f, ParseStrategy("D+LP-").value());
+  ShadowVerifier::Global().SetPerturbOracleForTesting(false);
+  AuditLog::Global().Flush();
+  AuditLog::Global().Stop();
+
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"shadow_mismatch\"") == std::string::npos) {
+      continue;
+    }
+    found = true;
+    EXPECT_TRUE(JsonLooksValid(line)) << line;
+    EXPECT_NE(line.find("fast:"), std::string::npos) << line;
+    EXPECT_NE(line.find("oracle:"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << "no shadow_mismatch audit event was written";
+}
+
+TEST(ObsShadowTest, MismatchRingIsBounded) {
+  ShadowVerifier::Global().Clear();
+  for (uint64_t i = 0; i < 3 * ShadowVerifier::kMismatchRingCapacity; ++i) {
+    ShadowVerifier::Mismatch m;
+    m.subject = static_cast<uint32_t>(i);
+    ShadowVerifier::Global().RecordMismatch(std::move(m));
+  }
+  const auto dump = ShadowVerifier::Global().RecentMismatches();
+  EXPECT_EQ(dump.size(), ShadowVerifier::kMismatchRingCapacity);
+  EXPECT_EQ(ShadowVerifier::Global().mismatch_total(),
+            3 * ShadowVerifier::kMismatchRingCapacity);
+  // The retained window is the most recent capacity-many mismatches.
+  for (const auto& m : dump) {
+    EXPECT_GE(m.subject, 2 * ShadowVerifier::kMismatchRingCapacity);
+  }
+  ShadowVerifier::Global().Clear();
+}
+
+#endif  // UCR_METRICS_ENABLED
+
+}  // namespace
+}  // namespace ucr::obs

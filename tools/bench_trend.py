@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare committed BENCH_*.json results against the previous commit.
+
+Each BENCH_*.json file is JSON-lines: one object per benchmark section
+with at least {"bench", "section", "qps"} and optionally "fast_path"
+and "threads" (the identity key) plus "allocs_per_query". This script
+reads the working-tree files, pulls the same files from a baseline git
+revision (HEAD~1 by default, i.e. the previous commit), matches rows by
+identity key, and reports the qps delta per row.
+
+Exit codes:
+  0  no regression (or nothing to compare)
+  1  at least one row regressed by more than --threshold (default 10%)
+  2  usage / environment error
+
+Rows present on only one side are reported but never fail the run: new
+benchmarks appear and old ones retire as the repo grows. Stdlib only.
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def parse_json_lines(text, origin):
+    """Yields (key, row) for every parsable JSON-lines row in `text`."""
+    rows = {}
+    for line_no, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or not line.startswith("{"):
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as error:
+            print(f"warning: {origin}:{line_no}: unparsable line ({error})",
+                  file=sys.stderr)
+            continue
+        if "qps" not in row:
+            continue  # Metrics snapshots etc. ride along; skip them.
+        key = (
+            row.get("bench", os.path.basename(origin)),
+            row.get("section", "?"),
+            bool(row.get("fast_path", False)),
+            int(row.get("threads", 1)),
+        )
+        rows[key] = row
+    return rows
+
+
+def baseline_file(rev, path):
+    """Returns the file's content at `rev`, or None if it is absent."""
+    result = subprocess.run(
+        ["git", "show", f"{rev}:{path}"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return result.stdout if result.returncode == 0 else None
+
+
+def describe(key):
+    bench, section, fast_path, threads = key
+    engine = "fast" if fast_path else "classic"
+    return f"{bench}/{section} [{engine} @{threads}t]"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on benchmark throughput regressions vs a "
+                    "baseline commit.")
+    parser.add_argument("--baseline", default="HEAD~1",
+                        help="git revision to compare against "
+                             "(default: HEAD~1)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="maximum tolerated qps drop in percent "
+                             "(default: 10)")
+    parser.add_argument("files", nargs="*",
+                        help="BENCH_*.json files (default: glob the "
+                             "repo root)")
+    args = parser.parse_args()
+
+    repo_root = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=False)
+    if repo_root.returncode != 0:
+        print("error: not inside a git repository", file=sys.stderr)
+        return 2
+    root = repo_root.stdout.strip()
+
+    files = args.files or sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not files:
+        print("nothing to compare: no BENCH_*.json files found")
+        return 0
+
+    regressions = []
+    compared = 0
+    for path in files:
+        rel = os.path.relpath(path, root)
+        try:
+            with open(path, encoding="utf-8") as f:
+                current = parse_json_lines(f.read(), rel)
+        except OSError as error:
+            print(f"warning: cannot read {rel}: {error}", file=sys.stderr)
+            continue
+        base_text = baseline_file(args.baseline, rel)
+        if base_text is None:
+            print(f"{rel}: no baseline at {args.baseline} (new file?) — "
+                  f"skipped")
+            continue
+        baseline = parse_json_lines(base_text, f"{args.baseline}:{rel}")
+
+        for key in sorted(set(current) | set(baseline)):
+            if key not in baseline:
+                print(f"  NEW   {describe(key)}: "
+                      f"{current[key]['qps']:.0f} qps")
+                continue
+            if key not in current:
+                print(f"  GONE  {describe(key)} (was "
+                      f"{baseline[key]['qps']:.0f} qps)")
+                continue
+            old = float(baseline[key]["qps"])
+            new = float(current[key]["qps"])
+            compared += 1
+            if old <= 0:
+                continue
+            delta = 100.0 * (new - old) / old
+            marker = "ok"
+            if delta < -args.threshold:
+                marker = "REGRESSION"
+                regressions.append((key, old, new, delta))
+            print(f"  {marker:<10} {describe(key)}: {old:.0f} -> "
+                  f"{new:.0f} qps ({delta:+.1f}%)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:")
+        for key, old, new, delta in regressions:
+            print(f"  {describe(key)}: {old:.0f} -> {new:.0f} qps "
+                  f"({delta:+.1f}%)")
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}% "
+          f"({compared} row(s) compared against {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
