@@ -1,0 +1,236 @@
+// Write-path churn: interleaves membership edits with a hot-set query
+// stream and measures steady-state throughput under the two cache
+// invalidation policies — reachability-scoped (DESIGN.md §10, the
+// default) vs the full clear it replaced
+// (SystemOptions::incremental_hierarchy_updates = false).
+//
+// The workload models an enterprise directory under routine churn: one
+// user's membership toggles every kQueriesPerMutation queries. The
+// affected set of such an edit is that single user (sinks have no
+// descendants), so scoped invalidation keeps every other subject's
+// cached sub-graph and decisions warm; the full-clear baseline
+// re-derives the whole hot set after every edit.
+//
+// Each section prints one machine-readable JSON line (prefixed
+// "JSON ") for BENCH_mutation_churn.json; tools/bench_trend.py tracks
+// the qps trajectory across PRs.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cache.h"
+#include "core/strategy.h"
+#include "core/system.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "workload/enterprise.h"
+#include "workload/query_stream.h"
+
+#include "bench_obs.h"
+
+namespace {
+
+using namespace ucr;  // NOLINT(build/namespaces): benchmark brevity.
+
+constexpr size_t kQueriesPerMutation = 100;
+
+// Livelink-shaped hierarchy with explicit labels scattered over
+// several (object, right) columns — the throughput_parallel workload,
+// minus the thread sweep.
+core::AccessControlSystem MakeSystem(uint64_t seed, bool incremental) {
+  Random rng(seed);
+  workload::EnterpriseOptions shape;  // Defaults = published shape stats.
+  auto dag = workload::GenerateEnterpriseHierarchy(shape, rng);
+  if (!dag.ok()) std::abort();
+  core::SystemOptions options;
+  options.incremental_hierarchy_updates = incremental;
+  core::AccessControlSystem system(std::move(dag).value(), options);
+
+  const struct {
+    const char* object;
+    const char* right;
+    double rate;
+  } columns[] = {{"vault", "open", 0.01},    {"vault", "audit", 0.005},
+                 {"wiki", "edit", 0.02},     {"wiki", "read", 0.01},
+                 {"payroll", "read", 0.003}, {"payroll", "write", 0.002}};
+  for (const auto& column : columns) {
+    for (graph::NodeId v = 0; v < system.dag().node_count(); ++v) {
+      if (!rng.Bernoulli(column.rate)) continue;
+      const std::string& name = system.dag().name(v);
+      const Status status =
+          rng.Bernoulli(0.3)
+              ? system.DenyAccess(name, column.object, column.right)
+              : system.Grant(name, column.object, column.right);
+      if (!status.ok()) std::abort();
+    }
+  }
+  return system;
+}
+
+struct ChurnResult {
+  double millis = 0.0;
+  size_t mutations = 0;
+  double resolution_hit_rate = 0.0;
+  double subgraph_hit_rate = 0.0;
+};
+
+double Rate(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+/// One churn run: warms the caches with an untimed pass, then times
+/// the query stream with one membership toggle every
+/// kQueriesPerMutation queries. Hit rates come from the monotonic
+/// registry counters, which — unlike the per-cache stats — survive the
+/// full-clear baseline's resets.
+ChurnResult RunChurn(core::AccessControlSystem& system,
+                     std::span<const core::AccessControlSystem::AccessQuery>
+                         queries,
+                     const core::Strategy& strategy) {
+  // The churned edge: the first sink (an individual; sinks have no
+  // descendants, so the affected set is exactly that user) together
+  // with its first parent group.
+  graph::NodeId churn_child = graph::kInvalidNode;
+  graph::NodeId churn_parent = graph::kInvalidNode;
+  for (graph::NodeId v = 0; v < system.dag().node_count(); ++v) {
+    if (system.dag().children(v).empty() &&
+        !system.dag().parents(v).empty()) {
+      churn_child = v;
+      churn_parent = system.dag().parents(v).front();
+      break;
+    }
+  }
+  if (churn_child == graph::kInvalidNode) std::abort();
+  const std::string parent_name = system.dag().name(churn_parent);
+  const std::string child_name = system.dag().name(churn_child);
+
+  for (const auto& q : queries) {
+    if (!system.CheckAccess(q.subject, q.object, q.right, strategy).ok()) {
+      std::abort();
+    }
+  }
+
+  const core::internal::CacheMetrics& metrics =
+      core::internal::GetCacheMetrics();
+  const uint64_t res_hits0 = metrics.resolution_hits.Value();
+  const uint64_t res_misses0 = metrics.resolution_misses.Value();
+  const uint64_t sub_hits0 = metrics.subgraph_hits.Value();
+  const uint64_t sub_misses0 = metrics.subgraph_misses.Value();
+
+  ChurnResult result;
+  bool edge_present = true;
+  Stopwatch watch;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (i % kQueriesPerMutation == kQueriesPerMutation - 1) {
+      const Status status =
+          edge_present ? system.RemoveMembership(parent_name, child_name)
+                       : system.AddMembership(parent_name, child_name);
+      if (!status.ok()) std::abort();
+      edge_present = !edge_present;
+      ++result.mutations;
+    }
+    const auto& q = queries[i];
+    if (!system.CheckAccess(q.subject, q.object, q.right, strategy).ok()) {
+      std::abort();
+    }
+  }
+  result.millis = watch.ElapsedMillis();
+  result.resolution_hit_rate =
+      Rate(metrics.resolution_hits.Value() - res_hits0,
+           metrics.resolution_misses.Value() - res_misses0);
+  result.subgraph_hit_rate =
+      Rate(metrics.subgraph_hits.Value() - sub_hits0,
+           metrics.subgraph_misses.Value() - sub_misses0);
+  return result;
+}
+
+std::string JsonLine(const char* section, size_t queries,
+                     const ChurnResult& r, double qps, double speedup) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "JSON {\"bench\":\"mutation_churn\",\"section\":\"%s\","
+      "\"threads\":1,\"queries\":%zu,\"mutations\":%zu,\"millis\":%.3f,"
+      "\"qps\":%.1f,\"speedup_vs_full_clear\":%.3f,"
+      "\"resolution_hit_rate\":%.4f,\"subgraph_hit_rate\":%.4f}",
+      section, queries, r.mutations, r.millis, qps, speedup,
+      r.resolution_hit_rate, r.subgraph_hit_rate);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  constexpr uint64_t kSeed = 42;
+  const size_t kQueries = smoke ? 2000 : 50000;
+  const core::Strategy strategy = core::ParseStrategy("D+LP-").value();
+
+  // Both runs use identical hierarchies, labels, and query streams;
+  // only the invalidation policy differs.
+  core::AccessControlSystem full_clear = MakeSystem(kSeed, false);
+  core::AccessControlSystem incremental = MakeSystem(kSeed, true);
+  workload::QueryStreamOptions stream;
+  stream.count = kQueries;
+  stream.seed = kSeed + 1;
+  auto queries = workload::GenerateQueryStream(incremental.dag(),
+                                               incremental.eacm(), stream);
+  if (!queries.ok()) std::abort();
+
+  std::cout << "== Write-path churn: scoped invalidation vs full clear ==\n"
+            << "enterprise hierarchy: " << incremental.dag().node_count()
+            << " subjects, " << incremental.eacm().size()
+            << " explicit authorizations; " << kQueries
+            << " hot-set queries, one membership toggle per "
+            << kQueriesPerMutation << " queries, strategy D+LP-"
+            << (smoke ? " (smoke)" : "") << "\n\n";
+
+  const ChurnResult clear_result = RunChurn(full_clear, *queries, strategy);
+  const ChurnResult incr_result = RunChurn(incremental, *queries, strategy);
+
+  const double clear_qps =
+      static_cast<double>(kQueries) / (clear_result.millis / 1000.0);
+  const double incr_qps =
+      static_cast<double>(kQueries) / (incr_result.millis / 1000.0);
+  const double speedup = clear_result.millis / incr_result.millis;
+
+  TablePrinter table({"invalidation", "total ms", "queries/s",
+                      "resolution hits", "subgraph hits", "speedup"});
+  table.AddRow({"full clear", FormatDouble(clear_result.millis, 1),
+                FormatDouble(clear_qps, 0),
+                FormatDouble(100.0 * clear_result.resolution_hit_rate, 1) +
+                    "%",
+                FormatDouble(100.0 * clear_result.subgraph_hit_rate, 1) + "%",
+                "1.00x"});
+  table.AddRow({"scoped (affected set)",
+                FormatDouble(incr_result.millis, 1), FormatDouble(incr_qps, 0),
+                FormatDouble(100.0 * incr_result.resolution_hit_rate, 1) +
+                    "%",
+                FormatDouble(100.0 * incr_result.subgraph_hit_rate, 1) + "%",
+                FormatDouble(speedup, 2) + "x"});
+  table.Print(std::cout);
+
+  std::cout << "\nEach edit's affected set is one user, so scoped "
+               "invalidation drops one\nsubject's entries and the hot set "
+               "stays warm; the full clear re-derives\nevery hot subject "
+               "from scratch after every edit.\n\n";
+  std::cout << JsonLine("full_clear", kQueries, clear_result, clear_qps, 1.0)
+            << "\n";
+  std::cout << JsonLine("incremental", kQueries, incr_result, incr_qps,
+                        speedup)
+            << "\n";
+  ucr::bench_obs::EmitMetricsSnapshot("mutation_churn");
+  return 0;
+}

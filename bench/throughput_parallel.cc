@@ -71,15 +71,21 @@ core::AccessControlSystem MakeSystem(uint64_t seed) {
 std::string JsonLine(const char* section, size_t threads, size_t queries,
                      double millis, double qps, double speedup,
                      double hit_rate, double subgraph_hit_rate) {
+  // On a host that grants a single core, every multi-threaded config
+  // measures synchronization overhead, not scaling: mark those rows so
+  // tools/bench_trend.py never reads a "regression" out of a
+  // degenerate host (it skips flagged rows entirely).
+  const bool skipped_scaling =
+      threads > 1 && ThreadPool::DefaultThreadCount() <= 1;
   char buffer[512];
   std::snprintf(
       buffer, sizeof(buffer),
       "JSON {\"bench\":\"throughput_parallel\",\"section\":\"%s\","
       "\"threads\":%zu,\"queries\":%zu,\"millis\":%.3f,\"qps\":%.1f,"
       "\"speedup_vs_1t\":%.3f,\"resolution_hit_rate\":%.4f,"
-      "\"subgraph_hit_rate\":%.4f}",
+      "\"subgraph_hit_rate\":%.4f%s}",
       section, threads, queries, millis, qps, speedup, hit_rate,
-      subgraph_hit_rate);
+      subgraph_hit_rate, skipped_scaling ? ",\"skipped_scaling\":true" : "");
   return buffer;
 }
 

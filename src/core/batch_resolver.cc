@@ -213,4 +213,16 @@ StatusOr<std::vector<acm::Mode>> BatchResolver::ResolveBatch(
   return results;
 }
 
+size_t BatchResolver::InvalidateSubjects(
+    std::span<const graph::NodeId> affected) {
+  std::vector<uint8_t> bitmap(dag_->node_count(), 0);
+  for (graph::NodeId v : affected) {
+    if (v < bitmap.size()) bitmap[v] = 1;
+  }
+  size_t dropped = 0;
+  dropped += resolution_cache_.EraseSubjects(bitmap);
+  dropped += subgraph_cache_.EraseSubjects(bitmap);
+  return dropped;
+}
+
 }  // namespace ucr::core

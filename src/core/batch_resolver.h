@@ -56,8 +56,12 @@ struct BatchResolverOptions {
 /// The resolver holds const references to the hierarchy and explicit
 /// matrix: both must outlive it and must not be mutated while a batch
 /// is in flight. Mutations *between* batches are safe — resolution
-/// entries are epoch-guarded per column and lapse on their own;
-/// sub-graphs never lapse (the hierarchy is immutable).
+/// entries are epoch-guarded per column and lapse on their own for
+/// rights edits, and a hierarchy edit's affected set (the out-param of
+/// `AccessControlSystem::AddMembership`/`RemoveMembership`/
+/// `ApplyMutations`) must be forwarded to `InvalidateSubjects` before
+/// the next batch so stale sub-graphs and decisions are dropped
+/// (DESIGN.md §10).
 class BatchResolver {
  public:
   using Query = AccessControlSystem::AccessQuery;
@@ -76,6 +80,13 @@ class BatchResolver {
   /// whole batch either resolves or returns the validation error.
   StatusOr<std::vector<acm::Mode>> ResolveBatch(
       std::span<const Query> queries, const Strategy& strategy);
+
+  /// \brief Reachability-scoped invalidation after a hierarchy edit:
+  /// drops the cached sub-graphs and decisions of exactly the subjects
+  /// in `affected` (the edit's affected set, as reported by the
+  /// system's mutation API). Must not run concurrently with
+  /// `ResolveBatch`. Returns the number of entries dropped.
+  size_t InvalidateSubjects(std::span<const graph::NodeId> affected);
 
   /// Cache observability (exact between batches).
   const ShardedResolutionCache& resolution_cache() const {

@@ -68,6 +68,22 @@ void ResolutionCache::Clear() {
   internal::AuditCacheClear("resolution", dropped);
 }
 
+size_t ResolutionCache::EraseSubjects(const std::vector<uint8_t>& affected) {
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const auto subject = static_cast<size_t>(it->first.triple >> 32);
+    if (subject < affected.size() && affected[subject] != 0) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  internal::GetCacheMetrics().resolution_invalidations.Inc(dropped);
+  return dropped;
+}
+
 const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
                                                   graph::NodeId subject) {
   internal::CacheMetrics& m = internal::GetCacheMetrics();
@@ -83,6 +99,20 @@ const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
   const graph::AncestorSubgraph& ref = *sub;
   subgraphs_.emplace(subject, std::move(sub));
   return ref;
+}
+
+size_t SubgraphCache::EraseSubjects(const std::vector<uint8_t>& affected) {
+  size_t dropped = 0;
+  for (auto it = subgraphs_.begin(); it != subgraphs_.end();) {
+    if (it->first < affected.size() && affected[it->first] != 0) {
+      it = subgraphs_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  internal::GetCacheMetrics().subgraph_invalidations.Inc(dropped);
+  return dropped;
 }
 
 void SubgraphCache::Clear() {

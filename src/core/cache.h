@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "acm/acm.h"
 #include "acm/mode.h"
@@ -36,6 +37,10 @@ struct CacheMetrics {
       "ucr_subgraph_cache_hits_total", "Sub-graph cache hits");
   obs::Counter& subgraph_misses = obs::Registry::Global().GetCounter(
       "ucr_subgraph_cache_misses_total", "Sub-graph cache misses");
+  obs::Counter& subgraph_invalidations = obs::Registry::Global().GetCounter(
+      "ucr_subgraph_cache_invalidations_total",
+      "Sub-graph cache entries dropped by reachability-scoped "
+      "invalidation after a hierarchy edit");
   obs::Counter& subgraph_evictions = obs::Registry::Global().GetCounter(
       "ucr_subgraph_cache_evictions_total",
       "Sub-graph cache entries dropped by Clear()");
@@ -56,10 +61,12 @@ void AuditCacheClear(const char* which, uint64_t dropped);
 /// cache for later uses."
 ///
 /// Entries are keyed by ⟨subject, object, right, strategy⟩ and
-/// validated against the explicit matrix's mutation epoch: any EACM
-/// change invalidates the whole cache lazily (entries from older
-/// epochs simply miss). The subject hierarchy is immutable, so no
-/// graph invalidation is needed.
+/// validated against the explicit matrix's per-column mutation epoch:
+/// an EACM change lapses exactly the touched column's entries (older
+/// epochs simply miss). Hierarchy edits invalidate by *subject*
+/// instead — the write path computes the set of subjects whose
+/// ancestor sub-graphs the edit can change and calls `EraseSubjects`,
+/// so decisions for everyone else stay warm (DESIGN.md §10).
 ///
 /// Not thread-safe; wrap externally if shared.
 class ResolutionCache {
@@ -88,6 +95,14 @@ class ResolutionCache {
   /// not a rate — and the registry's eviction counter mirrors it
   /// process-wide.
   void Clear();
+
+  /// \brief Reachability-scoped invalidation (DESIGN.md §10): drops
+  /// only the entries whose subject is marked in `affected` (a
+  /// node-id-indexed bitmap; ids at or past its end are unaffected).
+  /// Counted as invalidations, not evictions — entries outside the
+  /// affected set survive with their hit/miss history intact, which is
+  /// the whole point of scoping. Returns the number dropped.
+  size_t EraseSubjects(const std::vector<uint8_t>& affected);
 
   size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
@@ -124,8 +139,10 @@ class ResolutionCache {
 /// \brief Cache of extracted ancestor sub-graphs, keyed by subject.
 ///
 /// Sub-graph extraction is the per-query fixed cost of Resolve()
-/// (Step 1); hierarchies are immutable, so extracted sub-graphs are
-/// valid forever and shared across objects, rights, and strategies.
+/// (Step 1); extracted sub-graphs are shared across objects, rights,
+/// and strategies. A hierarchy edit invalidates exactly the subjects
+/// whose ancestor sets it can change — the write path drops those via
+/// `EraseSubjects` and every other entry stays warm (DESIGN.md §10).
 class SubgraphCache {
  public:
   SubgraphCache() = default;
@@ -143,6 +160,12 @@ class SubgraphCache {
   /// the cache is indistinguishable from a fresh one, so hit-rate
   /// reporting never mixes epochs of the hierarchy.
   void Clear();
+
+  /// Drops only the sub-graphs of subjects marked in `affected` (see
+  /// `ResolutionCache::EraseSubjects`). Survivors keep their storage
+  /// and the hit/miss history keeps accumulating — a scoped edit is
+  /// not a new cache lifetime. Returns the number dropped.
+  size_t EraseSubjects(const std::vector<uint8_t>& affected);
 
  private:
   std::unordered_map<graph::NodeId,

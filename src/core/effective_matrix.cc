@@ -43,6 +43,7 @@ StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
   EffectiveMatrix matrix;
   matrix.strategy_ = strategy.Canonical();
   matrix.epoch_ = system.eacm().epoch();
+  matrix.dag_generation_ = system.dag().generation();
   matrix.subject_count_ = system.dag().node_count();
   matrix.object_count_ = system.eacm().object_count();
   matrix.right_count_ = system.eacm().right_count();
@@ -137,12 +138,63 @@ void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
   }
 }
 
+void EffectiveMatrix::RefreshRows(const AccessControlSystem& system,
+                                  const std::vector<graph::NodeId>& rows,
+                                  const std::vector<uint32_t>& keys) {
+  PropagateOptions prop_options;
+  prop_options.propagation_mode = system.propagation_mode();
+  HotPath& hot = HotPath::ThreadLocal();
+  for (graph::NodeId v : rows) {
+    // One extraction per affected subject, shared across all columns
+    // (the sub-graph depends only on the hierarchy); per column the
+    // sparse labels are restaged and propagated over the sub-graph —
+    // the same derivation CheckAccess runs for one query.
+    const auto view = hot.scratch.Extract(system.dag(), v);
+    for (uint32_t key : keys) {
+      const auto object = static_cast<acm::ObjectId>(key >> 16);
+      const auto right = static_cast<acm::RightId>(key & 0xFFFF);
+      hot.propagator.SetLabels(system.eacm().Column(object, right),
+                               subject_count_);
+      const acm::Mode mode = ResolveEntries(
+          hot.propagator.PropagateSink(view, prop_options), strategy_);
+      std::vector<uint64_t>& bits = columns_[key];
+      const uint64_t mask = uint64_t{1} << (v % 64);
+      if (mode == acm::Mode::kPositive) {
+        bits[v / 64] |= mask;
+      } else {
+        bits[v / 64] &= ~mask;
+      }
+    }
+  }
+}
+
 StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
                                           size_t threads) {
-  if (system.dag().node_count() != subject_count_) {
+  const size_t node_count = system.dag().node_count();
+  if (node_count < subject_count_) {
     return Status::FailedPrecondition(
-        "Refresh requires the same hierarchy the matrix was built from");
+        "Refresh requires a hierarchy grown from the one the matrix was "
+        "built from (subjects are never removed)");
   }
+  // Affected rows: subjects whose generation stamp moved past the one
+  // captured at materialization — exactly those whose ancestor
+  // sub-graph a hierarchy edit could change, plus freshly created
+  // subjects (stamped at creation).
+  std::vector<graph::NodeId> rows;
+  for (graph::NodeId v = 0; v < node_count; ++v) {
+    if (v >= subject_count_ ||
+        system.dag().node_generation(v) > dag_generation_) {
+      rows.push_back(v);
+    }
+  }
+  if (node_count != subject_count_) {
+    // The hierarchy grew: extend every column. The new rows are
+    // derived below (they are all in `rows`).
+    subject_count_ = node_count;
+    const size_t words = (node_count + 63) / 64;
+    for (auto& [key, bits] : columns_) bits.resize(words, 0);
+  }
+
   // Columns can appear (new authorizations on a fresh object/right) or
   // change; gather every referenced column and compare epochs. Sorted
   // vector + dedup, like Materialize.
@@ -157,19 +209,30 @@ StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
                    referenced.end());
 
   std::vector<uint32_t> stale;
+  std::vector<uint32_t> current_keys;
   for (uint32_t key : referenced) {
     const auto object = static_cast<acm::ObjectId>(key >> 16);
     const auto right = static_cast<acm::RightId>(key & 0xFFFF);
     const uint64_t current = system.eacm().ColumnEpoch(object, right);
     auto it = column_epochs_.find(key);
-    if (it != column_epochs_.end() && it->second == current) continue;
+    if (it != column_epochs_.end() && it->second == current) {
+      current_keys.push_back(key);
+      continue;
+    }
     stale.push_back(key);
   }
-  RebuildColumns(system, stale, threads);
+  // Stale columns are rebuilt whole (their epoch lapsed, every row is
+  // suspect); epoch-current columns get only the affected rows
+  // re-derived.
+  if (!stale.empty()) RebuildColumns(system, stale, threads);
+  if (!rows.empty() && !current_keys.empty()) {
+    RefreshRows(system, rows, current_keys);
+  }
   if constexpr (obs::kEnabled) GetMatrixMetrics().refreshes.Inc();
   object_count_ = system.eacm().object_count();
   right_count_ = system.eacm().right_count();
   epoch_ = system.eacm().epoch();
+  dag_generation_ = system.dag().generation();
   return stale.size();
 }
 

@@ -49,23 +49,35 @@ class EffectiveMatrix {
   StatusOr<acm::Mode> Lookup(graph::NodeId subject, acm::ObjectId object,
                              acm::RightId right) const;
 
-  /// True while the source system's explicit matrix is unchanged.
+  /// True while the source system's explicit matrix *and* hierarchy
+  /// are unchanged since (re)materialization.
   bool IsCurrentFor(const AccessControlSystem& system) const {
-    return epoch_ == system.eacm().epoch();
+    return epoch_ == system.eacm().epoch() &&
+           dag_generation_ == system.dag().generation();
   }
 
-  /// \brief Incremental maintenance: re-derives only the columns whose
-  /// explicit authorizations changed since materialization (tracked by
-  /// per-column epochs), then declares the matrix current again.
+  /// \brief Incremental maintenance along both mutation axes.
   ///
-  /// This is the constructive answer to §5's criticism of materialized
-  /// effective matrices ("not self-maintainable ... even a slight
-  /// update could trigger a drastic modification"): because an
-  /// explicit change to one (object, right) column can only affect
-  /// that column's derived decisions, maintenance is one whole-graph
-  /// propagation per *touched* column, not a full rebuild.
-  /// Returns the number of columns refreshed. `threads` parallelizes
-  /// the per-column rebuilds exactly like `Materialize`.
+  /// Rights edits: re-derives only the columns whose explicit
+  /// authorizations changed since materialization (tracked by
+  /// per-column epochs). This is the constructive answer to §5's
+  /// criticism of materialized effective matrices ("not
+  /// self-maintainable ... even a slight update could trigger a
+  /// drastic modification"): because an explicit change to one
+  /// (object, right) column can only affect that column's derived
+  /// decisions, maintenance is one whole-graph propagation per
+  /// *touched* column, not a full rebuild.
+  ///
+  /// Hierarchy edits: re-derives only the *affected rows* — subjects
+  /// whose generation stamp (graph::Dag::node_generation) moved past
+  /// the generation captured at materialization, i.e. exactly those
+  /// whose ancestor sub-graph a membership edit could change
+  /// (DESIGN.md §10). Unaffected rows of up-to-date columns are left
+  /// untouched. New subjects (the hierarchy only grows) extend every
+  /// column and are derived as affected rows.
+  ///
+  /// Returns the number of whole columns rebuilt. `threads`
+  /// parallelizes the per-column rebuilds exactly like `Materialize`.
   StatusOr<size_t> Refresh(const AccessControlSystem& system,
                            size_t threads = 1);
 
@@ -100,6 +112,13 @@ class EffectiveMatrix {
   void RebuildColumns(const AccessControlSystem& system,
                       const std::vector<uint32_t>& keys, size_t threads);
 
+  /// Re-derives the decision of each subject in `rows` for each column
+  /// in `keys` (columns whose epoch is otherwise current), via one
+  /// ancestor-sub-graph extraction per row shared across the keys.
+  void RefreshRows(const AccessControlSystem& system,
+                   const std::vector<graph::NodeId>& rows,
+                   const std::vector<uint32_t>& keys);
+
   static uint32_t ColumnKey(acm::ObjectId object, acm::RightId right) {
     return (static_cast<uint32_t>(object) << 16) |
            static_cast<uint32_t>(right);
@@ -107,6 +126,9 @@ class EffectiveMatrix {
 
   Strategy strategy_;
   uint64_t epoch_ = 0;
+  /// Hierarchy generation at (re)materialization: Refresh re-derives
+  /// exactly the rows whose node stamp moved past it.
+  uint64_t dag_generation_ = 0;
   size_t subject_count_ = 0;
   size_t object_count_ = 0;
   size_t right_count_ = 0;

@@ -60,6 +60,26 @@ void ShardedResolutionCache::Clear() {
   internal::AuditCacheClear("sharded_resolution", total_dropped);
 }
 
+size_t ShardedResolutionCache::EraseSubjects(
+    const std::vector<uint8_t>& affected) {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      const auto subject = static_cast<size_t>(it->first.triple >> 32);
+      if (subject < affected.size() && affected[subject] != 0) {
+        it = shard.entries.erase(it);
+        ++shard.stats.invalidations;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  internal::GetCacheMetrics().resolution_invalidations.Inc(dropped);
+  return dropped;
+}
+
 size_t ShardedResolutionCache::size() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
@@ -118,6 +138,24 @@ void ShardedSubgraphCache::Clear() {
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   internal::AuditCacheClear("sharded_subgraph", total_dropped);
+}
+
+size_t ShardedSubgraphCache::EraseSubjects(
+    const std::vector<uint8_t>& affected) {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.subgraphs.begin(); it != shard.subgraphs.end();) {
+      if (it->first < affected.size() && affected[it->first] != 0) {
+        it = shard.subgraphs.erase(it);
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+  }
+  internal::GetCacheMetrics().subgraph_invalidations.Inc(dropped);
+  return dropped;
 }
 
 size_t ShardedSubgraphCache::size() const {

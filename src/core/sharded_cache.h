@@ -8,6 +8,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "acm/acm.h"
 #include "acm/mode.h"
@@ -63,6 +64,13 @@ class ShardedResolutionCache {
   /// they need the clear to be a clean point-in-time cut.
   void Clear();
 
+  /// \brief Reachability-scoped invalidation (DESIGN.md §10): drops
+  /// only entries whose subject is marked in `affected` (node-id-
+  /// indexed bitmap). Locks shard-by-shard; callers must quiesce
+  /// concurrent batches, like `Clear`. Counted as invalidations so
+  /// survivors' hit-rate history stays intact. Returns drops.
+  size_t EraseSubjects(const std::vector<uint8_t>& affected);
+
   /// Entry count; locks shard-by-shard (exact only while quiescent).
   size_t size() const;
 
@@ -116,7 +124,8 @@ class ShardedResolutionCache {
 /// `Get`). Extraction happens under the shard lock, so concurrent
 /// requests for one subject extract exactly once and the other callers
 /// block briefly and then share it; requests on other shards proceed
-/// untouched. The hierarchy is immutable, so entries never go stale.
+/// untouched. Hierarchy edits invalidate by subject via
+/// `EraseSubjects` (DESIGN.md §10); everything else stays warm.
 class ShardedSubgraphCache {
  public:
   static constexpr size_t kShardCount = 16;
@@ -138,6 +147,12 @@ class ShardedSubgraphCache {
   /// Drops all sub-graphs and resets the counters (see
   /// `SubgraphCache::Clear`). Not safe concurrently with `Get`.
   void Clear();
+
+  /// Drops only the sub-graphs of subjects marked in `affected` after
+  /// a hierarchy edit (DESIGN.md §10). Not safe concurrently with
+  /// `Get` — a dropped sub-graph may still be referenced by an
+  /// in-flight query. Returns the number dropped.
+  size_t EraseSubjects(const std::vector<uint8_t>& affected);
 
   size_t size() const;
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }

@@ -32,6 +32,27 @@ SystemMetrics& GetSystemMetrics() {
   return *metrics;
 }
 
+/// Write-path telemetry (DESIGN.md §10): hierarchy-edit volume and the
+/// cost of each edit in affected subjects and dropped cache entries —
+/// the two numbers that show reachability-scoped invalidation beating
+/// the wholesale clears it replaced.
+struct MutationMetrics {
+  obs::Counter& mutations = obs::Registry::Global().GetCounter(
+      "ucr_mutations_total",
+      "Hierarchy mutations applied (membership edge inserts/removals)");
+  obs::Counter& invalidated = obs::Registry::Global().GetCounter(
+      "ucr_invalidated_entries_total",
+      "Cache entries dropped by hierarchy-edit invalidation sweeps");
+  obs::Histogram& affected_subjects = obs::Registry::Global().GetHistogram(
+      "ucr_mutation_affected_subjects",
+      "Affected-set size per invalidation sweep (subjects)");
+};
+
+MutationMetrics& GetMutationMetrics() {
+  static MutationMetrics* metrics = new MutationMetrics();
+  return *metrics;
+}
+
 /// Same Fig. 4 payload as the ResolveAccess/BatchResolver tracers; a
 /// resolution cache hit records no derivation of its own.
 [[gnu::noinline, gnu::cold]] void RecordSystemTrace(graph::NodeId subject, acm::ObjectId object,
@@ -130,66 +151,133 @@ Status AccessControlSystem::DenyAccess(std::string_view subject,
   return SetMode(subject, object, right, acm::Mode::kNegative);
 }
 
-Status AccessControlSystem::RebuildHierarchy(graph::Dag replacement) {
-  dag_ = std::move(replacement);
-  // A membership change can alter any subject's ancestor set, so all
-  // derived state is suspect.
-  subgraph_cache_.Clear();
-  resolution_cache_.Clear();
+Status AccessControlSystem::MutateMembership(
+    bool add, std::string_view parent, std::string_view child,
+    std::vector<graph::NodeId>* affected) {
+  std::vector<graph::NodeId> edit_affected;
+  if (add) {
+    // Reject self-loops by name before creating anything, so a failed
+    // edit never leaves a stray node behind. (Every other failure mode
+    // — duplicate edge, cycle — requires both endpoints to already
+    // exist, so EnsureNode cannot have created them.)
+    if (parent == child) {
+      return Status::InvalidArgument("self-loop on node '" +
+                                     std::string(parent) + "'");
+    }
+    const graph::NodeId p = dag_.EnsureNode(parent);
+    const graph::NodeId c = dag_.EnsureNode(child);
+    UCR_RETURN_IF_ERROR(dag_.InsertEdge(p, c, &edit_affected));
+  } else {
+    const graph::NodeId p = dag_.FindNode(parent);
+    const graph::NodeId c = dag_.FindNode(child);
+    if (p == graph::kInvalidNode || c == graph::kInvalidNode ||
+        !dag_.HasEdge(p, c)) {
+      return Status::NotFound("no membership " + std::string(parent) +
+                              " -> " + std::string(child));
+    }
+    UCR_RETURN_IF_ERROR(dag_.EraseEdge(p, c, &edit_affected));
+  }
+  if constexpr (obs::kEnabled) GetMutationMetrics().mutations.Inc();
+  if (obs::AuditLog::Enabled()) {
+    // `value` carries the affected-set size: the audit trail shows how
+    // far each reorg reached, not just that it happened.
+    EmitAdminEvent(add ? obs::AuditEventType::kAddMember
+                       : obs::AuditEventType::kRemoveMember,
+                   std::string(parent) + " -> " + std::string(child),
+                   edit_affected.size());
+  }
+  if (affected != nullptr) {
+    affected->insert(affected->end(), edit_affected.begin(),
+                     edit_affected.end());
+  }
   return Status::OK();
 }
 
-Status AccessControlSystem::AddMembership(std::string_view parent,
-                                          std::string_view child) {
-  graph::DagBuilder builder;
-  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
-    builder.AddNode(dag_.name(v));  // Preserve existing ids.
+size_t AccessControlSystem::InvalidateAffected(
+    const std::vector<graph::NodeId>& affected) {
+  size_t dropped = 0;
+  if (options_.incremental_hierarchy_updates) {
+    std::vector<uint8_t> bitmap(dag_.node_count(), 0);
+    for (graph::NodeId v : affected) bitmap[v] = 1;
+    dropped += resolution_cache_.EraseSubjects(bitmap);
+    dropped += subgraph_cache_.EraseSubjects(bitmap);
+  } else {
+    // Full-clear baseline: every warm entry is evicted, including the
+    // subjects this edit cannot have touched.
+    dropped += resolution_cache_.size() + subgraph_cache_.size();
+    subgraph_cache_.Clear();
+    resolution_cache_.Clear();
   }
-  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
-    for (graph::NodeId c : dag_.children(v)) {
-      UCR_RETURN_IF_ERROR(builder.AddEdgeById(v, c));
-    }
+  if constexpr (obs::kEnabled) {
+    GetMutationMetrics().invalidated.Inc(dropped);
+    GetMutationMetrics().affected_subjects.Observe(affected.size());
   }
-  UCR_RETURN_IF_ERROR(builder.AddEdge(parent, child));
-  auto rebuilt = std::move(builder).Build();
-  if (!rebuilt.ok()) return rebuilt.status();  // Cycle: state unchanged.
-  UCR_RETURN_IF_ERROR(RebuildHierarchy(std::move(rebuilt).value()));
-  if (obs::AuditLog::Enabled()) {
-    EmitAdminEvent(obs::AuditEventType::kAddMember,
-                   std::string(parent) + " -> " + std::string(child),
-                   dag_.edge_count());
-  }
+  return dropped;
+}
+
+Status AccessControlSystem::AddMembership(
+    std::string_view parent, std::string_view child,
+    std::vector<graph::NodeId>* affected) {
+  std::vector<graph::NodeId> edit_affected;
+  UCR_RETURN_IF_ERROR(MutateMembership(/*add=*/true, parent, child,
+                                       &edit_affected));
+  InvalidateAffected(edit_affected);
+  if (affected != nullptr) *affected = std::move(edit_affected);
   return Status::OK();
 }
 
-Status AccessControlSystem::RemoveMembership(std::string_view parent,
-                                             std::string_view child) {
-  const graph::NodeId p = dag_.FindNode(parent);
-  const graph::NodeId c = dag_.FindNode(child);
-  if (p == graph::kInvalidNode || c == graph::kInvalidNode ||
-      !dag_.HasEdge(p, c)) {
-    return Status::NotFound("no membership " + std::string(parent) + " -> " +
-                            std::string(child));
-  }
-  graph::DagBuilder builder;
-  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
-    builder.AddNode(dag_.name(v));
-  }
-  for (graph::NodeId v = 0; v < dag_.node_count(); ++v) {
-    for (graph::NodeId cc : dag_.children(v)) {
-      if (v == p && cc == c) continue;
-      UCR_RETURN_IF_ERROR(builder.AddEdgeById(v, cc));
-    }
-  }
-  auto rebuilt = std::move(builder).Build();
-  if (!rebuilt.ok()) return rebuilt.status();
-  UCR_RETURN_IF_ERROR(RebuildHierarchy(std::move(rebuilt).value()));
-  if (obs::AuditLog::Enabled()) {
-    EmitAdminEvent(obs::AuditEventType::kRemoveMember,
-                   std::string(parent) + " -> " + std::string(child),
-                   dag_.edge_count());
-  }
+Status AccessControlSystem::RemoveMembership(
+    std::string_view parent, std::string_view child,
+    std::vector<graph::NodeId>* affected) {
+  std::vector<graph::NodeId> edit_affected;
+  UCR_RETURN_IF_ERROR(MutateMembership(/*add=*/false, parent, child,
+                                       &edit_affected));
+  InvalidateAffected(edit_affected);
+  if (affected != nullptr) *affected = std::move(edit_affected);
   return Status::OK();
+}
+
+Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
+                                           MutationBatchStats* stats) {
+  std::vector<graph::NodeId> affected;
+  size_t applied = 0;
+  Status status;
+  for (const MutationOp& op : ops) {
+    switch (op.kind) {
+      case MutationOp::Kind::kGrant:
+        status = Grant(op.subject, op.object, op.right);
+        break;
+      case MutationOp::Kind::kDeny:
+        status = DenyAccess(op.subject, op.object, op.right);
+        break;
+      case MutationOp::Kind::kRevoke:
+        status = Revoke(op.subject, op.object, op.right);
+        break;
+      case MutationOp::Kind::kAddMembership:
+        status = MutateMembership(/*add=*/true, op.subject, op.object,
+                                  &affected);
+        break;
+      case MutationOp::Kind::kRemoveMembership:
+        status = MutateMembership(/*add=*/false, op.subject, op.object,
+                                  &affected);
+        break;
+    }
+    if (!status.ok()) break;
+    ++applied;
+  }
+  // One sweep over the union, even on early abort: the hierarchy edits
+  // that did apply must not leave stale cached state behind.
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  size_t dropped = 0;
+  if (!affected.empty()) dropped = InvalidateAffected(affected);
+  if (stats != nullptr) {
+    stats->applied = applied;
+    stats->invalidated_entries = dropped;
+    stats->affected = std::move(affected);
+  }
+  return status;
 }
 
 Status AccessControlSystem::Revoke(std::string_view subject,

@@ -22,8 +22,9 @@ struct SystemOptions {
   /// change). The paper's future-work #1.
   bool enable_resolution_cache = true;
 
-  /// Cache extracted ancestor sub-graphs (always safe: the hierarchy
-  /// is immutable).
+  /// Cache extracted ancestor sub-graphs. Hierarchy edits drop the
+  /// affected subjects' entries (DESIGN.md §10), so cached sub-graphs
+  /// are never stale.
   bool enable_subgraph_cache = true;
 
   /// Strategy used when a query does not name one. Reconfiguring this
@@ -35,6 +36,12 @@ struct SystemOptions {
   /// Propagation extension mode (paper future-work #3) applied by all
   /// of this system's queries and materializations.
   PropagationMode propagation_mode = PropagationMode::kBoth;
+
+  /// Scope hierarchy-edit cache invalidation to the affected subjects
+  /// (descendants of the edited child) instead of clearing both caches
+  /// wholesale (DESIGN.md §10). Off reproduces the full-clear write
+  /// path, kept as the baseline for bench/mutation_churn.
+  bool incremental_hierarchy_updates = true;
 };
 
 /// \brief The user-facing facade: a subject hierarchy plus an explicit
@@ -118,15 +125,84 @@ class AccessControlSystem {
   /// new (created on first mention). Fails if the edge would create a
   /// cycle or already exists; on failure the hierarchy is unchanged.
   ///
-  /// Hierarchy edits invalidate *all* derived state: both caches are
-  /// cleared (unlike explicit-matrix edits, whose effects are column-
-  /// scoped, a membership change can affect any column).
-  Status AddMembership(std::string_view parent, std::string_view child);
+  /// The edit is applied in place (no hierarchy rebuild) and cache
+  /// invalidation is scoped to the *affected set* — the edited child
+  /// and its descendants in the membership direction, the only
+  /// subjects whose ancestor sub-graphs the edit can change. Cached
+  /// state for every other subject survives (DESIGN.md §10). When
+  /// `affected` is non-null it receives the affected node ids, e.g.
+  /// to forward to `BatchResolver::InvalidateSubjects`.
+  Status AddMembership(std::string_view parent, std::string_view child,
+                       std::vector<graph::NodeId>* affected = nullptr);
 
-  /// Removes a membership edge. Fails if absent. Invalidates all
-  /// derived state, like AddMembership. Subjects are never removed —
+  /// Removes a membership edge. Fails if absent. Invalidation is
+  /// scoped exactly like AddMembership. Subjects are never removed —
   /// a node that loses its last membership becomes a root.
-  Status RemoveMembership(std::string_view parent, std::string_view child);
+  Status RemoveMembership(std::string_view parent, std::string_view child,
+                          std::vector<graph::NodeId>* affected = nullptr);
+
+  /// One operation of a mutation batch (ApplyMutations).
+  struct MutationOp {
+    enum class Kind : uint8_t {
+      kGrant = 0,
+      kDeny,
+      kRevoke,
+      kAddMembership,
+      kRemoveMembership,
+    };
+    Kind kind = Kind::kGrant;
+    /// Subject (rights ops) or parent group (membership ops).
+    std::string subject;
+    /// Object (rights ops) or child subject (membership ops).
+    std::string object;
+    /// Right name; ignored by membership ops.
+    std::string right;
+
+    static MutationOp Grant(std::string subject, std::string object,
+                            std::string right) {
+      return {Kind::kGrant, std::move(subject), std::move(object),
+              std::move(right)};
+    }
+    static MutationOp Deny(std::string subject, std::string object,
+                           std::string right) {
+      return {Kind::kDeny, std::move(subject), std::move(object),
+              std::move(right)};
+    }
+    static MutationOp Revoke(std::string subject, std::string object,
+                             std::string right) {
+      return {Kind::kRevoke, std::move(subject), std::move(object),
+              std::move(right)};
+    }
+    static MutationOp AddMember(std::string parent, std::string child) {
+      return {Kind::kAddMembership, std::move(parent), std::move(child), {}};
+    }
+    static MutationOp RemoveMember(std::string parent, std::string child) {
+      return {Kind::kRemoveMembership, std::move(parent), std::move(child),
+              {}};
+    }
+  };
+
+  /// What a mutation batch did, for observability and for forwarding
+  /// the coalesced affected set to external caches.
+  struct MutationBatchStats {
+    size_t applied = 0;              ///< Ops executed successfully.
+    size_t invalidated_entries = 0;  ///< Cache entries dropped.
+    /// Union of the per-edit affected sets, ascending by node id.
+    std::vector<graph::NodeId> affected;
+  };
+
+  /// \brief Applies a batch of mutations in order, coalescing the
+  /// hierarchy edits' affected sets into a single scoped invalidation
+  /// sweep at the end — a reorg touching one subtree N times pays one
+  /// sweep, not N.
+  ///
+  /// Rights edits (grant/deny/revoke) are column-scoped by the EACM
+  /// epochs and need no sweep. Stops at the first failing op (prior
+  /// ops stay applied — each op is individually atomic and the sweep
+  /// still covers them); no query may run between the failing batch
+  /// and the returned status being handled.
+  Status ApplyMutations(std::span<const MutationOp> ops,
+                        MutationBatchStats* stats = nullptr);
 
   /// One access query of a batch.
   struct AccessQuery {
@@ -168,9 +244,18 @@ class AccessControlSystem {
   Status SetMode(std::string_view subject, std::string_view object,
                  std::string_view right, acm::Mode mode);
 
-  /// Rebuilds the hierarchy from an edited edge set; rolls back on
-  /// cycle rejection. Clears caches on success.
-  Status RebuildHierarchy(graph::Dag replacement);
+  /// Applies one membership edit in place (`add` selects insert vs
+  /// erase), appends the affected node ids to `affected`, and emits
+  /// the audit event. Does NOT invalidate caches — callers scope one
+  /// sweep over the (possibly coalesced) affected set.
+  Status MutateMembership(bool add, std::string_view parent,
+                          std::string_view child,
+                          std::vector<graph::NodeId>* affected);
+
+  /// One reachability-scoped invalidation sweep over `affected` (or a
+  /// full clear with incremental updates disabled). Returns the number
+  /// of cache entries dropped.
+  size_t InvalidateAffected(const std::vector<graph::NodeId>& affected);
 
   graph::Dag dag_;
   acm::ExplicitAcm eacm_;

@@ -55,6 +55,125 @@ std::vector<NodeId> Dag::TopologicalOrder() const {
   return order;  // Complete by construction: Dag is acyclic.
 }
 
+std::vector<NodeId> Dag::DescendantsOf(NodeId start) const {
+  std::vector<NodeId> out;
+  std::vector<uint8_t> seen(node_count(), 0);
+  out.push_back(start);
+  seen[start] = 1;
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (NodeId c : children(out[i])) {
+      if (!seen[c]) {
+        seen[c] = 1;
+        out.push_back(c);
+      }
+    }
+  }
+  return out;
+}
+
+void Dag::StampNodes(const std::vector<NodeId>& nodes) {
+  ++generation_;
+  for (NodeId v : nodes) node_generations_[v] = generation_;
+}
+
+NodeId Dag::EnsureNode(std::string_view name) {
+  auto [it, inserted] = name_to_id_.try_emplace(
+      std::string(name), static_cast<NodeId>(names_.size()));
+  if (inserted) {
+    names_.emplace_back(name);
+    child_offsets_.push_back(children_.size());
+    parent_offsets_.push_back(parents_.size());
+    // A fresh node's (empty) ancestor set is itself new derived state:
+    // stamp it so generation-scoped consumers (EffectiveMatrix rows)
+    // pick it up.
+    ++generation_;
+    node_generations_.push_back(generation_);
+  }
+  return it->second;
+}
+
+Status Dag::InsertEdge(NodeId parent, NodeId child,
+                       std::vector<NodeId>* affected) {
+  if (parent >= node_count() || child >= node_count()) {
+    return Status::OutOfRange("InsertEdge: unknown node id");
+  }
+  if (parent == child) {
+    return Status::InvalidArgument("self-loop on node '" + names_[parent] +
+                                   "'");
+  }
+  if (HasEdge(parent, child)) {
+    return Status::AlreadyExists("duplicate edge " + names_[parent] + " -> " +
+                                 names_[child]);
+  }
+  // The edge closes a cycle iff `parent` is already reachable from
+  // `child`: check only the part of the graph below `child` instead of
+  // replaying full-graph acyclicity.
+  std::vector<NodeId> below = DescendantsOf(child);
+  for (NodeId v : below) {
+    if (v == parent) {
+      return Status::InvalidArgument("edge " + names_[parent] + " -> " +
+                                     names_[child] +
+                                     " would create a cycle");
+    }
+  }
+
+  // CSR splice: the new child goes at the end of `parent`'s list (the
+  // insertion-order contract of DagBuilder), shifting later rows.
+  children_.insert(children_.begin() +
+                       static_cast<ptrdiff_t>(child_offsets_[parent + 1]),
+                   child);
+  for (size_t v = parent + 1; v < child_offsets_.size(); ++v) {
+    ++child_offsets_[v];
+  }
+  parents_.insert(parents_.begin() +
+                      static_cast<ptrdiff_t>(parent_offsets_[child + 1]),
+                  parent);
+  for (size_t v = child + 1; v < parent_offsets_.size(); ++v) {
+    ++parent_offsets_[v];
+  }
+  ++edge_count_;
+  StampNodes(below);  // `below` is child + descendants: the affected set.
+  if (affected != nullptr) *affected = std::move(below);
+  return Status::OK();
+}
+
+Status Dag::EraseEdge(NodeId parent, NodeId child,
+                      std::vector<NodeId>* affected) {
+  if (parent >= node_count() || child >= node_count() ||
+      !HasEdge(parent, child)) {
+    return Status::NotFound("no edge " +
+                            (parent < node_count() ? names_[parent]
+                                                   : "<unknown>") +
+                            " -> " +
+                            (child < node_count() ? names_[child]
+                                                  : "<unknown>"));
+  }
+  const auto kids_begin =
+      children_.begin() + static_cast<ptrdiff_t>(child_offsets_[parent]);
+  const auto kids_end =
+      children_.begin() + static_cast<ptrdiff_t>(child_offsets_[parent + 1]);
+  children_.erase(std::find(kids_begin, kids_end, child));
+  for (size_t v = parent + 1; v < child_offsets_.size(); ++v) {
+    --child_offsets_[v];
+  }
+  const auto par_begin =
+      parents_.begin() + static_cast<ptrdiff_t>(parent_offsets_[child]);
+  const auto par_end =
+      parents_.begin() + static_cast<ptrdiff_t>(parent_offsets_[child + 1]);
+  parents_.erase(std::find(par_begin, par_end, parent));
+  for (size_t v = child + 1; v < parent_offsets_.size(); ++v) {
+    --parent_offsets_[v];
+  }
+  --edge_count_;
+  // Affected set computed *after* the erase — identical membership to
+  // before (reachability via the removed edge starts above `child`),
+  // and the post-edit graph is what invalidation consumers care about.
+  std::vector<NodeId> below = DescendantsOf(child);
+  StampNodes(below);
+  if (affected != nullptr) *affected = std::move(below);
+  return Status::OK();
+}
+
 NodeId DagBuilder::AddNode(std::string_view name) {
   auto [it, inserted] =
       name_to_id_.try_emplace(std::string(name), static_cast<NodeId>(names_.size()));
@@ -116,6 +235,7 @@ StatusOr<Dag> DagBuilder::Build() && {
 
   Dag dag;
   dag.edge_count_ = edge_count_;
+  dag.node_generations_.assign(n, 0);
   dag.names_ = std::move(names_);
   dag.name_to_id_ = std::move(name_to_id_);
   dag.child_offsets_.assign(1, 0);

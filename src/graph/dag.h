@@ -18,16 +18,28 @@ using NodeId = uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = UINT32_MAX;
 
-/// \brief Immutable directed acyclic graph of subjects.
+/// \brief Directed acyclic graph of subjects.
 ///
 /// Nodes represent subjects (individuals and groups); a directed edge
 /// `u -> v` means "v is a member of group u" (paper §2.1): labels
 /// propagate downward along edges. Individuals are sinks; top-level
 /// groups are roots. The structure is guaranteed acyclic — `DagBuilder`
-/// is the only way to construct one and rejects cycles.
+/// constructs one wholesale and rejects cycles, and the in-place
+/// mutators (`InsertEdge`, `EraseEdge`, `EnsureNode`) preserve the
+/// invariant edit by edit (`InsertEdge` runs a reachability cycle
+/// check and fails without modifying anything).
 ///
-/// `Dag` is an immutable value type: cheap to move, copyable, safe to
-/// share across threads for reads.
+/// `Dag` is a value type: cheap to move, copyable, safe to share
+/// across threads for reads. Mutation is not synchronized — callers
+/// must quiesce readers around an edit (the write path of
+/// `AccessControlSystem` does).
+///
+/// Every successful structural mutation bumps `generation()` and
+/// stamps the nodes whose *ancestor sets* the edit can have changed —
+/// the edited child and all of its descendants in the membership
+/// direction — with the new generation. Derived-state caches use the
+/// stamps for reachability-scoped invalidation instead of wholesale
+/// clears (DESIGN.md §10).
 class Dag {
  public:
   /// Constructs an empty graph (0 nodes). Useful as a placeholder.
@@ -77,8 +89,52 @@ class Dag {
   /// A topological order (parents before children). Stable across runs.
   std::vector<NodeId> TopologicalOrder() const;
 
+  // -- In-place mutation (reachability-scoped; DESIGN.md §10) --------
+
+  /// Monotonic counter bumped by every successful structural mutation
+  /// (edge insert/remove, node creation). 0 for a freshly built graph.
+  uint64_t generation() const { return generation_; }
+
+  /// Generation of the last mutation that can have changed node `id`'s
+  /// ancestor set (0 = untouched since construction). Consumers of
+  /// derived per-subject state compare this against the generation
+  /// they captured at derivation time.
+  uint64_t node_generation(NodeId id) const { return node_generations_[id]; }
+
+  /// Returns the id of `name`, appending a new isolated node (a root
+  /// and sink, stamped with a fresh generation) if absent.
+  NodeId EnsureNode(std::string_view name);
+
+  /// \brief Adds edge `parent -> child` in place. Fails on self-loops,
+  /// duplicates, unknown ids, and — after an O(reachable) reachability
+  /// check — on edges that would close a cycle; on failure the graph
+  /// is unchanged. O(V + E) worst case for the CSR splice, but with no
+  /// name-map rehash, no per-node allocations, and no full-graph
+  /// acyclicity replay (the `DagBuilder` rebuild this replaces).
+  ///
+  /// On success stamps `child` and every descendant of `child` with
+  /// the new generation; when `affected` is non-null it receives those
+  /// node ids (the subjects whose ancestor sub-graphs may now differ).
+  Status InsertEdge(NodeId parent, NodeId child,
+                    std::vector<NodeId>* affected = nullptr);
+
+  /// Removes edge `parent -> child` in place; NotFound if absent.
+  /// Removal cannot create a cycle, so it always succeeds on an
+  /// existing edge. Stamps and reports affected nodes like
+  /// `InsertEdge`.
+  Status EraseEdge(NodeId parent, NodeId child,
+                   std::vector<NodeId>* affected = nullptr);
+
+  /// `start` plus every node reachable from it along child edges, in
+  /// BFS discovery order — exactly the subjects whose ancestor sets an
+  /// edit of an edge into `start` can change.
+  std::vector<NodeId> DescendantsOf(NodeId start) const;
+
  private:
   friend class DagBuilder;
+
+  /// Stamps `nodes` with a freshly bumped generation.
+  void StampNodes(const std::vector<NodeId>& nodes);
 
   size_t edge_count_ = 0;
   std::vector<std::string> names_;
@@ -88,6 +144,8 @@ class Dag {
   std::vector<NodeId> children_;
   std::vector<size_t> parent_offsets_{0};
   std::vector<NodeId> parents_;
+  uint64_t generation_ = 0;
+  std::vector<uint64_t> node_generations_;
 };
 
 /// \brief Incremental, validating constructor of `Dag`.

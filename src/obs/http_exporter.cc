@@ -9,6 +9,7 @@
 #if UCR_METRICS_ENABLED
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -155,6 +156,10 @@ void HttpExporter::Stop() {
 void HttpExporter::ServeLoop() {
   static Counter& requests_metric = Registry::Global().GetCounter(
       "ucr_http_requests_total", "Requests served by the exposition server");
+  static Counter& timeouts_metric = Registry::Global().GetCounter(
+      "ucr_http_client_timeouts_total",
+      "Connections dropped because the client stalled past the socket "
+      "timeout");
   while (running_.load(std::memory_order_relaxed)) {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) {
@@ -163,14 +168,30 @@ void HttpExporter::ServeLoop() {
       if (!running_.load(std::memory_order_relaxed)) return;
       continue;
     }
+    // The accept loop is single-threaded, so one client that connects
+    // and never sends (or never reads the response) must not block it
+    // forever: bound every socket operation with the configured
+    // timeout and drop the connection when it fires.
+    if (client_timeout_ms_ > 0) {
+      timeval tv{};
+      tv.tv_sec = client_timeout_ms_ / 1000;
+      tv.tv_usec = static_cast<long>(client_timeout_ms_ % 1000) * 1000;
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
     // One short request per connection; read until the header break or
     // the buffer fills (request bodies are ignored — all endpoints are
     // GET).
     char buffer[2048];
     size_t total = 0;
+    bool stalled = false;
     while (total < sizeof(buffer) - 1) {
       const ssize_t n =
           ::recv(client, buffer + total, sizeof(buffer) - 1 - total, 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        stalled = true;
+        break;
+      }
       if (n <= 0) break;
       total += static_cast<size_t>(n);
       buffer[total] = '\0';
@@ -180,6 +201,12 @@ void HttpExporter::ServeLoop() {
       }
     }
     buffer[total] = '\0';
+    if (stalled) {
+      timeouts_.fetch_add(1, std::memory_order_relaxed);
+      timeouts_metric.Inc();
+      ::close(client);
+      continue;
+    }
 
     // Parse "<METHOD> <path> ..." from the request line.
     std::string method;

@@ -36,6 +36,19 @@ class HttpExporter {
   /// Unblocks the accept loop and joins the thread. Idempotent.
   void Stop();
 
+  /// Per-connection socket timeout (SO_RCVTIMEO/SO_SNDTIMEO) applied
+  /// to every accepted client. A client that connects and never sends
+  /// a request — or stops reading the response — is dropped after this
+  /// long instead of wedging the single-threaded accept loop forever.
+  /// Set before Start; 0 restores fully blocking sockets.
+  void set_client_timeout_ms(uint32_t ms) { client_timeout_ms_ = ms; }
+  uint32_t client_timeout_ms() const { return client_timeout_ms_; }
+
+  /// Connections dropped because the client stalled past the timeout.
+  uint64_t timeouts_total() const {
+    return timeouts_.load(std::memory_order_relaxed);
+  }
+
   bool running() const { return running_.load(std::memory_order_relaxed); }
 
   /// The bound port (useful after Start(0)); 0 when not running.
@@ -55,8 +68,10 @@ class HttpExporter {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  uint32_t client_timeout_ms_ = 5000;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> timeouts_{0};
   std::thread server_;
 };
 

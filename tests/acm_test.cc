@@ -159,6 +159,21 @@ TEST(AcmTextTest, RoundTrip) {
   EXPECT_EQ(parsed->Get(dag.FindNode("u"), po, pr), Mode::kNegative);
 }
 
+TEST(AcmTextTest, ParsesWindowsLineEndings) {
+  const graph::Dag dag = TwoNodeDag();
+  auto parsed = FromText(
+      "# exported on Windows\r\n"
+      "auth g doc read +\r\n"
+      "auth u doc read -\r\n",
+      dag);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), 2u);
+  // The \r must not be folded into the trailing mode field.
+  const ObjectId o = parsed->FindObject("doc").value();
+  const RightId r = parsed->FindRight("read").value();
+  EXPECT_EQ(parsed->Get(dag.FindNode("u"), o, r), Mode::kNegative);
+}
+
 TEST(AcmTextTest, RejectsUnknownSubject) {
   const graph::Dag dag = TwoNodeDag();
   auto parsed = FromText("auth ghost doc read +\n", dag);

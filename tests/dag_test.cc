@@ -134,5 +134,145 @@ TEST(DagTest, CopySemantics) {
   EXPECT_EQ(copy.FindNode("B"), dag.FindNode("B"));
 }
 
+bool Contains(const std::vector<NodeId>& set, NodeId v) {
+  return std::find(set.begin(), set.end(), v) != set.end();
+}
+
+TEST(DagMutationTest, EnsureNodeInternsOnceAndStampsNewNodes) {
+  Dag dag = BuildSmall();
+  EXPECT_EQ(dag.generation(), 0u);
+  const NodeId e = dag.EnsureNode("E");
+  EXPECT_EQ(e, 4u);
+  EXPECT_EQ(dag.node_count(), 5u);
+  EXPECT_GT(dag.node_generation(e), 0u);
+  EXPECT_EQ(dag.EnsureNode("E"), e);   // Idempotent...
+  EXPECT_EQ(dag.node_count(), 5u);     // ...and no duplicate node.
+  EXPECT_EQ(dag.EnsureNode("A"), dag.FindNode("A"));
+  EXPECT_TRUE(dag.is_root(e));
+  EXPECT_TRUE(dag.is_sink(e));
+}
+
+TEST(DagMutationTest, InsertEdgeUpdatesBothAdjacencyDirections) {
+  Dag dag = BuildSmall();
+  const NodeId c = dag.FindNode("C");
+  const NodeId e = dag.EnsureNode("E");
+  std::vector<NodeId> affected;
+  ASSERT_TRUE(dag.InsertEdge(c, e, &affected).ok());
+  EXPECT_EQ(dag.edge_count(), 5u);
+  EXPECT_TRUE(dag.HasEdge(c, e));
+  ASSERT_EQ(dag.children(c).size(), 2u);
+  ASSERT_EQ(dag.parents(e).size(), 1u);
+  EXPECT_EQ(dag.parents(e)[0], c);
+  // Affected set of an insert: the child and its descendants (E is a
+  // sink, so just E).
+  EXPECT_EQ(affected, std::vector<NodeId>{e});
+}
+
+TEST(DagMutationTest, InsertEdgeAffectedSetIsChildAndDescendants) {
+  Dag dag = BuildSmall();
+  const NodeId b = dag.FindNode("B");
+  const NodeId d = dag.FindNode("D");
+  const NodeId x = dag.EnsureNode("X");
+  const uint64_t before = dag.generation();
+  std::vector<NodeId> affected;
+  ASSERT_TRUE(dag.InsertEdge(x, b, &affected).ok());
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_TRUE(Contains(affected, b));
+  EXPECT_TRUE(Contains(affected, d));
+  // Generation stamps move for exactly the affected set.
+  EXPECT_GT(dag.node_generation(b), before);
+  EXPECT_GT(dag.node_generation(d), before);
+  EXPECT_LE(dag.node_generation(dag.FindNode("A")), before);
+  EXPECT_LE(dag.node_generation(dag.FindNode("C")), before);
+}
+
+TEST(DagMutationTest, InsertEdgeRejectsCycleLeavingStateUntouched) {
+  Dag dag = BuildSmall();
+  const NodeId a = dag.FindNode("A");
+  const NodeId d = dag.FindNode("D");
+  const uint64_t generation = dag.generation();
+  // D -> A closes the loop A -> B -> D -> A.
+  const Status status = dag.InsertEdge(d, a);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dag.edge_count(), 4u);
+  EXPECT_FALSE(dag.HasEdge(d, a));
+  EXPECT_EQ(dag.generation(), generation);  // No stamp on failure.
+}
+
+TEST(DagMutationTest, InsertEdgeRejectsSelfLoopDuplicateAndBadIds) {
+  Dag dag = BuildSmall();
+  const NodeId a = dag.FindNode("A");
+  const NodeId b = dag.FindNode("B");
+  EXPECT_EQ(dag.InsertEdge(a, a).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(dag.InsertEdge(a, b).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dag.InsertEdge(a, 99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dag.InsertEdge(99, a).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dag.edge_count(), 4u);
+}
+
+TEST(DagMutationTest, EraseEdgeRemovesAdjacencyAndStampsDescendants) {
+  Dag dag = BuildSmall();
+  const NodeId a = dag.FindNode("A");
+  const NodeId b = dag.FindNode("B");
+  const NodeId d = dag.FindNode("D");
+  const uint64_t before = dag.generation();
+  std::vector<NodeId> affected;
+  ASSERT_TRUE(dag.EraseEdge(a, b, &affected).ok());
+  EXPECT_EQ(dag.edge_count(), 3u);
+  EXPECT_FALSE(dag.HasEdge(a, b));
+  EXPECT_TRUE(dag.is_root(b));  // B lost its only parent.
+  EXPECT_EQ(affected.size(), 2u);
+  EXPECT_TRUE(Contains(affected, b));
+  EXPECT_TRUE(Contains(affected, d));
+  EXPECT_GT(dag.node_generation(b), before);
+  EXPECT_GT(dag.node_generation(d), before);
+
+  EXPECT_EQ(dag.EraseEdge(a, b).code(), StatusCode::kNotFound);
+}
+
+TEST(DagMutationTest, MutatedDagMatchesFromScratchRebuild) {
+  Dag dag = BuildSmall();
+  const NodeId c = dag.FindNode("C");
+  const NodeId e = dag.EnsureNode("E");
+  ASSERT_TRUE(dag.InsertEdge(c, e).ok());
+  ASSERT_TRUE(dag.EraseEdge(dag.FindNode("A"), dag.FindNode("B")).ok());
+
+  DagBuilder b;
+  for (NodeId v = 0; v < dag.node_count(); ++v) b.AddNode(dag.name(v));
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId child : dag.children(v)) {
+      ASSERT_TRUE(b.AddEdgeById(v, child).ok());
+    }
+  }
+  auto rebuilt = std::move(b).Build();
+  ASSERT_TRUE(rebuilt.ok());  // Still acyclic.
+  EXPECT_EQ(rebuilt->node_count(), dag.node_count());
+  EXPECT_EQ(rebuilt->edge_count(), dag.edge_count());
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    EXPECT_EQ(rebuilt->name(v), dag.name(v));
+    // Parent mirror stays consistent with the child arrays.
+    for (NodeId p : dag.parents(v)) EXPECT_TRUE(dag.HasEdge(p, v));
+  }
+
+  // The topological order of the mutated dag is still a valid order.
+  const std::vector<NodeId> order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), dag.node_count());
+  std::vector<size_t> position(dag.node_count());
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    for (NodeId child : dag.children(v)) {
+      EXPECT_LT(position[v], position[child]);
+    }
+  }
+}
+
+TEST(DagMutationTest, DescendantsOfIncludesStartAndFollowsChildren) {
+  const Dag dag = BuildSmall();
+  const std::vector<NodeId> from_a = dag.DescendantsOf(dag.FindNode("A"));
+  EXPECT_EQ(from_a.size(), 4u);  // Whole graph.
+  const std::vector<NodeId> from_d = dag.DescendantsOf(dag.FindNode("D"));
+  EXPECT_EQ(from_d, std::vector<NodeId>{dag.FindNode("D")});
+}
+
 }  // namespace
 }  // namespace ucr::graph

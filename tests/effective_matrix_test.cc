@@ -109,6 +109,93 @@ TEST(EffectiveMatrixTest, RefreshPicksUpBrandNewColumns) {
       << "S4 inherits S3's grant on the new column";
 }
 
+// Hierarchy edits stale the matrix via the dag's generation stamps
+// (not the column epochs) and Refresh repairs them by re-resolving
+// only the affected rows — the edited child and its descendants.
+TEST(EffectiveMatrixTest, StalenessTracksHierarchyGeneration) {
+  AccessControlSystem system = MakePaperSystem();
+  auto matrix = EffectiveMatrix::Materialize(system, S("D+LP-"));
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_TRUE(matrix->IsCurrentFor(system));
+  // No column epoch moves, but User's ancestor set changed.
+  ASSERT_TRUE(system.RemoveMembership("S5", "User").ok());
+  EXPECT_FALSE(matrix->IsCurrentFor(system));
+}
+
+TEST(EffectiveMatrixTest, RefreshRepairsAffectedRowsAfterMembershipEdit) {
+  AccessControlSystem system = MakePaperSystem();
+  auto matrix = EffectiveMatrix::Materialize(system, S("D+LP-"));
+  ASSERT_TRUE(matrix.ok());
+  const acm::ObjectId obj = system.eacm().FindObject("obj").value();
+  const acm::RightId read = system.eacm().FindRight("read").value();
+  const graph::NodeId user = system.dag().FindNode("User");
+  ASSERT_EQ(matrix->Lookup(user, obj, read).value(), Mode::kNegative);
+
+  // Detaching User from S5 flips User's decision; no rights changed,
+  // so no whole column is rebuilt — only the affected rows.
+  ASSERT_TRUE(system.RemoveMembership("S5", "User").ok());
+  auto refreshed = matrix->Refresh(system);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 0u) << "row-scoped repair, no column rebuild";
+  EXPECT_TRUE(matrix->IsCurrentFor(system));
+  // Every cell — affected rows included — matches on-demand resolution.
+  for (acm::ObjectId o = 0; o < system.eacm().object_count(); ++o) {
+    for (acm::RightId r = 0; r < system.eacm().right_count(); ++r) {
+      for (graph::NodeId v = 0; v < system.dag().node_count(); ++v) {
+        EXPECT_EQ(matrix->Lookup(v, o, r).value(),
+                  system.CheckAccess(v, o, r, S("D+LP-")).value())
+            << system.dag().name(v);
+      }
+    }
+  }
+}
+
+TEST(EffectiveMatrixTest, RefreshGrowsWithNewSubjects) {
+  AccessControlSystem system = MakePaperSystem();
+  auto matrix = EffectiveMatrix::Materialize(system, S("D+LP-"));
+  ASSERT_TRUE(matrix.ok());
+  const size_t subjects_before = matrix->subject_count();
+
+  // A new hire under S2 inherits S2's '+' on (obj, read).
+  ASSERT_TRUE(system.AddMembership("S2", "newhire").ok());
+  EXPECT_FALSE(matrix->IsCurrentFor(system));
+  auto refreshed = matrix->Refresh(system);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_TRUE(matrix->IsCurrentFor(system));
+  EXPECT_EQ(matrix->subject_count(), subjects_before + 1);
+
+  const acm::ObjectId obj = system.eacm().FindObject("obj").value();
+  const acm::RightId read = system.eacm().FindRight("read").value();
+  const graph::NodeId hire = system.dag().FindNode("newhire");
+  EXPECT_EQ(matrix->Lookup(hire, obj, read).value(), Mode::kPositive);
+}
+
+// Interleaved rights and hierarchy edits: one Refresh must repair the
+// lapsed column wholesale and the affected rows of the current ones.
+TEST(EffectiveMatrixTest, RefreshHandlesMixedRightsAndHierarchyEdits) {
+  AccessControlSystem system = MakePaperSystem();
+  auto matrix = EffectiveMatrix::Materialize(system, S("D+LP-"));
+  ASSERT_TRUE(matrix.ok());
+
+  ASSERT_TRUE(system.DenyAccess("S2", "obj", "write").ok());
+  ASSERT_TRUE(system.RemoveMembership("S5", "User").ok());
+  ASSERT_TRUE(system.AddMembership("S4", "newhire").ok());
+
+  auto refreshed = matrix->Refresh(system);
+  ASSERT_TRUE(refreshed.ok()) << refreshed.status().ToString();
+  EXPECT_EQ(*refreshed, 1u) << "only (obj, write) lapsed its epoch";
+  EXPECT_TRUE(matrix->IsCurrentFor(system));
+  for (acm::ObjectId o = 0; o < system.eacm().object_count(); ++o) {
+    for (acm::RightId r = 0; r < system.eacm().right_count(); ++r) {
+      for (graph::NodeId v = 0; v < system.dag().node_count(); ++v) {
+        EXPECT_EQ(matrix->Lookup(v, o, r).value(),
+                  system.CheckAccess(v, o, r, S("D+LP-")).value())
+            << system.dag().name(v);
+      }
+    }
+  }
+}
+
 TEST(EffectiveMatrixTest, RefreshNoOpWhenCurrent) {
   AccessControlSystem system = MakePaperSystem();
   auto matrix = EffectiveMatrix::Materialize(system, S("P-"));

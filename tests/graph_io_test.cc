@@ -44,6 +44,25 @@ TEST(GraphIoTest, ParsesHandWrittenInput) {
   EXPECT_EQ(dag->FindNode("isolated"), 0u);
 }
 
+// Files edited on Windows (or checked out with autocrlf) arrive with
+// \r\n line endings; the parser must treat them as plain newlines,
+// not fold the \r into the last field of each line.
+TEST(GraphIoTest, ParsesWindowsLineEndings) {
+  auto dag = FromEdgeListText(
+      "# a comment\r\n"
+      "\r\n"
+      "node isolated\r\n"
+      "edge a b\r\n"
+      "edge a c\r\n");
+  ASSERT_TRUE(dag.ok()) << dag.status().ToString();
+  EXPECT_EQ(dag->node_count(), 4u);
+  EXPECT_EQ(dag->edge_count(), 2u);
+  // The \r must not become part of a node name.
+  EXPECT_EQ(dag->FindNode("b"), 2u);
+  EXPECT_EQ(dag->FindNode("b\r"), kInvalidNode);
+  EXPECT_TRUE(dag->HasEdge(dag->FindNode("a"), dag->FindNode("c")));
+}
+
 TEST(GraphIoTest, ReportsLineNumbersOnErrors) {
   auto bad = FromEdgeListText("node a\nedge a\n");
   ASSERT_FALSE(bad.ok());

@@ -142,6 +142,53 @@ TEST(ObsHttpExporterTest, StopIsIdempotentAndRestartWorks) {
   exporter.Stop();
 }
 
+TEST(ObsHttpExporterTest, StallingClientDoesNotWedgeTheServer) {
+  HttpExporter exporter;
+  // Short timeout so the test runs in milliseconds; production default
+  // is 5s.
+  exporter.set_client_timeout_ms(200);
+  std::string error;
+  ASSERT_TRUE(exporter.Start(0, &error)) << error;
+
+  // A client that connects and never sends a byte. Before the socket
+  // timeouts, this parked the single-threaded accept loop in recv()
+  // forever and every later scrape hung.
+  const int staller = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(staller, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(exporter.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(staller, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  // A well-behaved scrape issued while the staller holds the loop: it
+  // must still be answered (after at most the timeout), proving the
+  // stalled connection was dropped rather than served forever.
+  const std::string healthz = Get(exporter.port(), "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos) << healthz;
+  EXPECT_GE(exporter.timeouts_total(), 1u);
+
+  // A second stalled connection, this time with a half-written request
+  // (no header terminator): same outcome.
+  const int partial = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(partial, 0);
+  ASSERT_EQ(
+      ::connect(partial, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const char half[] = "GET /metrics HTT";
+  ASSERT_EQ(::send(partial, half, sizeof(half) - 1, 0),
+            static_cast<ssize_t>(sizeof(half) - 1));
+  const std::string varz = Get(exporter.port(), "/varz");
+  EXPECT_NE(varz.find("HTTP/1.1 200 OK"), std::string::npos) << varz;
+  EXPECT_GE(exporter.timeouts_total(), 2u);
+
+  ::close(staller);
+  ::close(partial);
+  exporter.Stop();
+}
+
 TEST(ObsHttpExporterTest, PortAlreadyInUseFailsWithError) {
   HttpExporter first;
   ASSERT_TRUE(first.Start(0));

@@ -56,6 +56,51 @@ TEST(StorageTest, SecondRoundTripIsByteIdentical) {
   EXPECT_EQ(SaveSystemToText(*loaded), once);
 }
 
+// A system file that passed through a Windows editor (or a checkout
+// with autocrlf) gains \r\n line endings; the loader must parse it
+// identically — in particular the trailing mode field of each auth
+// line must not absorb the \r.
+TEST(StorageTest, LoadsWindowsLineEndings) {
+  AccessControlSystem original = MakePaperSystem();
+  std::string text = SaveSystemToText(original);
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+
+  auto loaded = LoadSystemFromText(crlf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->dag().node_count(), original.dag().node_count());
+  EXPECT_EQ(loaded->eacm().size(), original.eacm().size());
+  EXPECT_EQ(loaded->strategy().ToMnemonic(), "D+LMP-");
+  for (const Strategy& s : AllStrategies()) {
+    EXPECT_EQ(loaded->CheckAccessByName("User", "obj", "read", s).value(),
+              original.CheckAccessByName("User", "obj", "read", s).value())
+        << s.ToMnemonic();
+  }
+}
+
+// Save∘Load property over the whole strategy space: every one of the
+// 48 canonical mnemonics survives a round trip, and the loaded system
+// reproduces every subject's effective decision under its configured
+// strategy.
+TEST(StorageTest, RoundTripPreservesAllStrategyMnemonics) {
+  for (const Strategy& strategy : AllStrategies()) {
+    AccessControlSystem original = MakePaperSystem();
+    original.SetStrategy(strategy);
+    auto loaded = LoadSystemFromText(SaveSystemToText(original));
+    ASSERT_TRUE(loaded.ok()) << strategy.ToMnemonic();
+    EXPECT_EQ(loaded->strategy().ToMnemonic(), strategy.ToMnemonic());
+    for (graph::NodeId v = 0; v < original.dag().node_count(); ++v) {
+      const std::string& name = original.dag().name(v);
+      EXPECT_EQ(loaded->CheckAccessByName(name, "obj", "read").value(),
+                original.CheckAccessByName(name, "obj", "read").value())
+          << strategy.ToMnemonic() << " subject " << name;
+    }
+  }
+}
+
 TEST(StorageTest, MissingSectionsRejected) {
   EXPECT_FALSE(LoadSystemFromText("strategy P-\n").ok());
   EXPECT_FALSE(LoadSystemFromText("[hierarchy]\nnode a\n").ok());

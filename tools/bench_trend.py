@@ -40,6 +40,12 @@ def parse_json_lines(text, origin):
             continue
         if "qps" not in row:
             continue  # Metrics snapshots etc. ride along; skip them.
+        try:
+            row["qps"] = float(row["qps"])
+        except (TypeError, ValueError):
+            print(f"warning: {origin}:{line_no}: non-numeric qps "
+                  f"({row['qps']!r}) — skipped", file=sys.stderr)
+            continue
         key = (
             row.get("bench", os.path.basename(origin)),
             row.get("section", "?"),
@@ -59,6 +65,17 @@ def baseline_file(rev, path):
         check=False,
     )
     return result.stdout if result.returncode == 0 else None
+
+
+def revision_exists(rev):
+    """True when `rev` resolves to a commit in this repository."""
+    result = subprocess.run(
+        ["git", "rev-parse", "--verify", "--quiet", f"{rev}^{{commit}}"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return result.returncode == 0
 
 
 def describe(key):
@@ -95,6 +112,15 @@ def main():
         print("nothing to compare: no BENCH_*.json files found")
         return 0
 
+    # A missing baseline is "no comparison", not a failure: the first
+    # commit of a repo has no HEAD~1, and shallow clones may lack the
+    # requested revision entirely.
+    if not revision_exists(args.baseline):
+        print(f"nothing to compare: baseline revision '{args.baseline}' "
+              f"does not resolve to a commit (first commit or shallow "
+              f"clone?)")
+        return 0
+
     regressions = []
     compared = 0
     for path in files:
@@ -111,6 +137,13 @@ def main():
                   f"skipped")
             continue
         baseline = parse_json_lines(base_text, f"{args.baseline}:{rel}")
+        if not baseline:
+            # The file existed at the baseline but held no comparable
+            # rows (empty, truncated, or a format the parser rejects):
+            # that is "no comparison", not a sea of NEW rows.
+            print(f"{rel}: baseline at {args.baseline} has no comparable "
+                  f"rows — skipped")
+            continue
 
         for key in sorted(set(current) | set(baseline)):
             if key not in baseline:
@@ -121,8 +154,16 @@ def main():
                 print(f"  GONE  {describe(key)} (was "
                       f"{baseline[key]['qps']:.0f} qps)")
                 continue
-            old = float(baseline[key]["qps"])
-            new = float(current[key]["qps"])
+            old = baseline[key]["qps"]
+            new = current[key]["qps"]
+            # Rows measured on a degenerate host (e.g. a multi-thread
+            # sweep on one granted core) are marked by the bench; a
+            # delta against or from them means nothing.
+            if current[key].get("skipped_scaling") or \
+                    baseline[key].get("skipped_scaling"):
+                print(f"  skipped    {describe(key)}: degenerate-host "
+                      f"row (skipped_scaling)")
+                continue
             compared += 1
             if old <= 0:
                 continue
