@@ -167,13 +167,15 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
-// Long-running operational mode (DESIGN.md §9): loads the system,
-// starts the audit log (rotating file next to the system file), turns
-// on 1-in-64 shadow verification, and serves /metrics /healthz /varz
-// /tracez until SIGINT or SIGTERM. The demo traffic loop keeps the
-// gauges moving so a curl shows live numbers.
+// Long-running operational mode (DESIGN.md §9, §11): loads the system,
+// enables epoch-pinned snapshot reads, starts the audit log (rotating
+// file next to the system file), turns on 1-in-64 shadow verification,
+// and serves /metrics /healthz /varz /tracez until SIGINT or SIGTERM.
+// The demo traffic loop alternates classic and snapshot sweeps so the
+// epoch gauges in /varz show live numbers.
 int Serve(const std::string& path, uint16_t port) {
   return WithSystem(path, [&](core::AccessControlSystem& system) {
+    system.EnableSnapshotReads();
     obs::AuditLogOptions audit_options;
     const std::string audit_path = path + ".audit.jsonl";
     auto file_sink = std::make_unique<obs::RotatingFileSink>(audit_path);
@@ -194,25 +196,41 @@ int Serve(const std::string& path, uint16_t port) {
     }
     std::signal(SIGINT, HandleStopSignal);
     std::signal(SIGTERM, HandleStopSignal);
+    // First line, flushed before the banner and before any traffic:
+    // "listening <host>:<port>". With port 0 the kernel picks the
+    // port, so scripts (and tests/serve_endpoint_test.py) parse this
+    // line instead of racing a fixed port or scraping the banner.
+    std::cout << "listening 127.0.0.1:" << exporter.port() << std::endl;
     std::cout << "serving http://127.0.0.1:" << exporter.port()
               << "/{metrics,healthz,varz,tracez}\n"
               << "audit log: " << audit_path << "\n"
               << "shadow verification: 1-in-64\n"
+              << "snapshot reads: enabled (epoch "
+              << system.snapshots()->current_epoch() << ")\n"
               << "press Ctrl-C to stop" << std::endl;
 
     // Background decision traffic: sweep every triple under the
     // session strategy so the exported counters, histograms, traces
     // and shadow checks reflect a live system rather than zeros.
+    // Even sweeps use the classic facade path, odd sweeps the
+    // epoch-pinned snapshot path, so both metric families move.
     const size_t subjects = system.dag().node_count();
     const size_t objects = system.eacm().object_count();
     const size_t rights = system.eacm().right_count();
+    uint64_t sweep = 0;
     while (g_stop_requested == 0) {
+      const bool use_snapshot = (sweep++ % 2) == 1;
       for (size_t s = 0; s < subjects && g_stop_requested == 0; ++s) {
         for (size_t o = 0; o < objects; ++o) {
           for (size_t r = 0; r < rights; ++r) {
-            auto mode = system.CheckAccess(
-                static_cast<graph::NodeId>(s), static_cast<acm::ObjectId>(o),
-                static_cast<acm::RightId>(r), system.strategy());
+            const auto subject = static_cast<graph::NodeId>(s);
+            const auto object = static_cast<acm::ObjectId>(o);
+            const auto right = static_cast<acm::RightId>(r);
+            auto mode =
+                use_snapshot
+                    ? system.CheckAccessSnapshot(subject, object, right)
+                    : system.CheckAccess(subject, object, right,
+                                         system.strategy());
             if (!mode.ok()) {
               exporter.Stop();
               obs::AuditLog::Global().Stop();

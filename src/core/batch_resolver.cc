@@ -95,6 +95,16 @@ BatchResolver::BatchResolver(const AccessControlSystem& system, size_t threads)
         return options;
       }()) {}
 
+BatchResolver::BatchResolver(const HierarchySnapshot& snapshot,
+                             BatchResolverOptions options)
+    : BatchResolver(snapshot.dag, snapshot.eacm, [&] {
+        // The snapshot's mode wins: its carried decisions and cached
+        // sub-graphs were derived under it, and mixing modes within
+        // one epoch would silently change semantics.
+        options.propagation_mode = snapshot.propagation_mode;
+        return options;
+      }()) {}
+
 acm::Mode BatchResolver::ResolveOne(const Query& query,
                                     const Strategy& canonical) {
   // Per-query telemetry mirrors ResolveAccess: unsampled queries pay

@@ -8,6 +8,7 @@
 #include "acm/mode.h"
 #include "core/propagate.h"
 #include "core/sharded_cache.h"
+#include "core/snapshot.h"
 #include "core/strategy.h"
 #include "core/system.h"
 #include "graph/dag.h"
@@ -72,6 +73,22 @@ class BatchResolver {
   /// Convenience: binds to `system`'s hierarchy, matrix, and
   /// propagation mode, so decisions match `system.CheckAccess`.
   BatchResolver(const AccessControlSystem& system, size_t threads);
+
+  /// \brief Binds to an epoch-published snapshot (DESIGN.md §11): the
+  /// resolver reads `snapshot`'s immutable hierarchy, matrix, and
+  /// propagation mode, so decisions match
+  /// `AccessControlSystem::CheckAccessSnapshot` against that epoch.
+  ///
+  /// The caller must hold a `SnapshotManager::ReadPin` on the snapshot
+  /// for the resolver's whole lifetime — the pin is what keeps the
+  /// epoch's storage alive past subsequent publications. In exchange
+  /// the §10 maintenance contract disappears: a snapshot never
+  /// mutates, so `InvalidateSubjects` is never needed and the caches
+  /// stay valid forever. `options.propagation_mode` is overridden by
+  /// the snapshot's own mode (a snapshot decision is only meaningful
+  /// under the mode it was published with).
+  BatchResolver(const HierarchySnapshot& snapshot,
+                BatchResolverOptions options = {});
 
   /// \brief Resolves every query under `strategy`. Results align
   /// positionally with `queries`.

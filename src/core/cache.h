@@ -104,6 +104,20 @@ class ResolutionCache {
   /// the whole point of scoping. Returns the number dropped.
   size_t EraseSubjects(const std::vector<uint8_t>& affected);
 
+  /// Enumerates every entry as ⟨subject, object, right, canonical
+  /// strategy index, derivation epoch, mode⟩. Used to warm the first
+  /// epoch snapshot from a system whose serial cache is already hot
+  /// (DESIGN.md §11); the consumer re-validates the epoch itself.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) {
+      fn(static_cast<graph::NodeId>(key.triple >> 32),
+         static_cast<acm::ObjectId>((key.triple >> 16) & 0xFFFF),
+         static_cast<acm::RightId>(key.triple & 0xFFFF), key.strategy,
+         entry.epoch, entry.mode);
+    }
+  }
+
   size_t size() const { return entries_.size(); }
   const Stats& stats() const { return stats_; }
 

@@ -37,16 +37,16 @@ MatrixMetrics& GetMatrixMetrics() {
 
 }  // namespace
 
-StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
-    const AccessControlSystem& system, const Strategy& strategy,
-    size_t threads) {
+StatusOr<EffectiveMatrix> EffectiveMatrix::MaterializeFrom(
+    const graph::Dag& dag, const acm::ExplicitAcm& eacm, PropagationMode mode,
+    const Strategy& strategy, size_t threads) {
   EffectiveMatrix matrix;
   matrix.strategy_ = strategy.Canonical();
-  matrix.epoch_ = system.eacm().epoch();
-  matrix.dag_generation_ = system.dag().generation();
-  matrix.subject_count_ = system.dag().node_count();
-  matrix.object_count_ = system.eacm().object_count();
-  matrix.right_count_ = system.eacm().right_count();
+  matrix.epoch_ = eacm.epoch();
+  matrix.dag_generation_ = dag.generation();
+  matrix.subject_count_ = dag.node_count();
+  matrix.object_count_ = eacm.object_count();
+  matrix.right_count_ = eacm.right_count();
 
   // A column with no explicit authorization is uniform: every
   // subject's bag holds only 'd' markers, so the default (or, with
@@ -60,34 +60,47 @@ StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
   // count is bounded by the entry count, and one sort of a flat array
   // beats per-insert red-black rebalancing.
   std::vector<uint32_t> referenced;
-  referenced.reserve(system.eacm().size());
-  for (const auto& e : system.eacm().SortedEntries()) {
+  referenced.reserve(eacm.size());
+  for (const auto& e : eacm.SortedEntries()) {
     referenced.push_back(ColumnKey(e.object, e.right));
   }
   std::sort(referenced.begin(), referenced.end());
   referenced.erase(std::unique(referenced.begin(), referenced.end()),
                    referenced.end());
-  matrix.RebuildColumns(system, referenced, threads);
+  matrix.RebuildColumns(dag, eacm, mode, referenced, threads);
   if constexpr (obs::kEnabled) GetMatrixMetrics().materializations.Inc();
   return matrix;
 }
 
+StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
+    const AccessControlSystem& system, const Strategy& strategy,
+    size_t threads) {
+  return MaterializeFrom(system.dag(), system.eacm(),
+                         system.propagation_mode(), strategy, threads);
+}
+
+StatusOr<EffectiveMatrix> EffectiveMatrix::Materialize(
+    const HierarchySnapshot& snapshot, const Strategy& strategy,
+    size_t threads) {
+  return MaterializeFrom(snapshot.dag, snapshot.eacm,
+                         snapshot.propagation_mode, strategy, threads);
+}
+
 EffectiveMatrix::ColumnBits EffectiveMatrix::ComputeColumn(
-    const AccessControlSystem& system, uint32_t key,
-    std::span<const graph::NodeId> topo) const {
+    const graph::Dag& dag, const acm::ExplicitAcm& eacm, PropagationMode mode,
+    uint32_t key, std::span<const graph::NodeId> topo) const {
   const auto object = static_cast<acm::ObjectId>(key >> 16);
   const auto right = static_cast<acm::RightId>(key & 0xFFFF);
   PropagateOptions prop_options;
-  prop_options.propagation_mode = system.propagation_mode();
+  prop_options.propagation_mode = mode;
 
   // Flat whole-graph propagation on this thread's hot-path kernel
   // (DESIGN.md §7): the sparse column is staged in O(column size) and
   // all per-subject bags share one pooled buffer, replacing the dense
   // label vector and the vector<RightsBag> of the classic engine.
   HotPath& hot = HotPath::ThreadLocal();
-  hot.propagator.SetLabels(system.eacm().Column(object, right),
-                           subject_count_);
-  const FlatDagView view{&system.dag(), topo};
+  hot.propagator.SetLabels(eacm.Column(object, right), subject_count_);
+  const FlatDagView view{&dag, topo};
   hot.propagator.PropagateAll(view, prop_options);
 
   ColumnBits column;
@@ -100,21 +113,23 @@ EffectiveMatrix::ColumnBits EffectiveMatrix::ComputeColumn(
       column.bits[v / 64] |= uint64_t{1} << (v % 64);
     }
   }
-  column.epoch = system.eacm().ColumnEpoch(object, right);
+  column.epoch = eacm.ColumnEpoch(object, right);
   return column;
 }
 
-void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
+void EffectiveMatrix::RebuildColumns(const graph::Dag& dag,
+                                     const acm::ExplicitAcm& eacm,
+                                     PropagationMode mode,
                                      const std::vector<uint32_t>& keys,
                                      size_t threads) {
   threads = ThreadPool::ClampToHardware(threads);
-  const std::vector<graph::NodeId> topo = system.dag().TopologicalOrder();
+  const std::vector<graph::NodeId> topo = dag.TopologicalOrder();
   std::vector<ColumnBits> derived(keys.size());
   // Column derivations are ms-scale, so two clock reads per column are
   // noise; the histogram feeds capacity planning for Refresh cadence.
   const auto timed_compute = [&](size_t i) {
     const uint64_t t0 = obs::NowNs();
-    derived[i] = ComputeColumn(system, keys[i], topo);
+    derived[i] = ComputeColumn(dag, eacm, mode, keys[i], topo);
     if constexpr (obs::kEnabled) {
       GetMatrixMetrics().column_build.Observe(obs::NowNs() - t0);
     }
@@ -138,28 +153,29 @@ void EffectiveMatrix::RebuildColumns(const AccessControlSystem& system,
   }
 }
 
-void EffectiveMatrix::RefreshRows(const AccessControlSystem& system,
+void EffectiveMatrix::RefreshRows(const graph::Dag& dag,
+                                  const acm::ExplicitAcm& eacm,
+                                  PropagationMode mode,
                                   const std::vector<graph::NodeId>& rows,
                                   const std::vector<uint32_t>& keys) {
   PropagateOptions prop_options;
-  prop_options.propagation_mode = system.propagation_mode();
+  prop_options.propagation_mode = mode;
   HotPath& hot = HotPath::ThreadLocal();
   for (graph::NodeId v : rows) {
     // One extraction per affected subject, shared across all columns
     // (the sub-graph depends only on the hierarchy); per column the
     // sparse labels are restaged and propagated over the sub-graph —
     // the same derivation CheckAccess runs for one query.
-    const auto view = hot.scratch.Extract(system.dag(), v);
+    const auto view = hot.scratch.Extract(dag, v);
     for (uint32_t key : keys) {
       const auto object = static_cast<acm::ObjectId>(key >> 16);
       const auto right = static_cast<acm::RightId>(key & 0xFFFF);
-      hot.propagator.SetLabels(system.eacm().Column(object, right),
-                               subject_count_);
-      const acm::Mode mode = ResolveEntries(
+      hot.propagator.SetLabels(eacm.Column(object, right), subject_count_);
+      const acm::Mode decision = ResolveEntries(
           hot.propagator.PropagateSink(view, prop_options), strategy_);
       std::vector<uint64_t>& bits = columns_[key];
       const uint64_t mask = uint64_t{1} << (v % 64);
-      if (mode == acm::Mode::kPositive) {
+      if (decision == acm::Mode::kPositive) {
         bits[v / 64] |= mask;
       } else {
         bits[v / 64] &= ~mask;
@@ -224,9 +240,13 @@ StatusOr<size_t> EffectiveMatrix::Refresh(const AccessControlSystem& system,
   // Stale columns are rebuilt whole (their epoch lapsed, every row is
   // suspect); epoch-current columns get only the affected rows
   // re-derived.
-  if (!stale.empty()) RebuildColumns(system, stale, threads);
+  if (!stale.empty()) {
+    RebuildColumns(system.dag(), system.eacm(), system.propagation_mode(),
+                   stale, threads);
+  }
   if (!rows.empty() && !current_keys.empty()) {
-    RefreshRows(system, rows, current_keys);
+    RefreshRows(system.dag(), system.eacm(), system.propagation_mode(), rows,
+                current_keys);
   }
   if constexpr (obs::kEnabled) GetMatrixMetrics().refreshes.Inc();
   object_count_ = system.eacm().object_count();

@@ -8,8 +8,11 @@
 
 #include "acm/acm.h"
 #include "acm/mode.h"
+#include "core/propagate.h"
+#include "core/snapshot.h"
 #include "core/strategy.h"
 #include "core/system.h"
+#include "graph/dag.h"
 #include "util/status.h"
 
 namespace ucr::core {
@@ -40,6 +43,18 @@ class EffectiveMatrix {
   /// build — both paths run the same per-column derivation.
   static StatusOr<EffectiveMatrix> Materialize(
       const AccessControlSystem& system, const Strategy& strategy,
+      size_t threads = 1);
+
+  /// \brief Materializes from an epoch-published snapshot (DESIGN.md
+  /// §11) instead of the live system: the build reads only the
+  /// snapshot's immutable hierarchy and matrix, so it can run
+  /// concurrently with mutators — the live system keeps publishing new
+  /// epochs while the matrix derives against the pinned one. The
+  /// caller must hold a `SnapshotManager::ReadPin` on `snapshot` for
+  /// the duration of the call. `IsCurrentFor` afterwards reports
+  /// whether the *live* system has moved past the snapshot's epoch.
+  static StatusOr<EffectiveMatrix> Materialize(
+      const HierarchySnapshot& snapshot, const Strategy& strategy,
       size_t threads = 1);
 
   /// The derived mode for the triple. O(1). Triples of objects/rights
@@ -99,23 +114,34 @@ class EffectiveMatrix {
     uint64_t epoch = 0;
   };
 
+  /// Shared build core: both Materialize overloads reduce to a
+  /// (hierarchy, explicit matrix, propagation mode) triple — the live
+  /// system and a pinned snapshot differ only in where that triple
+  /// lives and how long it stays valid.
+  static StatusOr<EffectiveMatrix> MaterializeFrom(
+      const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+      PropagationMode mode, const Strategy& strategy, size_t threads);
+
   /// Derives one column (stage the sparse column → flat whole-graph
   /// propagation → streaming-resolve each subject's bag) on the
   /// calling thread's hot-path kernel. `topo` is the hierarchy's
   /// topological order, computed once per rebuild and shared by every
-  /// column. Reads only const system state.
-  ColumnBits ComputeColumn(const AccessControlSystem& system, uint32_t key,
+  /// column. Reads only const inputs.
+  ColumnBits ComputeColumn(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                           PropagationMode mode, uint32_t key,
                            std::span<const graph::NodeId> topo) const;
 
   /// (Re)derives `keys` — serially, or on `threads` executors when
   /// threads > 1 — and installs the results.
-  void RebuildColumns(const AccessControlSystem& system,
-                      const std::vector<uint32_t>& keys, size_t threads);
+  void RebuildColumns(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                      PropagationMode mode, const std::vector<uint32_t>& keys,
+                      size_t threads);
 
   /// Re-derives the decision of each subject in `rows` for each column
   /// in `keys` (columns whose epoch is otherwise current), via one
   /// ancestor-sub-graph extraction per row shared across the keys.
-  void RefreshRows(const AccessControlSystem& system,
+  void RefreshRows(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                   PropagationMode mode,
                    const std::vector<graph::NodeId>& rows,
                    const std::vector<uint32_t>& keys);
 

@@ -11,7 +11,10 @@ std::optional<acm::Mode> ShardedResolutionCache::Lookup(
   internal::CacheMetrics& m = internal::GetCacheMetrics();
   const CacheKey key = Key(subject, object, right, strategy);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  // Reader-path lock: recorded under ucr_lock_* so bench/read_churn
+  // can contrast this path's contention against the lock-free
+  // snapshot path (DESIGN.md §11).
+  obs::ScopedMetricsLock lock(shard.mu, obs::GetLockWaitMetrics());
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     ++shard.stats.misses;
@@ -38,7 +41,7 @@ void ShardedResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
                                    acm::Mode mode) {
   const CacheKey key = Key(subject, object, right, strategy);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  obs::ScopedMetricsLock lock(shard.mu, obs::GetLockWaitMetrics());
   shard.entries[key] = Entry{epoch, mode};
 }
 
@@ -105,7 +108,7 @@ const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
     const graph::Dag& dag, graph::NodeId subject, bool* hit) {
   internal::CacheMetrics& m = internal::GetCacheMetrics();
   Shard& shard = shards_[subject & (kShardCount - 1)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  obs::ScopedMetricsLock lock(shard.mu, obs::GetLockWaitMetrics());
   auto it = shard.subgraphs.find(subject);
   if (it != shard.subgraphs.end()) {
     hits_.fetch_add(1, std::memory_order_relaxed);

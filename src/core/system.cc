@@ -98,20 +98,58 @@ MutationMetrics& GetMutationMetrics() {
   obs::AuditLog::Global().Emit(event);
 }
 
+/// The epoch-lag gauge lives in snapshot.cc's metric family; the write
+/// path updates it by interned name (the registry hands back the same
+/// gauge object).
+obs::Gauge& EpochLagGauge() {
+  static obs::Gauge& gauge = obs::Registry::Global().GetGauge(
+      "ucr_epoch_lag",
+      "Master-state mutations applied but not yet visible in the published "
+      "snapshot");
+  return gauge;
+}
+
+/// Takes the snapshot write lock when snapshots are enabled (null
+/// mutex = disabled = the historical unsynchronized write path, zero
+/// overhead). Instrumented under the write-path family so the
+/// reader-path `ucr_lock_*` counters stay untouched by mutators.
+class [[nodiscard]] WriterGuard {
+ public:
+  explicit WriterGuard(std::mutex* mu) : mu_(mu) {
+    if (mu_ != nullptr) {
+      obs::LockWithMetrics(*mu_, obs::GetWriteLockMetrics());
+    }
+  }
+  ~WriterGuard() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  WriterGuard(const WriterGuard&) = delete;
+  WriterGuard& operator=(const WriterGuard&) = delete;
+
+ private:
+  std::mutex* mu_;
+};
+
 }  // namespace
 
 AccessControlSystem::AccessControlSystem(graph::Dag dag, SystemOptions options)
     : dag_(std::move(dag)), options_(options) {
   options_.default_strategy = options_.default_strategy.Canonical();
+  if (options_.enable_snapshot_reads) EnableSnapshotReads();
 }
 
 void AccessControlSystem::SetStrategy(const Strategy& strategy) {
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
   options_.default_strategy = strategy.Canonical();
   if (obs::AuditLog::Enabled()) {
     EmitAdminEvent(obs::AuditEventType::kStrategyChange,
                    options_.default_strategy.ToMnemonic(),
                    options_.default_strategy.CanonicalIndex());
   }
+  // The session strategy is part of the snapshot (it decides every
+  // default-strategy query), so reconfiguring it republishes.
+  if (snapshot_state_ != nullptr) PublishSnapshotLocked();
 }
 
 Status AccessControlSystem::SetMode(std::string_view subject,
@@ -142,13 +180,21 @@ Status AccessControlSystem::SetMode(std::string_view subject,
 Status AccessControlSystem::Grant(std::string_view subject,
                                   std::string_view object,
                                   std::string_view right) {
-  return SetMode(subject, object, right, acm::Mode::kPositive);
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
+  const Status status = SetMode(subject, object, right, acm::Mode::kPositive);
+  if (status.ok() && snapshot_state_ != nullptr) PublishSnapshotLocked();
+  return status;
 }
 
 Status AccessControlSystem::DenyAccess(std::string_view subject,
                                        std::string_view object,
                                        std::string_view right) {
-  return SetMode(subject, object, right, acm::Mode::kNegative);
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
+  const Status status = SetMode(subject, object, right, acm::Mode::kNegative);
+  if (status.ok() && snapshot_state_ != nullptr) PublishSnapshotLocked();
+  return status;
 }
 
 Status AccessControlSystem::MutateMembership(
@@ -218,10 +264,13 @@ size_t AccessControlSystem::InvalidateAffected(
 Status AccessControlSystem::AddMembership(
     std::string_view parent, std::string_view child,
     std::vector<graph::NodeId>* affected) {
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
   std::vector<graph::NodeId> edit_affected;
   UCR_RETURN_IF_ERROR(MutateMembership(/*add=*/true, parent, child,
                                        &edit_affected));
   InvalidateAffected(edit_affected);
+  if (snapshot_state_ != nullptr) PublishSnapshotLocked();
   if (affected != nullptr) *affected = std::move(edit_affected);
   return Status::OK();
 }
@@ -229,29 +278,40 @@ Status AccessControlSystem::AddMembership(
 Status AccessControlSystem::RemoveMembership(
     std::string_view parent, std::string_view child,
     std::vector<graph::NodeId>* affected) {
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
   std::vector<graph::NodeId> edit_affected;
   UCR_RETURN_IF_ERROR(MutateMembership(/*add=*/false, parent, child,
                                        &edit_affected));
   InvalidateAffected(edit_affected);
+  if (snapshot_state_ != nullptr) PublishSnapshotLocked();
   if (affected != nullptr) *affected = std::move(edit_affected);
   return Status::OK();
 }
 
 Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
                                            MutationBatchStats* stats) {
+  // One lock, one snapshot publication for the whole batch: the ops
+  // run against the master state via the unlocked internals (the
+  // public mutators would deadlock on the non-recursive write lock
+  // and publish N snapshots).
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
   std::vector<graph::NodeId> affected;
   size_t applied = 0;
   Status status;
   for (const MutationOp& op : ops) {
     switch (op.kind) {
       case MutationOp::Kind::kGrant:
-        status = Grant(op.subject, op.object, op.right);
+        status = SetMode(op.subject, op.object, op.right,
+                         acm::Mode::kPositive);
         break;
       case MutationOp::Kind::kDeny:
-        status = DenyAccess(op.subject, op.object, op.right);
+        status = SetMode(op.subject, op.object, op.right,
+                         acm::Mode::kNegative);
         break;
       case MutationOp::Kind::kRevoke:
-        status = Revoke(op.subject, op.object, op.right);
+        status = RevokeUnlocked(op.subject, op.object, op.right);
         break;
       case MutationOp::Kind::kAddMembership:
         status = MutateMembership(/*add=*/true, op.subject, op.object,
@@ -264,6 +324,7 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
     }
     if (!status.ok()) break;
     ++applied;
+    NoteMutationApplied();
   }
   // One sweep over the union, even on early abort: the hierarchy edits
   // that did apply must not leave stale cached state behind.
@@ -272,6 +333,9 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
                  affected.end());
   size_t dropped = 0;
   if (!affected.empty()) dropped = InvalidateAffected(affected);
+  // Publish even on early abort: the ops that did apply are master
+  // state now, and the snapshot must converge to it.
+  if (snapshot_state_ != nullptr && applied > 0) PublishSnapshotLocked();
   if (stats != nullptr) {
     stats->applied = applied;
     stats->invalidated_entries = dropped;
@@ -283,6 +347,16 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
 Status AccessControlSystem::Revoke(std::string_view subject,
                                    std::string_view object,
                                    std::string_view right) {
+  WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
+                                               : nullptr);
+  const Status status = RevokeUnlocked(subject, object, right);
+  if (status.ok() && snapshot_state_ != nullptr) PublishSnapshotLocked();
+  return status;
+}
+
+Status AccessControlSystem::RevokeUnlocked(std::string_view subject,
+                                           std::string_view object,
+                                           std::string_view right) {
   const graph::NodeId s = dag_.FindNode(subject);
   if (s == graph::kInvalidNode) {
     return Status::NotFound("unknown subject '" + std::string(subject) + "'");
@@ -492,6 +566,98 @@ AccessControlSystem::MaterializeEffectiveColumn(acm::ObjectId object,
     column.push_back(Resolve(bag, strategy));
   }
   return column;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-pinned snapshot reads (DESIGN.md §11)
+
+void AccessControlSystem::EnableSnapshotReads() {
+  if (snapshot_state_ != nullptr) return;
+  snapshot_state_ = std::make_unique<SnapshotState>();
+  WriterGuard guard(&snapshot_state_->write_mu);
+  PublishSnapshotLocked();
+}
+
+void AccessControlSystem::NoteMutationApplied() {
+  if (snapshot_state_ == nullptr) return;
+  ++snapshot_state_->pending_mutations;
+  if constexpr (obs::kEnabled) {
+    EpochLagGauge().Set(
+        static_cast<int64_t>(snapshot_state_->pending_mutations));
+  }
+}
+
+void AccessControlSystem::PublishSnapshotLocked() {
+  SnapshotState& state = *snapshot_state_;
+  // The current snapshot is the carry-over source. The pin is not
+  // strictly needed for safety — only Publish (below, same thread)
+  // retires snapshots — but it documents the lifetime and keeps the
+  // reader gauge honest about the writer's read.
+  const SnapshotManager::ReadPin previous = state.manager.Pin();
+  if (previous &&
+      previous->resolution.size() * 2 >= previous->resolution.capacity() &&
+      state.resolution_capacity < (size_t{1} << 22)) {
+    state.resolution_capacity *= 2;
+  }
+  std::unique_ptr<const HierarchySnapshot> next = BuildSnapshot(
+      dag_, eacm_, options_.default_strategy, options_.propagation_mode,
+      state.manager.current_epoch() + 1, previous.get(),
+      state.resolution_capacity);
+  if (!previous) {
+    // First publication: warm the snapshot from the serial resolution
+    // cache so enabling snapshots on a hot system keeps its memo.
+    // Entries are validated against the live column epochs (the serial
+    // cache already dropped anything a hierarchy edit invalidated).
+    resolution_cache_.ForEach([&](graph::NodeId s, acm::ObjectId o,
+                                  acm::RightId r, uint8_t strategy,
+                                  uint64_t epoch, acm::Mode mode) {
+      if (epoch == eacm_.ColumnEpoch(o, r)) {
+        next->resolution.TryStore(s, o, r, strategy, mode);
+      }
+    });
+  }
+  state.manager.Publish(std::move(next));
+  state.pending_mutations = 0;
+  if constexpr (obs::kEnabled) EpochLagGauge().Set(0);
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccessSnapshot(
+    graph::NodeId subject, acm::ObjectId object, acm::RightId right) const {
+  if (snapshot_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot reads not enabled; call EnableSnapshotReads()");
+  }
+  const SnapshotManager::ReadPin pin = snapshot_state_->manager.Pin();
+  return SnapshotResolveAccess(*pin, subject, object, right,
+                               pin->default_strategy);
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccessSnapshot(
+    graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+    const Strategy& strategy) const {
+  if (snapshot_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot reads not enabled; call EnableSnapshotReads()");
+  }
+  const SnapshotManager::ReadPin pin = snapshot_state_->manager.Pin();
+  return SnapshotResolveAccess(*pin, subject, object, right, strategy);
+}
+
+StatusOr<acm::Mode> AccessControlSystem::CheckAccessSnapshotByName(
+    std::string_view subject, std::string_view object,
+    std::string_view right) const {
+  if (snapshot_state_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshot reads not enabled; call EnableSnapshotReads()");
+  }
+  const SnapshotManager::ReadPin pin = snapshot_state_->manager.Pin();
+  const graph::NodeId s = pin->dag.FindNode(subject);
+  if (s == graph::kInvalidNode) {
+    return Status::NotFound("unknown subject '" + std::string(subject) + "'");
+  }
+  UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, pin->eacm.FindObject(object));
+  UCR_ASSIGN_OR_RETURN(const acm::RightId r, pin->eacm.FindRight(right));
+  return SnapshotResolveAccess(*pin, s, o, r, pin->default_strategy);
 }
 
 }  // namespace ucr::core

@@ -1,6 +1,8 @@
 #ifndef UCR_CORE_SYSTEM_H_
 #define UCR_CORE_SYSTEM_H_
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -10,6 +12,7 @@
 #include "acm/mode.h"
 #include "core/cache.h"
 #include "core/resolve.h"
+#include "core/snapshot.h"
 #include "core/strategy.h"
 #include "graph/dag.h"
 #include "util/status.h"
@@ -42,6 +45,14 @@ struct SystemOptions {
   /// wholesale (DESIGN.md §10). Off reproduces the full-clear write
   /// path, kept as the baseline for bench/mutation_churn.
   bool incremental_hierarchy_updates = true;
+
+  /// Publish epoch-pinned snapshots of the whole policy state so
+  /// queries can run on `CheckAccessSnapshot` completely lock-free
+  /// while mutators proceed concurrently (DESIGN.md §11). Every
+  /// successful mutator (or mutation batch) then builds and publishes
+  /// the next snapshot under the internal write lock. Equivalent to
+  /// calling `EnableSnapshotReads()` after construction.
+  bool enable_snapshot_reads = false;
 };
 
 /// \brief The user-facing facade: a subject hierarchy plus an explicit
@@ -56,9 +67,14 @@ struct SystemOptions {
 ///     system->DenyAccess("interns", "salary.xls", "read");
 ///     bool ok = system->CheckAccessByName("alice", "salary.xls", "read");
 ///
-/// Not thread-safe for concurrent mutation; concurrent read-only
-/// queries are safe once mutation stops *and* caches are disabled (the
-/// caches are not synchronized).
+/// Thread-safety: the classic entry points (`CheckAccess`, the
+/// mutators) are not synchronized against each other — callers quiesce
+/// readers around writes, as before. With snapshot reads enabled
+/// (DESIGN.md §11) the contract widens: any number of threads may call
+/// `CheckAccessSnapshot` concurrently with a single mutating thread —
+/// mutators serialize on an internal write lock, publish an immutable
+/// `HierarchySnapshot` per edit (or per batch), and snapshot readers
+/// pin an epoch and never touch the master state or any lock.
 class AccessControlSystem {
  public:
   /// Takes ownership of the hierarchy.
@@ -240,9 +256,83 @@ class AccessControlSystem {
   const ResolutionCache& resolution_cache() const { return resolution_cache_; }
   const SubgraphCache& subgraph_cache() const { return subgraph_cache_; }
 
+  // -- Epoch-pinned snapshot reads (DESIGN.md §11) -------------------
+
+  /// \brief Switches the system to snapshot publication: every
+  /// successful mutator from here on builds the next immutable
+  /// `HierarchySnapshot` and publishes it with one atomic swap, and
+  /// `CheckAccessSnapshot` serves lock-free from the published one.
+  ///
+  /// Publishes snapshot #1 immediately, warmed from the serial
+  /// resolution cache so an already-hot system does not restart cold.
+  /// Idempotent; not thread-safe against concurrent mutators (enable
+  /// before going concurrent, like any other configuration).
+  void EnableSnapshotReads();
+
+  bool snapshot_reads_enabled() const { return snapshot_state_ != nullptr; }
+
+  /// The epoch machinery, for pinning across multi-query work and for
+  /// observability (`current_epoch`, `active_readers`). Null until
+  /// `EnableSnapshotReads`.
+  const SnapshotManager* snapshots() const {
+    return snapshot_state_ != nullptr ? &snapshot_state_->manager : nullptr;
+  }
+
+  /// \brief Lock-free effective decision against the currently
+  /// published snapshot, under the snapshot's session strategy.
+  ///
+  /// Safe from any thread while mutators run concurrently; the answer
+  /// reflects the policy state as of the pinned epoch (at most one
+  /// publication behind the master). Fails with kFailedPrecondition
+  /// when snapshot reads are not enabled.
+  StatusOr<acm::Mode> CheckAccessSnapshot(graph::NodeId subject,
+                                          acm::ObjectId object,
+                                          acm::RightId right) const;
+
+  /// Lock-free decision under an explicit strategy.
+  StatusOr<acm::Mode> CheckAccessSnapshot(graph::NodeId subject,
+                                          acm::ObjectId object,
+                                          acm::RightId right,
+                                          const Strategy& strategy) const;
+
+  /// Name-based snapshot query; names resolve against the pinned
+  /// snapshot's own hierarchy/matrix (still lock-free).
+  StatusOr<acm::Mode> CheckAccessSnapshotByName(std::string_view subject,
+                                                std::string_view object,
+                                                std::string_view right) const;
+
  private:
+  /// Everything the snapshot write path needs, boxed so the system
+  /// stays movable (a mutex member would delete the default moves).
+  struct SnapshotState {
+    /// Serializes mutators and snapshot publication. Instrumented via
+    /// the `ucr_write_lock_*` family — never taken by readers.
+    std::mutex write_mu;
+    SnapshotManager manager;
+    /// Resolution-table slots for the next snapshot; doubled when a
+    /// published table fills past half, so steady-state stores stop
+    /// being skipped.
+    size_t resolution_capacity = size_t{1} << 14;
+    /// Mutations applied since the last publication (drives the
+    /// `ucr_epoch_lag` gauge; nonzero only mid-batch).
+    uint64_t pending_mutations = 0;
+  };
+
   Status SetMode(std::string_view subject, std::string_view object,
                  std::string_view right, acm::Mode mode);
+
+  /// Revoke body shared by the locked public wrapper and batches.
+  Status RevokeUnlocked(std::string_view subject, std::string_view object,
+                        std::string_view right);
+
+  /// Builds the next snapshot from the master state (carrying over
+  /// what survives from the current one) and publishes it. Requires
+  /// `snapshot_state_` non-null and `write_mu` held (single writer).
+  void PublishSnapshotLocked();
+
+  /// Bumps the pending-mutation count / lag gauge after one applied
+  /// op. No-op when snapshots are disabled.
+  void NoteMutationApplied();
 
   /// Applies one membership edit in place (`add` selects insert vs
   /// erase), appends the affected node ids to `affected`, and emits
@@ -262,6 +352,7 @@ class AccessControlSystem {
   SystemOptions options_;
   ResolutionCache resolution_cache_;
   SubgraphCache subgraph_cache_;
+  std::unique_ptr<SnapshotState> snapshot_state_;
 };
 
 }  // namespace ucr::core

@@ -101,6 +101,13 @@ class Dag {
   /// they captured at derivation time.
   uint64_t node_generation(NodeId id) const { return node_generations_[id]; }
 
+  /// All per-node stamps at once, indexed by node id — for bulk
+  /// survivorship filters (snapshot carry-over scans every cached
+  /// entry; one span read beats node_count() bounds-checked calls).
+  std::span<const uint64_t> node_generations() const {
+    return node_generations_;
+  }
+
   /// Returns the id of `name`, appending a new isolated node (a root
   /// and sink, stamped with a fresh generation) if absent.
   NodeId EnsureNode(std::string_view name);

@@ -27,8 +27,36 @@ std::string RenderVarz() {
   const QueryTracer& tracer = QueryTracer::Global();
   const ShadowVerifier& shadow = ShadowVerifier::Global();
   const AuditLog& audit = AuditLog::Global();
+  // Epoch/snapshot status (DESIGN.md §11), surfaced as its own object
+  // so `ucr_admin serve` dashboards can watch snapshot lag without
+  // digging through the flat metric map. Reads the gauges and counters
+  // core/snapshot.cc interns — the registry hands back the same
+  // objects by name, so the values are live even though obs/ cannot
+  // link against core/.
+  Registry& reg = Registry::Global();
   std::ostringstream out;
-  out << "{\"metrics\":" << Registry::Global().RenderJson()
+  out << "{\"metrics\":" << reg.RenderJson()
+      << ",\"epoch\":{\"current\":"
+      << reg.GetGauge("ucr_epoch_current",
+                      "Epoch of the currently published snapshot")
+             .Value()
+      << ",\"readers\":"
+      << reg.GetGauge("ucr_epoch_readers",
+                      "Reader pins currently held across all epochs")
+             .Value()
+      << ",\"lag\":"
+      << reg.GetGauge("ucr_epoch_lag",
+                      "Master-state mutations applied but not yet visible "
+                      "in the published snapshot")
+             .Value()
+      << ",\"published_total\":"
+      << reg.GetCounter("ucr_epoch_published_total", "Snapshots published")
+             .Value()
+      << ",\"retired_total\":"
+      << reg.GetCounter("ucr_epoch_retired_total",
+                        "Snapshots destroyed after their readers drained")
+             .Value()
+      << "}"
       << ",\"tracer\":{\"sample_interval\":" << tracer.sample_interval()
       << ",\"recorded_total\":" << tracer.recorded_total() << "}"
       << ",\"audit\":{\"enabled\":" << (AuditLog::Enabled() ? "true" : "false")

@@ -263,4 +263,32 @@ bool JsonLooksValid(std::string_view json) {
   return depth == 0 && !in_string;
 }
 
+LockWaitMetrics& GetLockWaitMetrics() {
+  static LockWaitMetrics* metrics = new LockWaitMetrics{
+      Registry::Global().GetCounter(
+          "ucr_lock_acquisitions_total",
+          "Reader-path lock acquisitions (sharded caches and any other "
+          "lock a concurrent query can take)"),
+      Registry::Global().GetCounter(
+          "ucr_lock_contended_total",
+          "Reader-path lock acquisitions that had to wait"),
+      Registry::Global().GetHistogram(
+          "ucr_lock_wait_ns", "Contended reader-path lock wait (ns)")};
+  return *metrics;
+}
+
+LockWaitMetrics& GetWriteLockMetrics() {
+  static LockWaitMetrics* metrics = new LockWaitMetrics{
+      Registry::Global().GetCounter(
+          "ucr_write_lock_acquisitions_total",
+          "Write-path lock acquisitions (mutators and snapshot "
+          "publication)"),
+      Registry::Global().GetCounter(
+          "ucr_write_lock_contended_total",
+          "Write-path lock acquisitions that had to wait"),
+      Registry::Global().GetHistogram(
+          "ucr_write_lock_wait_ns", "Contended write-path lock wait (ns)")};
+  return *metrics;
+}
+
 }  // namespace ucr::obs

@@ -224,6 +224,64 @@ class Histogram {
   std::array<Shard, internal::kSlots> shards_;
 };
 
+/// \brief Handles for one instrumented-mutex family: how often the
+/// lock was taken, how often it was contended, and the contended-wait
+/// distribution. Obtain via `Registry` (e.g. `GetLockWaitMetrics()`)
+/// and pass to `LockWithMetrics` at every acquisition site.
+///
+/// The `ucr_lock_*` family is the contention evidence this project's
+/// perf claims rest on (the 1-CPU container can't show wall-clock
+/// scaling): bench/read_churn asserts that the snapshot read path
+/// leaves the reader-lock counters flat while the mutex baseline does
+/// not.
+struct LockWaitMetrics {
+  Counter& acquisitions;
+  Counter& contended;
+  Histogram& wait_ns;
+};
+
+/// The shared-cache / reader-path lock family (`ucr_lock_*`), used by
+/// every lock a concurrent *query* can take. Writer-only locks use
+/// `GetWriteLockMetrics` so reader-path flatness is assertable.
+LockWaitMetrics& GetLockWaitMetrics();
+
+/// The write-path lock family (`ucr_write_lock_*`): the system write
+/// mutex serializing mutators and snapshot publication.
+LockWaitMetrics& GetWriteLockMetrics();
+
+/// Locks `mu`, recording the acquisition in `metrics`: uncontended
+/// acquisitions pay one counter increment and no clock read; contended
+/// ones time the wait into the histogram. With instrumentation
+/// compiled out this is exactly `mu.lock()`.
+inline void LockWithMetrics(std::mutex& mu, LockWaitMetrics& metrics) {
+#if UCR_METRICS_ENABLED
+  metrics.acquisitions.Inc();
+  if (mu.try_lock()) return;
+  const uint64_t t0 = NowNs();
+  mu.lock();
+  metrics.contended.Inc();
+  metrics.wait_ns.Observe(NowNs() - t0);
+#else
+  (void)metrics;
+  mu.lock();
+#endif
+}
+
+/// RAII companion of `LockWithMetrics` (an instrumented
+/// `std::lock_guard`).
+class ScopedMetricsLock {
+ public:
+  ScopedMetricsLock(std::mutex& mu, LockWaitMetrics& metrics) : mu_(mu) {
+    LockWithMetrics(mu_, metrics);
+  }
+  ~ScopedMetricsLock() { mu_.unlock(); }
+  ScopedMetricsLock(const ScopedMetricsLock&) = delete;
+  ScopedMetricsLock& operator=(const ScopedMetricsLock&) = delete;
+
+ private:
+  std::mutex& mu_;
+};
+
 /// \brief Process-wide metric registry and exposition surface.
 ///
 /// `Get*` interns a metric by name and returns a reference that stays

@@ -77,6 +77,10 @@ TEST(ObsHttpExporterTest, RenderEndpointCoversAllPaths) {
   ASSERT_TRUE(HttpExporter::RenderEndpoint("/varz", &body, &type));
   EXPECT_NE(type.find("application/json"), std::string::npos);
   EXPECT_TRUE(JsonLooksValid(body)) << body;
+  EXPECT_NE(body.find("\"epoch\""), std::string::npos);
+  EXPECT_NE(body.find("\"current\""), std::string::npos);
+  EXPECT_NE(body.find("\"readers\""), std::string::npos);
+  EXPECT_NE(body.find("\"lag\""), std::string::npos);
   EXPECT_NE(body.find("\"tracer\""), std::string::npos);
   EXPECT_NE(body.find("\"audit\""), std::string::npos);
   EXPECT_NE(body.find("\"shadow\""), std::string::npos);

@@ -8,6 +8,12 @@ reads the working-tree files, pulls the same files from a baseline git
 revision (HEAD~1 by default, i.e. the previous commit), matches rows by
 identity key, and reports the qps delta per row.
 
+Rows that also carry "p99_ns" (latency benches such as read_churn) are
+additionally gated on tail latency: a p99 *rise* beyond --threshold is
+a regression even when throughput held — a latency bench whose p99
+doubles at constant qps is exactly the failure the epoch read path
+exists to prevent.
+
 Exit codes:
   0  no regression (or nothing to compare)
   1  at least one row regressed by more than --threshold (default 10%)
@@ -46,6 +52,11 @@ def parse_json_lines(text, origin):
             print(f"warning: {origin}:{line_no}: non-numeric qps "
                   f"({row['qps']!r}) — skipped", file=sys.stderr)
             continue
+        if "p99_ns" in row:
+            try:
+                row["p99_ns"] = float(row["p99_ns"])
+            except (TypeError, ValueError):
+                del row["p99_ns"]  # Gate only what parses.
         key = (
             row.get("bench", os.path.basename(origin)),
             row.get("section", "?"),
@@ -171,15 +182,28 @@ def main():
             marker = "ok"
             if delta < -args.threshold:
                 marker = "REGRESSION"
-                regressions.append((key, old, new, delta))
+                regressions.append((key, old, new, delta, "qps"))
             print(f"  {marker:<10} {describe(key)}: {old:.0f} -> "
                   f"{new:.0f} qps ({delta:+.1f}%)")
+            # Tail-latency gate: only for rows measured on both sides.
+            old_p99 = baseline[key].get("p99_ns")
+            new_p99 = current[key].get("p99_ns")
+            if old_p99 and new_p99 and old_p99 > 0:
+                p99_delta = 100.0 * (new_p99 - old_p99) / old_p99
+                p99_marker = "ok"
+                if p99_delta > args.threshold:
+                    p99_marker = "REGRESSION"
+                    regressions.append(
+                        (key, old_p99, new_p99, p99_delta, "ns p99"))
+                print(f"  {p99_marker:<10} {describe(key)}: p99 "
+                      f"{old_p99:.0f} -> {new_p99:.0f} ns "
+                      f"({p99_delta:+.1f}%)")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0f}%:")
-        for key, old, new, delta in regressions:
-            print(f"  {describe(key)}: {old:.0f} -> {new:.0f} qps "
+        for key, old, new, delta, unit in regressions:
+            print(f"  {describe(key)}: {old:.0f} -> {new:.0f} {unit} "
                   f"({delta:+.1f}%)")
         return 1
     print(f"\nno regressions beyond {args.threshold:.0f}% "
