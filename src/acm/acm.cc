@@ -203,6 +203,68 @@ std::vector<ExplicitAcm::Entry> ExplicitAcm::SortedEntries() const {
   return out;
 }
 
+std::optional<Mode> ExplicitAcm::ReachRowMode(std::span<const uint64_t> row,
+                                              ObjectId object, RightId right) {
+  // Contradictions are disallowed, so at most one of the two
+  // mode-variants of a column key exists; probe the positive packing
+  // and its negative sibling with one lower_bound.
+  const uint64_t key = PackReachEntry(object, right, Mode::kPositive);
+  const auto it = std::lower_bound(row.begin(), row.end(), key);
+  if (it == row.end() || (*it & ~uint64_t{1}) != key) return std::nullopt;
+  return (*it & 1) == 0 ? Mode::kPositive : Mode::kNegative;
+}
+
+std::vector<uint64_t> ExplicitAcm::ReachRow(graph::NodeId subject) const {
+  std::vector<uint64_t> row;
+  for (const auto& [key, mode] : entries_) {
+    if (static_cast<graph::NodeId>(key >> 32) != subject) continue;
+    row.push_back(PackReachEntry(static_cast<ObjectId>((key >> 16) & 0xFFFF),
+                                 static_cast<RightId>(key & 0xFFFF), mode));
+  }
+  std::sort(row.begin(), row.end());
+  return row;
+}
+
+std::vector<graph::ReachLabeledRow> ExplicitAcm::ReachRows() const {
+  std::unordered_map<graph::NodeId, size_t> slot;
+  std::vector<graph::ReachLabeledRow> rows;
+  for (const auto& [key, mode] : entries_) {
+    const auto subject = static_cast<graph::NodeId>(key >> 32);
+    auto [it, inserted] = slot.try_emplace(subject, rows.size());
+    if (inserted) rows.push_back(graph::ReachLabeledRow{subject, {}});
+    rows[it->second].row.push_back(
+        PackReachEntry(static_cast<ObjectId>((key >> 16) & 0xFFFF),
+                       static_cast<RightId>(key & 0xFFFF), mode));
+  }
+  for (graph::ReachLabeledRow& r : rows) {
+    std::sort(r.row.begin(), r.row.end());
+  }
+  return rows;
+}
+
+std::vector<graph::ReachLabeledRow> ExplicitAcm::ReachRowsFor(
+    std::span<const graph::NodeId> subjects) const {
+  std::unordered_map<graph::NodeId, size_t> slot;
+  std::vector<graph::ReachLabeledRow> rows;
+  rows.reserve(subjects.size());
+  for (const graph::NodeId s : subjects) {
+    auto [it, inserted] = slot.try_emplace(s, rows.size());
+    if (inserted) rows.push_back(graph::ReachLabeledRow{s, {}});
+  }
+  for (const auto& [key, mode] : entries_) {
+    const auto subject = static_cast<graph::NodeId>(key >> 32);
+    const auto it = slot.find(subject);
+    if (it == slot.end()) continue;
+    rows[it->second].row.push_back(
+        PackReachEntry(static_cast<ObjectId>((key >> 16) & 0xFFFF),
+                       static_cast<RightId>(key & 0xFFFF), mode));
+  }
+  for (graph::ReachLabeledRow& r : rows) {
+    std::sort(r.row.begin(), r.row.end());
+  }
+  return rows;
+}
+
 std::string ToText(const ExplicitAcm& eacm, const graph::Dag& dag) {
   std::ostringstream out;
   out << "# ucr explicit access control matrix: " << eacm.size()

@@ -11,6 +11,7 @@
 
 #include "acm/mode.h"
 #include "graph/dag.h"
+#include "graph/reachability.h"
 #include "util/status.h"
 
 namespace ucr::acm {
@@ -132,6 +133,41 @@ class ExplicitAcm {
 
   /// All entries, sorted by (subject, object, right) for determinism.
   std::vector<Entry> SortedEntries() const;
+
+  // -- Reachability-index row views (DESIGN.md §12) ------------------
+  //
+  // The reachability index folds subjects whose *entire* explicit rows
+  // match into one supernode class. The graph layer treats rows as
+  // opaque sorted uint64 keys; this is the packing.
+
+  /// Packs one ⟨object, right, mode⟩ into the opaque row key the
+  /// reachability index compares. Mode sits in the low bit so a row
+  /// stays sorted by (object, right) with the grant/deny distinction
+  /// folded in.
+  static uint64_t PackReachEntry(ObjectId object, RightId right, Mode mode) {
+    return (static_cast<uint64_t>(object) << 17) |
+           (static_cast<uint64_t>(right) << 1) | static_cast<uint64_t>(mode);
+  }
+
+  /// The explicit mode of column (object, right) within a packed row,
+  /// if present. O(log row) — rows are sorted and at most two keys
+  /// (one per mode) can match a column prefix, but contradictions are
+  /// disallowed so at most one exists.
+  static std::optional<Mode> ReachRowMode(std::span<const uint64_t> row,
+                                          ObjectId object, RightId right);
+
+  /// Packed row of one subject (sorted ascending; empty if unlabeled).
+  std::vector<uint64_t> ReachRow(graph::NodeId subject) const;
+
+  /// Packed rows of every labeled subject, one matrix scan. Order is
+  /// unspecified (index construction does not depend on it).
+  std::vector<graph::ReachLabeledRow> ReachRows() const;
+
+  /// Packed rows for exactly `subjects` (including now-empty ones, so
+  /// incremental index rebuilds observe un-labelings). One matrix scan
+  /// regardless of the subject count.
+  std::vector<graph::ReachLabeledRow> ReachRowsFor(
+      std::span<const graph::NodeId> subjects) const;
 
  private:
   static uint64_t Key(graph::NodeId s, ObjectId o, RightId r) {

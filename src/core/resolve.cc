@@ -23,6 +23,15 @@ using acm::PropagatedMode;
 /// allocation-free, so the §7 zero-allocation bound holds with
 /// metrics ON (asserted by tests/hotpath_alloc_test.cc).
 struct ResolveMetrics {
+  obs::Counter& indexed = obs::Registry::Global().GetCounter(
+      "ucr_resolve_indexed_queries_total",
+      "ResolveAccess queries answered by the reachability index");
+  obs::Histogram& compressed_entries = obs::Registry::Global().GetHistogram(
+      "ucr_reach_compressed_entries",
+      "Composed-bag entries per indexed query (log2 buckets)");
+  obs::Histogram& pruned_nodes = obs::Registry::Global().GetHistogram(
+      "ucr_reach_pruned_nodes",
+      "Sub-graph members skipped per indexed query (shadow-sampled)");
   obs::Counter& fast = obs::Registry::Global().GetCounter(
       "ucr_resolve_fast_queries_total",
       "ResolveAccess queries answered by the allocation-free hot path");
@@ -178,7 +187,122 @@ std::optional<Mode> EffectiveModeOf(const RightsEntry& e, DefaultRule rule) {
                                              : Mode::kNegative;
 }
 
+/// Per-thread scratch for `ComposeIndexedSinkBag`: a per-class seed
+/// cache (stamped per composition, so each class's row is probed once
+/// per query however many label entries reference it) plus the output
+/// bag buffer. Buffers only grow — steady state allocates nothing.
+struct ComposeScratch {
+  uint64_t epoch = 0;
+  std::vector<uint64_t> stamp;      ///< Per-class: epoch of `seed`.
+  std::vector<int8_t> seed;         ///< Encoded per-class column seed.
+  std::vector<RightsEntry> bag;
+
+  static ComposeScratch& ThreadLocal() {
+    thread_local ComposeScratch scratch;
+    return scratch;
+  }
+};
+
+/// Encoded column seed of one supernode class: no seed, or a
+/// propagated mode (the int8 domain of `ComposeScratch::seed`).
+constexpr int8_t kSeedNone = -1;
+
+int8_t EncodeSeed(std::optional<PropagatedMode> mode) {
+  return mode.has_value() ? static_cast<int8_t>(*mode) : kSeedNone;
+}
+
+/// The mode class `cls` seeds into column (object, right), per the
+/// `FlatPropagator::SeedOf` rules the class key captures: its row's
+/// explicit entry if present, else 'd' for root classes, else nothing.
+/// Under kFirstWins only root classes seed (every non-root's
+/// clean-path count is zero because roots always carry a seed).
+std::optional<PropagatedMode> ClassSeed(
+    const graph::ReachabilityIndex::ClassInfo& info, acm::ObjectId object,
+    acm::RightId right, PropagationMode pmode) {
+  if (pmode == PropagationMode::kFirstWins && !info.is_root) {
+    return std::nullopt;
+  }
+  const std::optional<Mode> explicit_mode =
+      acm::ExplicitAcm::ReachRowMode(info.row, object, right);
+  if (explicit_mode.has_value()) return acm::ToPropagated(*explicit_mode);
+  if (info.is_root) return PropagatedMode::kDefault;
+  return std::nullopt;
+}
+
 }  // namespace
+
+bool ReachIndexUsable(const graph::ReachabilityIndex* index,
+                      const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                      const ResolveAccessOptions& options) {
+  return index != nullptr && options.use_reachability_index &&
+         index->ready() &&
+         options.propagation_mode != PropagationMode::kSecondWins &&
+         index->dag_generation() == dag.generation() &&
+         index->acm_epoch() == eacm.epoch() &&
+         index->node_count() == dag.node_count();
+}
+
+std::span<const RightsEntry> ComposeIndexedSinkBag(
+    const graph::ReachabilityIndex& index, graph::NodeId subject,
+    acm::ObjectId object, acm::RightId right, PropagationMode mode) {
+  using ClassId = graph::ReachabilityIndex::ClassId;
+  ComposeScratch& scratch = ComposeScratch::ThreadLocal();
+  if (scratch.stamp.size() < index.class_count()) {
+    scratch.stamp.resize(index.class_count(), 0);
+    scratch.seed.resize(index.class_count(), kSeedNone);
+  }
+  const uint64_t epoch = ++scratch.epoch;
+  const auto seed_of = [&](ClassId cls) {
+    if (scratch.stamp[cls] != epoch) {
+      scratch.stamp[cls] = epoch;
+      scratch.seed[cls] =
+          EncodeSeed(ClassSeed(index.class_info(cls), object, right, mode));
+    }
+    return scratch.seed[cls];
+  };
+
+  scratch.bag.clear();
+  // The subject's own distance-0 seed. Interior subjects (unlabeled
+  // non-roots) never seed; under kFirstWins a non-root's seed has
+  // clean-path multiplicity zero, which `ClassSeed` already encodes.
+  const ClassId own = index.class_of(subject);
+  if (own != graph::ReachabilityIndex::kInteriorClass) {
+    const int8_t s = seed_of(own);
+    if (s != kSeedNone) {
+      scratch.bag.push_back(
+          RightsEntry{0, static_cast<PropagatedMode>(s), 1});
+    }
+  }
+  // One (dis, mode, count) contribution per label entry whose class
+  // seeds this column.
+  for (const graph::ReachabilityIndex::ProfileEntry& e :
+       index.label(subject)) {
+    const int8_t s = seed_of(e.cls);
+    if (s == kSeedNone) continue;
+    scratch.bag.push_back(
+        RightsEntry{e.dis, static_cast<PropagatedMode>(s), e.count});
+  }
+  // Normalize: sort by (dis, mode) and merge classes that landed on
+  // the same group with saturating adds — associativity makes the
+  // result equal to the engines' progressively-merged multiplicities.
+  std::sort(scratch.bag.begin(), scratch.bag.end(),
+            [](const RightsEntry& a, const RightsEntry& b) {
+              if (a.dis != b.dis) return a.dis < b.dis;
+              return a.mode < b.mode;
+            });
+  size_t w = 0;
+  for (size_t i = 0; i < scratch.bag.size(); ++i) {
+    if (w > 0 && scratch.bag[w - 1].dis == scratch.bag[i].dis &&
+        scratch.bag[w - 1].mode == scratch.bag[i].mode) {
+      scratch.bag[w - 1].multiplicity = SatAdd(
+          scratch.bag[w - 1].multiplicity, scratch.bag[i].multiplicity);
+    } else {
+      scratch.bag[w++] = scratch.bag[i];
+    }
+  }
+  scratch.bag.resize(w);
+  return scratch.bag;
+}
 
 std::string ResolveTrace::AuthToString() const {
   if (!auth_computed) return "n/a";
@@ -339,7 +463,8 @@ acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
     const graph::Dag& dag, const acm::ExplicitAcm& eacm,
     graph::NodeId subject, acm::ObjectId object, acm::RightId right,
     const Strategy& canonical, const PropagateOptions& prop_options,
-    acm::Mode fast_mode, const ResolveTrace& fast_trace) {
+    acm::Mode fast_mode, const ResolveTrace& fast_trace,
+    size_t indexed_bag_entries) {
   // Deliberate sampled work: its heap traffic is excluded from the
   // hot path's zero-allocation budget (util/alloc_counter.cc).
   obs::ScopedAllocExclusion off_budget;
@@ -362,6 +487,13 @@ acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
     if (e.subject < node_count) scratch.labels[e.subject] = e.mode;
   }
   const graph::AncestorSubgraph sub(dag, subject, scratch.extraction);
+  if (indexed_bag_entries != SIZE_MAX) {
+    // The oracle just extracted the sub-graph the index skipped:
+    // record how much work the compression saved on this query.
+    const size_t members = sub.member_count();
+    GetResolveMetrics().pruned_nodes.Observe(
+        members > indexed_bag_entries ? members - indexed_bag_entries : 0);
+  }
   ResolveTrace oracle_trace;
   const RightsBag bag = PropagateAggregated(
       sub, LabelView(scratch.labels.data(), node_count), prop_options);
@@ -409,8 +541,8 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
                                   graph::NodeId subject, acm::ObjectId object,
                                   acm::RightId right, const Strategy& strategy,
                                   const ResolveAccessOptions& options,
-                                  ResolveTrace* trace,
-                                  PropagateStats* stats) {
+                                  ResolveTrace* trace, PropagateStats* stats,
+                                  const graph::ReachabilityIndex* reach_index) {
   if (subject >= dag.node_count()) {
     return Status::OutOfRange("subject id " + std::to_string(subject) +
                               " out of range");
@@ -433,6 +565,42 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
   // UCR_METRICS=OFF.
   const bool sampled = obs::QueryTracer::ShouldSample();
   const uint64_t t_start = sampled ? obs::NowNs() : 0;
+
+  // Reachability-index path (DESIGN.md §12): the sink bag is composed
+  // from the subject's compressed label in O(label) — no extraction,
+  // no propagation. `stats` describe the traversal this path skips,
+  // so their presence forces the fast path (which reports them
+  // exactly); decisions and traces are bit-identical either way.
+  if (stats == nullptr && !options.use_literal_engine &&
+      ReachIndexUsable(reach_index, dag, eacm, options)) {
+    const std::span<const RightsEntry> sink_bag = ComposeIndexedSinkBag(
+        *reach_index, subject, object, right, options.propagation_mode);
+    const uint64_t t_compose = sampled ? obs::NowNs() : 0;
+    const bool shadowed = obs::ShadowVerifier::ShouldShadow();
+    ResolveTrace sampled_trace;
+    ResolveTrace* trace_out =
+        trace != nullptr ? trace
+                         : (sampled || shadowed ? &sampled_trace : nullptr);
+    const acm::Mode mode = ResolveEntries(sink_bag, strategy, trace_out);
+    if constexpr (obs::kEnabled) {
+      ResolveMetrics& m = GetResolveMetrics();
+      m.indexed.Inc();
+      m.compressed_entries.Observe(sink_bag.size());
+      if (sampled) [[unlikely]] {
+        const uint64_t t_end = obs::NowNs();
+        m.latency.Observe(t_end - t_start);
+        RecordQueryTrace(subject, object, right, strategy.Canonical(),
+                         /*fast_path=*/true, t_start, t_compose, t_compose,
+                         t_end, *trace_out);
+      }
+      if (shadowed) [[unlikely]] {
+        ShadowVerifyDecision(dag, eacm, subject, object, right,
+                             strategy.Canonical(), prop_options, mode,
+                             *trace_out, sink_bag.size());
+      }
+    }
+    return mode;
+  }
 
   if (options.use_fast_path && !options.use_literal_engine) {
     // Allocation-free hot path (DESIGN.md §7): scratch-arena

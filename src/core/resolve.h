@@ -12,6 +12,7 @@
 #include "core/rights_bag.h"
 #include "core/strategy.h"
 #include "graph/dag.h"
+#include "graph/reachability.h"
 #include "util/status.h"
 
 namespace ucr::core {
@@ -89,20 +90,51 @@ struct ResolveAccessOptions {
 
   /// Propagation extension mode (paper future work #3).
   PropagationMode propagation_mode = PropagationMode::kBoth;
+
+  /// Compose the sink bag from the reachability index (DESIGN.md §12)
+  /// when a current index is supplied to `ResolveAccess` — O(label)
+  /// instead of O(sub-graph) per query. Automatically bypassed (to the
+  /// fast path) when the index is stale/not-ready, when `stats` are
+  /// requested (they describe the traversal the index skips), or under
+  /// `kSecondWins` (whose per-column path gating the class labels
+  /// cannot express). Decisions and traces stay bit-identical.
+  bool use_reachability_index = true;
 };
+
+/// True when `index` can answer for this (hierarchy, matrix, options)
+/// state: present, `ready()`, built at exactly `dag.generation()` /
+/// `eacm.epoch()` over the same node count, and the propagation mode
+/// is index-expressible (`kBoth`/`kFirstWins`).
+bool ReachIndexUsable(const graph::ReachabilityIndex* index,
+                      const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+                      const ResolveAccessOptions& options);
+
+/// \brief Composes `subject`'s normalized propagated `allRights` bag
+/// for column (object, right) from the reachability index: each label
+/// entry (class, dis, count) contributes (dis, seed-mode-of-class,
+/// count), plus the subject's own distance-0 seed. Bit-identical to
+/// the propagation engines' sink bag (saturating addition is
+/// associative, so regrouping by class does not change multiplicities).
+///
+/// Requires `ReachIndexUsable`. The returned span aliases thread-local
+/// scratch: it is invalidated by the next call on this thread.
+std::span<const RightsEntry> ComposeIndexedSinkBag(
+    const graph::ReachabilityIndex& index, graph::NodeId subject,
+    acm::ObjectId object, acm::RightId right, PropagationMode mode);
 
 /// \brief End-to-end conflict resolution for one ⟨subject, object,
 /// right⟩ triple: extracts the subject's ancestor sub-graph (Step 1),
-/// propagates labels (Steps 2–3), and resolves (Step 4).
+/// propagates labels (Steps 2–3), and resolves (Step 4). When a
+/// usable `reach_index` is supplied, Steps 1–3 collapse into an
+/// O(label) bag composition (DESIGN.md §12).
 ///
 /// Fails only on invalid ids or a literal-engine tuple-budget breach.
-StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
-                                  const acm::ExplicitAcm& eacm,
-                                  graph::NodeId subject, acm::ObjectId object,
-                                  acm::RightId right, const Strategy& strategy,
-                                  const ResolveAccessOptions& options = {},
-                                  ResolveTrace* trace = nullptr,
-                                  PropagateStats* stats = nullptr);
+StatusOr<acm::Mode> ResolveAccess(
+    const graph::Dag& dag, const acm::ExplicitAcm& eacm,
+    graph::NodeId subject, acm::ObjectId object, acm::RightId right,
+    const Strategy& strategy, const ResolveAccessOptions& options = {},
+    ResolveTrace* trace = nullptr, PropagateStats* stats = nullptr,
+    const graph::ReachabilityIndex* reach_index = nullptr);
 
 /// \brief Online shadow-verification oracle (DESIGN.md §9): re-resolves
 /// one fast-path decision with the classic engines (ancestor-sub-graph
@@ -116,11 +148,16 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
 /// `obs::ShadowVerifier::ShouldShadow()`. Cold path; its heap traffic
 /// runs under an allocation-exclusion scope, so the hot path's
 /// 0-allocs/query bound refers to unshadowed queries.
+/// When the shadowed decision came from the reachability index,
+/// `indexed_bag_entries` is the composed bag's size; the oracle's
+/// extraction then doubles as the `ucr_reach_pruned_nodes` probe (the
+/// sub-graph members the index never touched).
 void ShadowVerifyDecision(const graph::Dag& dag, const acm::ExplicitAcm& eacm,
                           graph::NodeId subject, acm::ObjectId object,
                           acm::RightId right, const Strategy& canonical,
                           const PropagateOptions& prop_options,
-                          acm::Mode fast_mode, const ResolveTrace& fast_trace);
+                          acm::Mode fast_mode, const ResolveTrace& fast_trace,
+                          size_t indexed_bag_entries = SIZE_MAX);
 
 }  // namespace ucr::core
 

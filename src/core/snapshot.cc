@@ -60,6 +60,10 @@ struct SnapshotMetrics {
   obs::Counter& subgraph_misses = obs::Registry::Global().GetCounter(
       "ucr_snapshot_subgraph_misses_total",
       "Snapshot sub-graph table misses");
+  obs::Counter& indexed = obs::Registry::Global().GetCounter(
+      "ucr_snapshot_indexed_queries_total",
+      "Snapshot queries whose sink bag was composed from the reachability "
+      "index (no sub-graph extraction)");
 };
 
 SnapshotMetrics& GetSnapshotMetrics() {
@@ -383,8 +387,6 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
   PropagateOptions prop_options;
   prop_options.propagation_mode = snapshot.propagation_mode;
   HotPath& hot = HotPath::ThreadLocal();
-  hot.propagator.SetLabels(snapshot.eacm.Column(object, right),
-                           snapshot.dag.node_count());
 
   std::span<const RightsEntry> sink_bag;
   bool subgraph_hit = false;
@@ -393,7 +395,25 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
   // The local extraction (sub-graph table miss lost to a racer, or
   // table full) lives until the propagation below is done with it.
   std::unique_ptr<const graph::AncestorSubgraph> local;
-  if (options.use_subgraph_table) {
+  // Indexed compose path (DESIGN.md §12): the snapshot's index was
+  // built for exactly this (dag, eacm) generation, so the usability
+  // check only rejects on the non-expressible cases (stats requested,
+  // kSecondWins, budget-tripped build). The index is immutable and
+  // shared — still lock-free.
+  ResolveAccessOptions reach_gate;
+  reach_gate.propagation_mode = snapshot.propagation_mode;
+  reach_gate.use_reachability_index = options.use_reachability_index;
+  if (stats == nullptr &&
+      ReachIndexUsable(snapshot.reach_index.get(), snapshot.dag,
+                       snapshot.eacm, reach_gate)) {
+    sink_bag = ComposeIndexedSinkBag(*snapshot.reach_index, subject, object,
+                                     right, snapshot.propagation_mode);
+    t_extract = sampled ? obs::NowNs() : 0;
+    t_propagate = t_extract;
+    if constexpr (obs::kEnabled) GetSnapshotMetrics().indexed.Inc();
+  } else if (options.use_subgraph_table) {
+    hot.propagator.SetLabels(snapshot.eacm.Column(object, right),
+                             snapshot.dag.node_count());
     const graph::AncestorSubgraph* sub = snapshot.subgraphs.Find(subject);
     subgraph_hit = sub != nullptr;
     if (sub == nullptr) {
@@ -409,6 +429,8 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
     t_extract = sampled ? obs::NowNs() : 0;
     sink_bag = hot.propagator.PropagateSink(*sub, prop_options, stats);
   } else {
+    hot.propagator.SetLabels(snapshot.eacm.Column(object, right),
+                             snapshot.dag.node_count());
     const graph::ScratchSubgraphView view =
         hot.scratch.Extract(snapshot.dag, subject);
     t_extract = sampled ? obs::NowNs() : 0;
@@ -444,7 +466,9 @@ std::unique_ptr<const HierarchySnapshot> BuildSnapshot(
     const graph::Dag& dag, const acm::ExplicitAcm& eacm,
     const Strategy& default_strategy, PropagationMode propagation_mode,
     uint64_t epoch, const HierarchySnapshot* previous,
-    size_t resolution_capacity, SnapshotBuildStats* stats) {
+    size_t resolution_capacity,
+    std::shared_ptr<const graph::ReachabilityIndex> reach_index,
+    SnapshotBuildStats* stats) {
   const uint64_t t0 = obs::kEnabled ? obs::NowNs() : 0;
   // The sub-graph table is subject-keyed, so node count bounds its
   // useful size; the cap keeps a worst-case snapshot's slot array at
@@ -454,7 +478,7 @@ std::unique_ptr<const HierarchySnapshot> BuildSnapshot(
                        size_t{1} << 20);
   auto snapshot = std::make_unique<HierarchySnapshot>(
       epoch, dag, eacm, default_strategy, propagation_mode,
-      resolution_capacity, subgraph_capacity);
+      resolution_capacity, subgraph_capacity, std::move(reach_index));
 
   SnapshotBuildStats build_stats;
   if (previous != nullptr) {

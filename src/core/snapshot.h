@@ -14,6 +14,7 @@
 #include "core/strategy.h"
 #include "graph/ancestor_subgraph.h"
 #include "graph/dag.h"
+#include "graph/reachability.h"
 #include "util/status.h"
 
 namespace ucr::core {
@@ -195,16 +196,18 @@ class EpochSubgraphTable {
 /// synchronization: the graph and matrix are private copies that no
 /// writer ever mutates, and the tables are lock-free and only fill.
 struct HierarchySnapshot {
-  HierarchySnapshot(uint64_t epoch_in, graph::Dag dag_in,
-                    acm::ExplicitAcm eacm_in, Strategy strategy,
-                    PropagationMode mode, size_t resolution_capacity,
-                    size_t subgraph_capacity)
+  HierarchySnapshot(
+      uint64_t epoch_in, graph::Dag dag_in, acm::ExplicitAcm eacm_in,
+      Strategy strategy, PropagationMode mode, size_t resolution_capacity,
+      size_t subgraph_capacity,
+      std::shared_ptr<const graph::ReachabilityIndex> reach_index_in = nullptr)
       : epoch(epoch_in),
         dag(std::move(dag_in)),
         eacm(std::move(eacm_in)),
         default_strategy(strategy.Canonical()),
         propagation_mode(mode),
         dag_generation(dag.generation()),
+        reach_index(std::move(reach_index_in)),
         resolution(resolution_capacity),
         subgraphs(subgraph_capacity) {}
 
@@ -217,6 +220,12 @@ struct HierarchySnapshot {
   /// per-node stamps against this to decide which cached state is
   /// still derivable from the new hierarchy.
   const uint64_t dag_generation;
+  /// Reachability/compression index current for exactly this snapshot's
+  /// (dag, eacm) generation, shared with the writer that built it
+  /// (DESIGN.md §12). Immutable like everything else here, so readers
+  /// compose indexed sink bags lock-free. Null when the writer runs
+  /// with the index disabled or the build tripped a budget.
+  const std::shared_ptr<const graph::ReachabilityIndex> reach_index;
 
   // Readers insert through const pins; both tables are internally
   // thread-safe and append-only.
@@ -343,6 +352,13 @@ struct SnapshotReadOptions {
   /// Consult/fill the snapshot's sub-graph table. Off forces a scratch
   /// extraction per query (the PR 2 hot path's behavior).
   bool use_subgraph_table = true;
+
+  /// Compose the sink bag from the snapshot's reachability index
+  /// (when it carries one) instead of extracting the ancestor
+  /// sub-graph (DESIGN.md §12). Automatically bypassed when `stats`
+  /// are requested or the mode is `kSecondWins`; decisions and traces
+  /// stay bit-identical either way.
+  bool use_reachability_index = true;
 };
 
 /// \brief End-to-end conflict resolution against one pinned snapshot:
@@ -386,7 +402,9 @@ std::unique_ptr<const HierarchySnapshot> BuildSnapshot(
     const graph::Dag& dag, const acm::ExplicitAcm& eacm,
     const Strategy& default_strategy, PropagationMode propagation_mode,
     uint64_t epoch, const HierarchySnapshot* previous,
-    size_t resolution_capacity, SnapshotBuildStats* stats = nullptr);
+    size_t resolution_capacity,
+    std::shared_ptr<const graph::ReachabilityIndex> reach_index = nullptr,
+    SnapshotBuildStats* stats = nullptr);
 
 }  // namespace ucr::core
 

@@ -161,7 +161,24 @@ Status AccessControlSystem::SetMode(std::string_view subject,
   }
   UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.InternObject(object));
   UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.InternRight(right));
-  UCR_RETURN_IF_ERROR(eacm_.Set(s, o, r, mode));
+  const std::optional<acm::Mode> existing = eacm_.Get(s, o, r);
+  if (existing.has_value() && *existing == mode) return Status::OK();
+  if (existing.has_value()) {
+    // The triple holds the opposite mode; the matrix itself always
+    // rejects contradictions (§3.3), so the outcome is decided here by
+    // the configured policy.
+    if (options_.mutation_conflict_policy == GrantConflictPolicy::kReject) {
+      return Status::FailedPrecondition(
+          "subject '" + std::string(subject) + "' already holds the opposite "
+          "explicit mode for (" + std::string(object) + ", " +
+          std::string(right) + "); revoke it first or configure "
+          "mutation_conflict_policy = kOverwrite");
+    }
+    eacm_.Overwrite(s, o, r, mode);
+  } else {
+    UCR_RETURN_IF_ERROR(eacm_.Set(s, o, r, mode));
+  }
+  NoteRightsEdit(s);
   if (obs::AuditLog::Enabled()) {
     obs::AuditEvent event;
     event.type = mode == acm::Mode::kPositive ? obs::AuditEventType::kGrant
@@ -232,6 +249,10 @@ Status AccessControlSystem::MutateMembership(
                    std::string(parent) + " -> " + std::string(child),
                    edit_affected.size());
   }
+  if (options_.use_reachability_index) {
+    reach_dirty_affected_.insert(reach_dirty_affected_.end(),
+                                 edit_affected.begin(), edit_affected.end());
+  }
   if (affected != nullptr) {
     affected->insert(affected->end(), edit_affected.begin(),
                      edit_affected.end());
@@ -259,6 +280,55 @@ size_t AccessControlSystem::InvalidateAffected(
     GetMutationMetrics().affected_subjects.Observe(affected.size());
   }
   return dropped;
+}
+
+void AccessControlSystem::NoteRightsEdit(graph::NodeId subject) {
+  if (!options_.use_reachability_index) return;
+  reach_dirty_rows_.push_back(subject);
+  // A row edit can re-class `subject`, changing the profile labels of
+  // every node that can see it: itself plus its hierarchy descendants
+  // (DescendantsOf includes the start node).
+  const std::vector<graph::NodeId> scope = dag_.DescendantsOf(subject);
+  reach_dirty_affected_.insert(reach_dirty_affected_.end(), scope.begin(),
+                               scope.end());
+}
+
+void AccessControlSystem::EnsureReachIndexCurrent() {
+  if (!options_.use_reachability_index) return;
+  // Current = nothing to do. A current-but-not-ready index (budget
+  // breach at this very generation) also short-circuits: retrying the
+  // same build every query would thrash; the next mutation re-arms it.
+  if (reach_index_ != nullptr &&
+      reach_index_->dag_generation() == dag_.generation() &&
+      reach_index_->acm_epoch() == eacm_.epoch() &&
+      reach_index_->node_count() == dag_.node_count()) {
+    return;
+  }
+  if (reach_index_ == nullptr || !reach_index_->ready()) {
+    // First build, or recovery from a budget-tripped generation (whose
+    // labels cannot seed an incremental pass).
+    reach_index_ = graph::ReachabilityIndex::Build(
+        dag_, eacm_.epoch(), eacm_.ReachRows(), options_.reachability_options);
+  } else {
+    std::sort(reach_dirty_affected_.begin(), reach_dirty_affected_.end());
+    reach_dirty_affected_.erase(std::unique(reach_dirty_affected_.begin(),
+                                            reach_dirty_affected_.end()),
+                                reach_dirty_affected_.end());
+    std::sort(reach_dirty_rows_.begin(), reach_dirty_rows_.end());
+    reach_dirty_rows_.erase(
+        std::unique(reach_dirty_rows_.begin(), reach_dirty_rows_.end()),
+        reach_dirty_rows_.end());
+    reach_index_ = graph::ReachabilityIndex::RebuildIncremental(
+        dag_, eacm_.epoch(), reach_index_, reach_dirty_affected_,
+        eacm_.ReachRowsFor(reach_dirty_rows_));
+  }
+  reach_dirty_affected_.clear();
+  reach_dirty_rows_.clear();
+}
+
+const graph::ReachabilityIndex* AccessControlSystem::reachability_index() {
+  EnsureReachIndexCurrent();
+  return reach_index_.get();
 }
 
 Status AccessControlSystem::AddMembership(
@@ -364,6 +434,7 @@ Status AccessControlSystem::RevokeUnlocked(std::string_view subject,
   UCR_ASSIGN_OR_RETURN(const acm::ObjectId o, eacm_.FindObject(object));
   UCR_ASSIGN_OR_RETURN(const acm::RightId r, eacm_.FindRight(right));
   const bool erased = eacm_.Erase(s, o, r);
+  if (erased) NoteRightsEdit(s);
   if (erased && obs::AuditLog::Enabled()) {
     obs::AuditEvent event;
     event.type = obs::AuditEventType::kRevoke;
@@ -431,6 +502,40 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
     }
   }
 
+  // Indexed compose path (DESIGN.md §12): refresh the reachability
+  // index (coalescing any pending mutation dirt) and derive the sink
+  // bag from the subject's O(|label|) profile instead of extracting
+  // the ancestor sub-graph. Bit-identical decisions; falls through to
+  // the classic path when the index is unusable (kSecondWins, budget
+  // breach, option off).
+  if (options_.use_reachability_index) {
+    EnsureReachIndexCurrent();
+    ResolveAccessOptions reach_gate;
+    reach_gate.propagation_mode = options_.propagation_mode;
+    if (ReachIndexUsable(reach_index_.get(), dag_, eacm_, reach_gate)) {
+      ResolveTrace sampled_trace;
+      const acm::Mode mode = ResolveEntries(
+          ComposeIndexedSinkBag(*reach_index_, subject, object, right,
+                                options_.propagation_mode),
+          canonical, sampled ? &sampled_trace : nullptr);
+      if (options_.enable_resolution_cache) {
+        resolution_cache_.Store(subject, object, right, canonical,
+                                column_epoch, mode);
+      }
+      if constexpr (obs::kEnabled) {
+        GetSystemMetrics().queries.Inc();
+        if (sampled) [[unlikely]] {
+          const uint64_t t_end = obs::NowNs();
+          GetSystemMetrics().latency.Observe(t_end - t_start);
+          RecordSystemTrace(subject, object, right, canonical,
+                            /*resolution_hit=*/false, /*subgraph_hit=*/false,
+                            t_start, t_start, t_end, &sampled_trace, mode);
+        }
+      }
+      return mode;
+    }
+  }
+
   const std::vector<std::optional<acm::Mode>> labels =
       eacm_.ExtractLabels(dag_.node_count(), object, right);
   PropagateOptions prop_options;
@@ -492,16 +597,21 @@ StatusOr<std::vector<acm::Mode>> AccessControlSystem::CheckAccessBatch(
 
   // Parallel path: const access to the hierarchy and matrix only. The
   // calling thread participates, so the pool gets threads - 1 workers.
+  // The reachability index is refreshed once up front — workers then
+  // share the immutable generation (or fall back per ReachIndexUsable).
   const Strategy canonical = strategy.Canonical();
   ResolveAccessOptions resolve_options;
   resolve_options.propagation_mode = options_.propagation_mode;
+  resolve_options.use_reachability_index = options_.use_reachability_index;
+  EnsureReachIndexCurrent();
   ThreadPool pool(std::min(threads, queries.size()) - 1);
   std::mutex error_mu;
   Status first_error;
   pool.ParallelFor(0, queries.size(), [&](size_t i) {
     auto mode = ResolveAccess(dag_, eacm_, queries[i].subject,
                               queries[i].object, queries[i].right, canonical,
-                              resolve_options);
+                              resolve_options, nullptr, nullptr,
+                              reach_index_.get());
     if (!mode.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (first_error.ok()) first_error = mode.status();
@@ -522,6 +632,23 @@ AccessControlSystem::CheckAccessAllStrategies(graph::NodeId subject,
   }
   if (object >= eacm_.object_count() || right >= eacm_.right_count()) {
     return Status::OutOfRange("object/right id out of range");
+  }
+  // One indexed bag composition serves all 48 resolutions just as one
+  // classic propagation would: the bag does not depend on the strategy.
+  if (options_.use_reachability_index) {
+    EnsureReachIndexCurrent();
+    ResolveAccessOptions reach_gate;
+    reach_gate.propagation_mode = options_.propagation_mode;
+    if (ReachIndexUsable(reach_index_.get(), dag_, eacm_, reach_gate)) {
+      const std::span<const RightsEntry> bag = ComposeIndexedSinkBag(
+          *reach_index_, subject, object, right, options_.propagation_mode);
+      std::vector<acm::Mode> out;
+      out.reserve(AllStrategies().size());
+      for (const Strategy& s : AllStrategies()) {
+        out.push_back(ResolveEntries(bag, s));
+      }
+      return out;
+    }
   }
   const std::vector<std::optional<acm::Mode>> labels =
       eacm_.ExtractLabels(dag_.node_count(), object, right);
@@ -599,10 +726,15 @@ void AccessControlSystem::PublishSnapshotLocked() {
       state.resolution_capacity < (size_t{1} << 22)) {
     state.resolution_capacity *= 2;
   }
+  // The published snapshot carries the index generation matching its
+  // (dag, eacm) copy, so snapshot readers compose indexed bags
+  // lock-free; refreshing here coalesces the batch's mutation dirt
+  // into one incremental rebuild per publication.
+  EnsureReachIndexCurrent();
   std::unique_ptr<const HierarchySnapshot> next = BuildSnapshot(
       dag_, eacm_, options_.default_strategy, options_.propagation_mode,
       state.manager.current_epoch() + 1, previous.get(),
-      state.resolution_capacity);
+      state.resolution_capacity, reach_index_);
   if (!previous) {
     // First publication: warm the snapshot from the serial resolution
     // cache so enabling snapshots on a hot system keeps its memo.

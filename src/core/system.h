@@ -15,9 +15,26 @@
 #include "core/snapshot.h"
 #include "core/strategy.h"
 #include "graph/dag.h"
+#include "graph/reachability.h"
 #include "util/status.h"
 
 namespace ucr::core {
+
+/// \brief How the mutators treat a grant/deny whose triple already
+/// holds the *opposite* explicit mode.
+///
+/// The paper's §3.3 disallows contradicting explicit authorizations,
+/// so the matrix itself always rejects them; this policy decides what
+/// an administrative grant/deny *operation* does when it runs into one.
+enum class GrantConflictPolicy : uint8_t {
+  /// Fail the operation with FailedPrecondition naming the conflict;
+  /// the matrix is unchanged. The caller revokes first or switches the
+  /// policy. Default: silent permission flips should be deliberate.
+  kReject = 0,
+  /// Replace the opposing entry in place (last-writer-wins), exactly
+  /// as an explicit revoke-then-set would, in one epoch bump.
+  kOverwrite,
+};
 
 /// Options for `AccessControlSystem`.
 struct SystemOptions {
@@ -53,6 +70,24 @@ struct SystemOptions {
   /// the next snapshot under the internal write lock. Equivalent to
   /// calling `EnableSnapshotReads()` after construction.
   bool enable_snapshot_reads = false;
+
+  /// Behavior of `Grant`/`DenyAccess` (and batch grant/deny ops) when
+  /// the triple already holds the opposite explicit mode.
+  GrantConflictPolicy mutation_conflict_policy = GrantConflictPolicy::kReject;
+
+  /// Maintain the reachability-label / summary-DAG index (DESIGN.md
+  /// §12) and compose query sink bags from it — O(label) per query
+  /// instead of O(ancestor sub-graph). The index is refreshed lazily:
+  /// mutators only record their affected sets, and the next query (or
+  /// snapshot publication) coalesces them into one incremental
+  /// rebuild. Decisions are bit-identical to the classic engines;
+  /// turning this off keeps classic extraction as the differential
+  /// oracle.
+  bool use_reachability_index = true;
+
+  /// Build budgets for the reachability index; a breach marks the
+  /// index not-ready and queries fall back to classic extraction.
+  graph::ReachabilityOptions reachability_options;
 };
 
 /// \brief The user-facing facade: a subject hierarchy plus an explicit
@@ -256,6 +291,16 @@ class AccessControlSystem {
   const ResolutionCache& resolution_cache() const { return resolution_cache_; }
   const SubgraphCache& subgraph_cache() const { return subgraph_cache_; }
 
+  /// \brief The reachability index for the *current* master state,
+  /// building or incrementally refreshing it first (DESIGN.md §12).
+  ///
+  /// Null when `use_reachability_index` is off. May report
+  /// `ready() == false` after a budget breach — queries then fall back
+  /// to classic extraction on their own. Primarily for tests, benches
+  /// and exposition; queries refresh the index on demand themselves.
+  /// Not thread-safe (same contract as the caches/mutators).
+  const graph::ReachabilityIndex* reachability_index();
+
   // -- Epoch-pinned snapshot reads (DESIGN.md §11) -------------------
 
   /// \brief Switches the system to snapshot publication: every
@@ -347,12 +392,38 @@ class AccessControlSystem {
   /// of cache entries dropped.
   size_t InvalidateAffected(const std::vector<graph::NodeId>& affected);
 
+  /// \brief Brings `reach_index_` up to date with the master state.
+  ///
+  /// Deferred and coalesced: mutators only append to the dirty sets
+  /// below, and the next consumer (query miss, batch, snapshot
+  /// publication) pays one incremental rebuild for the whole run of
+  /// edits — a reorg touching one subtree N times rebuilds once. No-op
+  /// when the index is current or `use_reachability_index` is off.
+  void EnsureReachIndexCurrent();
+
+  /// Records reach-index dirt after one applied rights edit: the
+  /// subject's row changed, which can re-class it and therefore
+  /// relabel everything that can see it (its descendants).
+  void NoteRightsEdit(graph::NodeId subject);
+
   graph::Dag dag_;
   acm::ExplicitAcm eacm_;
   SystemOptions options_;
   ResolutionCache resolution_cache_;
   SubgraphCache subgraph_cache_;
   std::unique_ptr<SnapshotState> snapshot_state_;
+
+  /// Last built reachability index (shared with published snapshots;
+  /// queries verify generation/epoch before trusting it). Null until
+  /// the first consumer builds it.
+  std::shared_ptr<const graph::ReachabilityIndex> reach_index_;
+  /// Subjects whose ancestor set or row changed since `reach_index_`
+  /// was built, closed under hierarchy descendants (unsorted, may hold
+  /// duplicates; coalesced by EnsureReachIndexCurrent).
+  std::vector<graph::NodeId> reach_dirty_affected_;
+  /// Subjects whose explicit row changed since `reach_index_` was
+  /// built.
+  std::vector<graph::NodeId> reach_dirty_rows_;
 };
 
 }  // namespace ucr::core

@@ -80,6 +80,39 @@ StatusOr<Dag> GenerateLayeredDag(const LayeredDagOptions& options,
   return std::move(builder).Build();
 }
 
+StatusOr<Dag> GenerateScaleLayeredDag(const ScaleLayeredDagOptions& options,
+                                      Random& rng) {
+  if (options.nodes < 2 || options.layers == 0 ||
+      options.layers > options.nodes || options.parents_per_node == 0) {
+    return Status::InvalidArgument(
+        "scale layered DAG requires nodes >= 2, 1 <= layers <= nodes, and "
+        "parents_per_node >= 1");
+  }
+  const size_t n = options.nodes;
+  const size_t layers = options.layers;
+  DagBuilder builder;
+  for (size_t i = 0; i < n; ++i) builder.AddNode("S" + std::to_string(i));
+  // Layer l spans [first_of(l), first_of(l+1)); n >= layers keeps every
+  // layer non-empty.
+  auto first_of = [&](size_t l) { return l * n / layers; };
+  for (size_t l = 1; l < layers; ++l) {
+    const size_t lo = first_of(l);
+    const size_t hi = first_of(l + 1);
+    const size_t parent_lo = first_of(l - 1);
+    const size_t parent_width = lo - parent_lo;
+    for (size_t v = lo; v < hi; ++v) {
+      for (size_t k = 0; k < options.parents_per_node; ++k) {
+        const NodeId p =
+            static_cast<NodeId>(parent_lo + rng.Uniform(parent_width));
+        const Status s = builder.AddEdgeById(p, static_cast<NodeId>(v));
+        // A duplicate parent draw is dropped; any other failure is not.
+        if (!s.ok() && s.code() != StatusCode::kAlreadyExists) return s;
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
 StatusOr<Dag> GenerateRandomTree(size_t n, Random& rng) {
   if (n == 0) {
     return Status::InvalidArgument("tree requires at least one node");

@@ -43,6 +43,26 @@ struct LayeredDagOptions {
 StatusOr<Dag> GenerateLayeredDag(const LayeredDagOptions& options,
                                  Random& rng);
 
+/// Options for `GenerateScaleLayeredDag`.
+struct ScaleLayeredDagOptions {
+  size_t nodes = size_t{1} << 20;  ///< Total node count (>= 2).
+  size_t layers = 24;              ///< Layers; layer l gets ~nodes/layers.
+  size_t parents_per_node = 2;     ///< Parents sampled from the layer above.
+};
+
+/// \brief Generates a layered DAG at million-node scale.
+///
+/// `GenerateLayeredDag` examines every (parent, child) pair within
+/// adjacent layers — O(layers * width^2), unusable at 10^6 nodes. Here
+/// each non-root node directly samples `parents_per_node` parents
+/// uniformly from the layer above, so construction is
+/// O(nodes * parents_per_node). Nodes are named "S<id>" and laid out
+/// layer-contiguously (layer l spans ids [l*n/layers, (l+1)*n/layers)).
+/// Duplicate parent draws are dropped, so in-degrees are at most (not
+/// exactly) `parents_per_node`.
+StatusOr<Dag> GenerateScaleLayeredDag(const ScaleLayeredDagOptions& options,
+                                      Random& rng);
+
 /// \brief Generates a random tree with `n` nodes; node 0 ("T0") is the
 /// root and each other node receives one uniformly random parent among
 /// earlier nodes. Trees are the degenerate hierarchy shape prior work

@@ -1,0 +1,260 @@
+#ifndef UCR_GRAPH_REACHABILITY_H_
+#define UCR_GRAPH_REACHABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace ucr::graph {
+
+/// \brief One subject's explicit-matrix row, packed for the
+/// reachability index (DESIGN.md §12).
+///
+/// `row` holds one opaque 64-bit key per explicit ⟨object, right,
+/// mode⟩ entry of the subject, sorted ascending. The graph layer never
+/// interprets the keys — it only compares rows for equality to fold
+/// label-equivalent nodes into one supernode class; the packing (and
+/// the per-column lookup the query path needs) is defined by
+/// `acm::ExplicitAcm::PackReachEntry` / `ReachRowMode`.
+struct ReachLabeledRow {
+  NodeId node = kInvalidNode;
+  /// Sorted packed entries; empty = the subject is now unlabeled
+  /// (meaningful in incremental row updates).
+  std::vector<uint64_t> row;
+};
+
+/// Build-time budgets for `ReachabilityIndex`. All are safety valves:
+/// exceeding one marks the index not-`ready()` and the query layer
+/// falls back to classic ancestor-sub-graph extraction, never to a
+/// wrong answer.
+struct ReachabilityOptions {
+  /// Mean per-node budget for the compressed profile labels: a build
+  /// aborts once the pool exceeds `node_count * max_mean_label_entries`
+  /// (adversarial mixes of many distinct label signatures and wide
+  /// distance spreads can make the labels super-linear).
+  size_t max_mean_label_entries = 64;
+
+  /// Hard per-node profile cap, against single pathological sinks.
+  size_t max_node_label_entries = 4096;
+
+  /// 2-hop labels (the O(label∩) `Reaches` fast path) are built only
+  /// for hierarchies up to this many nodes; larger graphs answer
+  /// `Reaches` through the interval-filtered traversal fallback.
+  size_t two_hop_max_nodes = size_t{1} << 16;
+
+  /// Mean per-node budget for the 2-hop labels; on breach the 2-hop
+  /// structure alone is discarded (the profile labels stay usable).
+  size_t max_mean_hop_entries = 48;
+};
+
+/// \brief Reachability labels + summary-DAG compression over the
+/// subject hierarchy (DESIGN.md §12).
+///
+/// Three cooperating structures, all immutable once built:
+///
+///  1. **Supernode classes** — every node is classified by its packed
+///     explicit-matrix row plus its root-ness. Nodes with identical
+///     rows (and root-ness) are *label-equivalent*: they seed the same
+///     propagated mode in every column under every strategy, so the
+///     paper's Fig. 7b diamond regions (all unlabeled interior nodes)
+///     fold into a single interior class and the summary DAG over the
+///     classes stays polynomial where the path count is exponential.
+///  2. **Compressed profile labels** — per node `t`, the bag-algebra
+///     label `L(t) = {(class, distance) -> path count}` aggregating
+///     every hierarchy path from every member of each class down to
+///     `t` (counts saturate exactly like the propagation engines').
+///     The sink's propagated `allRights` bag is a direct function of
+///     `L(t)` and the query column, so an indexed query touches
+///     O(|L(t)|) entries instead of extracting the ancestor sub-graph.
+///  3. **Boolean reachability labels** — a 2-hop (pruned-landmark)
+///     label set answering `Reaches(a, b)` as one sorted-set
+///     intersection, with a DFS-interval + topological-position
+///     filtered traversal as the exact fallback above the 2-hop size
+///     gate.
+///
+/// Incremental maintenance (`RebuildIncremental`) recomputes profile
+/// labels only for the *affected set* — the same
+/// edited-child-plus-descendants sets the PR 5 scoped invalidation
+/// machinery already produces — and copies everything else from the
+/// previous generation, so each `HierarchySnapshot` can carry a
+/// shared immutable view and snapshot readers stay lock-free.
+class ReachabilityIndex {
+ public:
+  using ClassId = uint32_t;
+  /// Class of unlabeled non-root nodes: pure pass-through structure,
+  /// folded away (they never seed a propagated mode).
+  static constexpr ClassId kInteriorClass = UINT32_MAX;
+
+  /// One group of the compressed label of a node: `count` hierarchy
+  /// paths of length `dis` from members of class `cls` down to the
+  /// node. Sorted by (cls, dis) within a label; counts saturate.
+  struct ProfileEntry {
+    ClassId cls = 0;
+    uint32_t dis = 0;
+    uint64_t count = 0;
+  };
+
+  /// One supernode of the summary DAG.
+  struct ClassInfo {
+    /// The packed explicit row shared by every member (empty for the
+    /// unlabeled-root class).
+    std::span<const uint64_t> row;
+    bool is_root = false;
+    /// Members currently assigned (0 for a class abandoned by
+    /// incremental row churn; kept so older labels stay decodable).
+    size_t member_count = 0;
+  };
+
+  /// Size/health counters for exposition and tests.
+  struct IndexStats {
+    bool ready = false;
+    bool two_hop_ready = false;
+    size_t supernodes = 0;       ///< Classes with at least one member.
+    size_t folded_nodes = 0;     ///< Interior nodes (no class of their own).
+    size_t label_entries = 0;    ///< Profile pool size.
+    size_t label_bytes = 0;      ///< Profile + 2-hop label footprint.
+    size_t two_hop_entries = 0;  ///< 2-hop pool size (in + out).
+  };
+
+  /// \brief Full build against one (hierarchy, matrix) generation.
+  ///
+  /// `acm_epoch` is the matrix epoch the rows were extracted at; the
+  /// query layer compares it (and `dag_generation`) before trusting
+  /// the index. `rows` lists every labeled subject (unlabeled subjects
+  /// are implied). Never fails: on budget breach the returned index
+  /// reports `ready() == false` and callers fall back.
+  static std::shared_ptr<const ReachabilityIndex> Build(
+      const Dag& dag, uint64_t acm_epoch,
+      std::span<const ReachLabeledRow> rows,
+      const ReachabilityOptions& options = {});
+
+  /// \brief Derives the next index generation from `previous`,
+  /// recomputing only the affected scope.
+  ///
+  /// `affected` must contain every node whose ancestor set or own row
+  /// may have changed, *closed under hierarchy descendants* — exactly
+  /// the sets `Dag::InsertEdge`/`EraseEdge` report and
+  /// `Dag::DescendantsOf(subject)` yields for a row edit. Nodes with
+  /// ids at or beyond the previous generation's node count are
+  /// implicitly affected (they are new). `changed_rows` carries the
+  /// new packed rows of subjects whose explicit entries changed (an
+  /// empty row = now unlabeled).
+  ///
+  /// Profile labels of unaffected nodes are copied verbatim; the
+  /// boolean-reachability structures are reused as-is when the
+  /// hierarchy itself is unchanged (row-only churn, the common case)
+  /// and rebuilt otherwise — they are independent of the matrix.
+  static std::shared_ptr<const ReachabilityIndex> RebuildIncremental(
+      const Dag& dag, uint64_t acm_epoch,
+      const std::shared_ptr<const ReachabilityIndex>& previous,
+      std::span<const NodeId> affected,
+      std::span<const ReachLabeledRow> changed_rows);
+
+  /// False when a build budget tripped: the profile labels are absent
+  /// and only `Reaches`/class metadata may be consulted.
+  bool ready() const { return ready_; }
+
+  /// The `Dag::generation()` / matrix epoch this index describes.
+  uint64_t dag_generation() const { return dag_generation_; }
+  uint64_t acm_epoch() const { return acm_epoch_; }
+  size_t node_count() const { return class_of_.size(); }
+
+  /// Class of node `v`, or `kInteriorClass` for folded interiors.
+  ClassId class_of(NodeId v) const { return class_of_[v]; }
+  bool is_root(NodeId v) const;
+
+  size_t class_count() const { return classes_.size(); }
+  ClassInfo class_info(ClassId c) const {
+    const ClassData& d = classes_[c];
+    return ClassInfo{{d.row.data(), d.row.size()}, d.is_root, d.members};
+  }
+
+  /// Compressed label of node `v` (requires `ready()`).
+  std::span<const ProfileEntry> label(NodeId v) const {
+    return {label_pool_.data() + label_begin_[v],
+            label_end_[v] - label_begin_[v]};
+  }
+
+  /// \brief Exact hierarchy reachability: true iff a directed
+  /// membership path `a -> ... -> b` exists (or `a == b`).
+  ///
+  /// O(|label|) sorted-set intersection when the 2-hop labels are
+  /// built; otherwise an interval/topological-position filtered DFS
+  /// (exact, counted by `ucr_reach_traversal_fallbacks_total`).
+  /// Thread-safe; the fallback uses thread-local scratch.
+  bool Reaches(NodeId a, NodeId b) const;
+
+  IndexStats stats() const;
+
+  /// Summary-DAG edges between classes: `(from, to) -> distinct
+  /// (distance, count) groups`, aggregated over the member profiles of
+  /// `to`. Derived on demand (exposition/tests, not the query path).
+  std::map<std::pair<ClassId, ClassId>, size_t> SummaryEdges() const;
+
+ private:
+  ReachabilityIndex() = default;
+
+  struct ClassData {
+    std::vector<uint64_t> row;
+    bool is_root = false;
+    size_t members = 0;
+  };
+
+  /// (row, is_root) -> ClassId interning key. Build-time only.
+  using ClassKey = std::pair<std::vector<uint64_t>, bool>;
+
+  ClassId InternClass(std::vector<uint64_t> row, bool root);
+  void AssignClasses(const Dag& dag, std::span<const ReachLabeledRow> rows);
+  /// Recomputes profile labels. With `affected == nullptr` the whole
+  /// hierarchy is labeled in topological order; otherwise only nodes
+  /// flagged in the bitmap are recomputed (in a Kahn order over the
+  /// affected-induced sub-graph) and every other segment is copied
+  /// verbatim from `prev`. Returns false on budget breach.
+  bool ComputeLabels(const Dag& dag, const std::vector<uint8_t>* affected,
+                     const ReachabilityIndex* prev);
+  void BuildReachSupport(const Dag& dag, const ReachabilityOptions& options);
+  void PublishMetrics() const;
+
+  bool ready_ = false;
+  uint64_t dag_generation_ = 0;
+  uint64_t acm_epoch_ = 0;
+  ReachabilityOptions options_;
+
+  std::vector<ClassData> classes_;
+  std::map<ClassKey, ClassId> class_ids_;
+  std::vector<ClassId> class_of_;
+
+  // Profile pool; per-node [begin, end) segments. Segments are laid
+  // out in whatever order the (possibly scoped) label pass visited
+  // nodes, so the two offset arrays are independent — not a CSR.
+  std::vector<size_t> label_begin_;
+  std::vector<size_t> label_end_;
+  std::vector<ProfileEntry> label_pool_;
+
+  // Boolean-reachability support: a private copy of the child
+  // adjacency (the index outlives the mutable `Dag` it was built
+  // from), a topological position per node (necessary-condition
+  // filter), DFS-forest intervals over child edges
+  // (sufficient-condition fast accept), and optional exact 2-hop
+  // labels (landmark ranks, sorted ascending per node).
+  std::vector<size_t> adj_offsets_;
+  std::vector<NodeId> adj_children_;
+  std::vector<uint32_t> topo_pos_;
+  std::vector<uint32_t> ivl_begin_;
+  std::vector<uint32_t> ivl_end_;
+  bool two_hop_ready_ = false;
+  std::vector<uint32_t> rank_of_;  ///< node -> landmark rank.
+  std::vector<size_t> in_offsets_;
+  std::vector<size_t> out_offsets_;
+  std::vector<uint32_t> in_pool_;
+  std::vector<uint32_t> out_pool_;
+};
+
+}  // namespace ucr::graph
+
+#endif  // UCR_GRAPH_REACHABILITY_H_

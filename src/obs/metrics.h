@@ -165,11 +165,14 @@ class Gauge {
 /// Bucket layout is power-of-two: bucket 0 holds exact zeros and
 /// bucket i >= 1 holds values in [2^(i-1), 2^i - 1] — i.e. the bucket
 /// index is `bit_width(value)`. The mapping is two instructions, needs
-/// no configuration, and spans 1 ns to ~9 minutes in 40 buckets.
+/// no configuration, and spans 1 ns to ~1.6 days (or 1 to ~7 * 10^13
+/// for count-valued series: million-node extraction sizes and
+/// reachability-label footprints must land in finite buckets, not
+/// collapse into the +Inf tail) in 48 buckets.
 /// `Observe` is per-thread sharded exactly like `Counter`.
 class Histogram {
  public:
-  static constexpr size_t kBuckets = 40;
+  static constexpr size_t kBuckets = 48;
 
   Histogram() = default;
   Histogram(const Histogram&) = delete;

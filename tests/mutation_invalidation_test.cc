@@ -89,9 +89,14 @@ std::vector<graph::NodeId> WarmSinks(AccessControlSystem& system,
 
 // The PR's acceptance criterion: after a single membership edit on the
 // enterprise workload, cache entries for subjects outside the affected
-// set survive and keep serving hits.
+// set survive and keep serving hits. The reachability index is pinned
+// off: this test is about the classic extraction path's scoped
+// invalidation, and the indexed path never populates the subgraph
+// cache it measures.
 TEST(MutationInvalidationTest, SingleEditKeepsUnaffectedEntriesWarm) {
-  AccessControlSystem system = MakeEnterpriseSystem();
+  SystemOptions classic;
+  classic.use_reachability_index = false;
+  AccessControlSystem system = MakeEnterpriseSystem(classic);
   const Strategy strategy = S("D+LP-");
   const std::vector<graph::NodeId> sinks = WarmSinks(system, strategy);
   ASSERT_GT(sinks.size(), 100u);

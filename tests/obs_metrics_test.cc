@@ -56,6 +56,27 @@ TEST(ObsMetricsTest, HistogramBucketBoundaries) {
   EXPECT_EQ(Histogram::BucketIndex(~uint64_t{0}), Histogram::kBuckets - 1);
 }
 
+TEST(ObsMetricsTest, HistogramResolvesMillionNodeScaleObservations) {
+  // Count-valued series (ucr_subgraph_nodes, ucr_reach_label_bytes,
+  // ucr_reach_pruned_nodes) observe million-node extractions and
+  // multi-gigabyte footprints; none of those may collapse into the
+  // unbounded +Inf tail, or the exported quantiles read as infinite.
+  for (const uint64_t v :
+       {uint64_t{1} << 20,           // million-node subject hierarchy
+        uint64_t{10} * 1000 * 1000,  // 10M-entry label pool
+        uint64_t{1} << 33,           // multi-GiB label footprint
+        uint64_t{60} * 1000 * 1000 * 1000,  // 60 s in ns
+        uint64_t{1} << 45}) {        // ~9.7 h in ns
+    const size_t i = Histogram::BucketIndex(v);
+    EXPECT_LT(i, Histogram::kBuckets - 1) << v;   // finite bucket
+    EXPECT_LE(v, Histogram::BucketUpperBound(i)) << v;
+  }
+  // The widened layout keeps a finite ceiling of at least 2^46 - 1.
+  static_assert(Histogram::kBuckets >= 48);
+  EXPECT_GE(Histogram::BucketUpperBound(Histogram::kBuckets - 2),
+            (uint64_t{1} << 46) - 1);
+}
+
 TEST(ObsMetricsTest, HistogramObserveAndSnapshot) {
   Histogram& h = Registry::Global().GetHistogram(
       "ucr_test_histogram_snapshot", "test");

@@ -1,0 +1,305 @@
+// Unit tests for the reachability index (src/graph/reachability.h,
+// DESIGN.md §12): Reaches() against a BFS oracle on both answer paths
+// (2-hop labels and the interval-filtered traversal), supernode
+// folding on the paper's Fig. 7b diamond stacks, incremental-rebuild
+// equivalence with a from-scratch build under randomized hierarchy and
+// row churn, budget-abort stickiness, and the million-node layered
+// generator's shape contract.
+
+#include "graph/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/generators.h"
+#include "util/random.h"
+
+namespace ucr::graph {
+namespace {
+
+ReachLabeledRow Row(NodeId node, std::vector<uint64_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  return ReachLabeledRow{node, std::move(keys)};
+}
+
+/// BFS oracle: every node reachable from `a` along child edges.
+std::vector<uint8_t> ReachableFrom(const Dag& dag, NodeId a) {
+  std::vector<uint8_t> seen(dag.node_count(), 0);
+  std::vector<NodeId> queue{a};
+  seen[a] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (const NodeId c : dag.children(queue[head])) {
+      if (!seen[c]) {
+        seen[c] = 1;
+        queue.push_back(c);
+      }
+    }
+  }
+  return seen;
+}
+
+void ExpectReachesMatchesOracle(const Dag& dag, const ReachabilityIndex& idx) {
+  for (NodeId a = 0; a < dag.node_count(); ++a) {
+    const std::vector<uint8_t> oracle = ReachableFrom(dag, a);
+    for (NodeId b = 0; b < dag.node_count(); ++b) {
+      ASSERT_EQ(idx.Reaches(a, b), oracle[b] != 0)
+          << dag.name(a) << " -> " << dag.name(b);
+    }
+  }
+}
+
+TEST(ReachabilityTest, ReachesMatchesBfsOracleViaTwoHopLabels) {
+  Random rng(7);
+  LayeredDagOptions shape;
+  shape.layers = 6;
+  shape.nodes_per_layer = 9;
+  shape.skip_edge_probability = 0.2;
+  auto dag = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+  auto idx = ReachabilityIndex::Build(*dag, 1, {});
+  ASSERT_TRUE(idx->ready());
+  ASSERT_TRUE(idx->stats().two_hop_ready);
+  ExpectReachesMatchesOracle(*dag, *idx);
+}
+
+TEST(ReachabilityTest, ReachesMatchesBfsOracleViaTraversalFallback) {
+  Random rng(8);
+  LayeredDagOptions shape;
+  shape.layers = 5;
+  shape.nodes_per_layer = 8;
+  shape.skip_edge_probability = 0.25;
+  auto dag = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+  // Above the (zeroed) 2-hop gate: interval fast-accept + filtered DFS.
+  ReachabilityOptions options;
+  options.two_hop_max_nodes = 0;
+  auto idx = ReachabilityIndex::Build(*dag, 1, {}, options);
+  ASSERT_TRUE(idx->ready());
+  ASSERT_FALSE(idx->stats().two_hop_ready);
+  ExpectReachesMatchesOracle(*dag, *idx);
+}
+
+TEST(ReachabilityTest, DiamondStackFoldsToOneInteriorRegion) {
+  // Fig. 7b worst case: 2^k root-to-sink paths over 3k+1 nodes. Every
+  // node but the (labeled) root is label-equivalent pure interior, so
+  // the summary collapses to a single supernode class and the label
+  // pool stays linear in k while the path count is exponential.
+  constexpr size_t k = 40;
+  auto dag = GenerateDiamondStack(k);
+  ASSERT_TRUE(dag.ok());
+  const std::vector<ReachLabeledRow> rows = {Row(0, {42})};
+  auto idx = ReachabilityIndex::Build(*dag, 1, rows);
+  ASSERT_TRUE(idx->ready());
+
+  const ReachabilityIndex::IndexStats stats = idx->stats();
+  EXPECT_EQ(stats.supernodes, 1u);           // The labeled root class.
+  EXPECT_EQ(stats.folded_nodes, 3 * k);      // Everything else.
+  EXPECT_LE(stats.label_entries, 4 * k + 4);  // Polynomial, not 2^k.
+
+  // The sink's whole compressed profile is one entry carrying the
+  // exact (saturating) path count: 2^k paths of length 2k.
+  const NodeId sink = dag->FindNode("Dsink");
+  ASSERT_NE(sink, kInvalidNode);
+  const auto label = idx->label(sink);
+  ASSERT_EQ(label.size(), 1u);
+  EXPECT_EQ(label[0].cls, idx->class_of(0));
+  EXPECT_EQ(label[0].dis, 2 * k);
+  EXPECT_EQ(label[0].count, uint64_t{1} << k);
+}
+
+// Decoded profile entry: the class id is replaced by its (row,
+// root-ness) content so labels from independently built indexes (whose
+// interned ids may differ) compare structurally.
+using DecodedEntry = std::tuple<std::vector<uint64_t>, bool, uint32_t,
+                                uint64_t>;
+
+std::vector<DecodedEntry> DecodedLabel(const ReachabilityIndex& idx,
+                                       NodeId v) {
+  std::vector<DecodedEntry> out;
+  for (const ReachabilityIndex::ProfileEntry& e : idx.label(v)) {
+    const ReachabilityIndex::ClassInfo info = idx.class_info(e.cls);
+    out.emplace_back(std::vector<uint64_t>(info.row.begin(), info.row.end()),
+                     info.is_root, e.dis, e.count);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<ReachLabeledRow> RowsOf(
+    const std::map<NodeId, std::vector<uint64_t>>& rows) {
+  std::vector<ReachLabeledRow> out;
+  for (const auto& [node, row] : rows) out.push_back(Row(node, row));
+  return out;
+}
+
+void ExpectIndexesEquivalent(const Dag& dag, const ReachabilityIndex& a,
+                             const ReachabilityIndex& b) {
+  ASSERT_EQ(a.ready(), b.ready());
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    SCOPED_TRACE("node " + dag.name(v));
+    // Class content (not id) must agree, interior-ness included.
+    const bool a_interior =
+        a.class_of(v) == ReachabilityIndex::kInteriorClass;
+    const bool b_interior =
+        b.class_of(v) == ReachabilityIndex::kInteriorClass;
+    ASSERT_EQ(a_interior, b_interior);
+    if (!a_interior) {
+      const auto ia = a.class_info(a.class_of(v));
+      const auto ib = b.class_info(b.class_of(v));
+      ASSERT_EQ(ia.is_root, ib.is_root);
+      ASSERT_TRUE(std::equal(ia.row.begin(), ia.row.end(), ib.row.begin(),
+                             ib.row.end()));
+    }
+    ASSERT_EQ(DecodedLabel(a, v), DecodedLabel(b, v));
+  }
+}
+
+TEST(ReachabilityTest, IncrementalRebuildMatchesFullBuildUnderChurn) {
+  Random rng(33);
+  LayeredDagOptions shape;
+  shape.layers = 6;
+  shape.nodes_per_layer = 8;
+  shape.skip_edge_probability = 0.2;
+  auto built = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(built.ok());
+  Dag dag = std::move(built).value();
+
+  // Sparse initial rows from a small key alphabet.
+  const uint64_t alphabet[] = {3, 7, 11, 19};
+  std::map<NodeId, std::vector<uint64_t>> rows;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    if (!rng.Bernoulli(0.3)) continue;
+    std::vector<uint64_t> row;
+    for (const uint64_t key : alphabet) {
+      if (rng.Bernoulli(0.5)) row.push_back(key);
+    }
+    if (!row.empty()) rows[v] = row;
+  }
+
+  uint64_t epoch = 1;
+  auto incremental =
+      ReachabilityIndex::Build(dag, epoch, RowsOf(rows));
+  ASSERT_TRUE(incremental->ready());
+
+  for (int step = 0; step < 24; ++step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    std::vector<NodeId> affected;
+    std::vector<ReachLabeledRow> changed;
+    const uint64_t choice = rng.Uniform(4);
+    if (choice == 0) {
+      // Insert a random edge (skip the step on cycle/duplicate).
+      const NodeId p = static_cast<NodeId>(rng.Uniform(dag.node_count()));
+      const NodeId c = static_cast<NodeId>(rng.Uniform(dag.node_count()));
+      if (p == c || !dag.InsertEdge(p, c, &affected).ok()) continue;
+    } else if (choice == 1) {
+      // Erase some node's first parent edge — the child may become a
+      // root, exercising the class root-ness fix-up.
+      const NodeId c = static_cast<NodeId>(rng.Uniform(dag.node_count()));
+      if (dag.parents(c).empty()) continue;
+      ASSERT_TRUE(dag.EraseEdge(dag.parents(c).front(), c, &affected).ok());
+    } else if (choice == 2) {
+      // Grow the hierarchy: a brand-new node under a random parent.
+      const NodeId p = static_cast<NodeId>(rng.Uniform(dag.node_count()));
+      const NodeId c = dag.EnsureNode("extra" + std::to_string(step));
+      ASSERT_TRUE(dag.InsertEdge(p, c, &affected).ok());
+    } else {
+      // Rewrite a random subject's row (possibly to empty).
+      const NodeId v = static_cast<NodeId>(rng.Uniform(dag.node_count()));
+      std::vector<uint64_t> row;
+      for (const uint64_t key : alphabet) {
+        if (rng.Bernoulli(0.4)) row.push_back(key);
+      }
+      if (row.empty()) {
+        rows.erase(v);
+      } else {
+        rows[v] = row;
+      }
+      changed.push_back(Row(v, rows.count(v) ? rows[v] : std::vector<uint64_t>{}));
+      affected = dag.DescendantsOf(v);
+      ++epoch;
+    }
+
+    incremental = ReachabilityIndex::RebuildIncremental(
+        dag, epoch, incremental, affected, changed);
+    ASSERT_TRUE(incremental->ready());
+    const auto fresh = ReachabilityIndex::Build(dag, epoch, RowsOf(rows));
+    ASSERT_TRUE(fresh->ready());
+    ExpectIndexesEquivalent(dag, *incremental, *fresh);
+    ASSERT_EQ(incremental->dag_generation(), dag.generation());
+  }
+}
+
+TEST(ReachabilityTest, LabelBudgetAbortIsStickyAcrossIncrementalRebuilds) {
+  Random rng(55);
+  LayeredDagOptions shape;
+  shape.layers = 4;
+  shape.nodes_per_layer = 6;
+  auto built = GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(built.ok());
+  Dag dag = std::move(built).value();
+
+  // Every node gets a distinct row -> every node is its own class and
+  // the label pool is super-linear; a mean budget of 1 entry per node
+  // must abort the build.
+  std::vector<ReachLabeledRow> rows;
+  for (NodeId v = 0; v < dag.node_count(); ++v) {
+    rows.push_back(Row(v, {uint64_t{100} + v}));
+  }
+  ReachabilityOptions tight;
+  tight.max_mean_label_entries = 1;
+  auto idx = ReachabilityIndex::Build(dag, 1, rows, tight);
+  EXPECT_FALSE(idx->ready());
+  // Boolean reachability stays exact without the profile labels.
+  ExpectReachesMatchesOracle(dag, *idx);
+
+  // A later mutation cannot resurrect the labels from nothing: the
+  // abort is sticky and callers keep the classic engine.
+  std::vector<NodeId> affected;
+  const NodeId last = static_cast<NodeId>(dag.node_count() - 1);
+  ASSERT_TRUE(dag.EraseEdge(dag.parents(last).front(), last, &affected).ok());
+  const auto rebuilt = ReachabilityIndex::RebuildIncremental(
+      dag, 2, idx, affected, {});
+  EXPECT_FALSE(rebuilt->ready());
+  EXPECT_EQ(rebuilt->dag_generation(), dag.generation());
+}
+
+TEST(ReachabilityTest, ScaleLayeredGeneratorShapeContract) {
+  Random rng(77);
+  ScaleLayeredDagOptions shape;
+  shape.nodes = 1000;
+  shape.layers = 10;
+  shape.parents_per_node = 3;
+  auto dag = GenerateScaleLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+  ASSERT_EQ(dag->node_count(), 1000u);
+
+  // Layer-contiguous ids; every non-first-layer node has 1..3 parents,
+  // all in the layer directly above.
+  auto layer_of = [&](NodeId v) { return (v * shape.layers) / shape.nodes; };
+  for (NodeId v = 0; v < dag->node_count(); ++v) {
+    if (layer_of(v) == 0) {
+      EXPECT_TRUE(dag->parents(v).empty());
+      continue;
+    }
+    const auto parents = dag->parents(v);
+    ASSERT_GE(parents.size(), 1u);
+    ASSERT_LE(parents.size(), shape.parents_per_node);
+    for (const NodeId p : parents) {
+      EXPECT_EQ(layer_of(p) + 1, layer_of(v));
+    }
+  }
+
+  EXPECT_FALSE(GenerateScaleLayeredDag({1, 1, 1}, rng).ok());
+  EXPECT_FALSE(GenerateScaleLayeredDag({4, 9, 1}, rng).ok());
+  EXPECT_FALSE(GenerateScaleLayeredDag({4, 2, 0}, rng).ok());
+}
+
+}  // namespace
+}  // namespace ucr::graph

@@ -275,7 +275,8 @@ TEST(SnapshotDifferentialTest, CarryOverOnlyKeepsDerivableState) {
   SnapshotBuildStats stats;
   auto second = BuildSnapshot(system.dag(), system.eacm(), system.strategy(),
                               PropagationMode::kBoth, /*epoch=*/2, first.get(),
-                              /*resolution_capacity=*/1 << 12, &stats);
+                              /*resolution_capacity=*/1 << 12,
+                              /*reach_index=*/nullptr, &stats);
   EXPECT_GT(stats.resolution_carried, 0u);
   EXPECT_GT(stats.resolution_dropped, 0u);
   // Whatever carried must still produce oracle-identical decisions.

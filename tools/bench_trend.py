@@ -2,17 +2,19 @@
 """Compare committed BENCH_*.json results against the previous commit.
 
 Each BENCH_*.json file is JSON-lines: one object per benchmark section
-with at least {"bench", "section", "qps"} and optionally "fast_path"
-and "threads" (the identity key) plus "allocs_per_query". This script
-reads the working-tree files, pulls the same files from a baseline git
-revision (HEAD~1 by default, i.e. the previous commit), matches rows by
-identity key, and reports the qps delta per row.
+with at least {"bench", "section"} and either "qps", "p99_ns", or both,
+plus optionally "fast_path" and "threads" (the identity key) and
+"allocs_per_query". This script reads the working-tree files, pulls the
+same files from a baseline git revision (HEAD~1 by default, i.e. the
+previous commit), matches rows by identity key, and reports the qps
+delta per row.
 
 Rows that also carry "p99_ns" (latency benches such as read_churn) are
 additionally gated on tail latency: a p99 *rise* beyond --threshold is
 a regression even when throughput held — a latency bench whose p99
 doubles at constant qps is exactly the failure the epoch read path
-exists to prevent.
+exists to prevent. Latency-only rows (p50_ns/p99_ns with no qps, e.g.
+reach_scale's per-query percentiles) are trended on that gate alone.
 
 Exit codes:
   0  no regression (or nothing to compare)
@@ -44,19 +46,22 @@ def parse_json_lines(text, origin):
             print(f"warning: {origin}:{line_no}: unparsable line ({error})",
                   file=sys.stderr)
             continue
-        if "qps" not in row:
+        if "qps" not in row and "p99_ns" not in row:
             continue  # Metrics snapshots etc. ride along; skip them.
-        try:
-            row["qps"] = float(row["qps"])
-        except (TypeError, ValueError):
-            print(f"warning: {origin}:{line_no}: non-numeric qps "
-                  f"({row['qps']!r}) — skipped", file=sys.stderr)
-            continue
+        if "qps" in row:
+            try:
+                row["qps"] = float(row["qps"])
+            except (TypeError, ValueError):
+                print(f"warning: {origin}:{line_no}: non-numeric qps "
+                      f"({row['qps']!r}) — dropped", file=sys.stderr)
+                del row["qps"]  # May still trend as latency-only.
         if "p99_ns" in row:
             try:
                 row["p99_ns"] = float(row["p99_ns"])
             except (TypeError, ValueError):
                 del row["p99_ns"]  # Gate only what parses.
+        if "qps" not in row and "p99_ns" not in row:
+            continue  # Nothing numeric survived.
         key = (
             row.get("bench", os.path.basename(origin)),
             row.get("section", "?"),
@@ -156,17 +161,19 @@ def main():
                   f"rows — skipped")
             continue
 
+        def headline(row):
+            if "qps" in row:
+                return f"{row['qps']:.0f} qps"
+            return f"p99 {row['p99_ns']:.0f} ns"
+
         for key in sorted(set(current) | set(baseline)):
             if key not in baseline:
-                print(f"  NEW   {describe(key)}: "
-                      f"{current[key]['qps']:.0f} qps")
+                print(f"  NEW   {describe(key)}: {headline(current[key])}")
                 continue
             if key not in current:
-                print(f"  GONE  {describe(key)} (was "
-                      f"{baseline[key]['qps']:.0f} qps)")
+                print(f"  GONE  {describe(key)} "
+                      f"(was {headline(baseline[key])})")
                 continue
-            old = baseline[key]["qps"]
-            new = current[key]["qps"]
             # Rows measured on a degenerate host (e.g. a multi-thread
             # sweep on one granted core) are marked by the bench; a
             # delta against or from them means nothing.
@@ -175,20 +182,24 @@ def main():
                 print(f"  skipped    {describe(key)}: degenerate-host "
                       f"row (skipped_scaling)")
                 continue
-            compared += 1
-            if old <= 0:
-                continue
-            delta = 100.0 * (new - old) / old
-            marker = "ok"
-            if delta < -args.threshold:
-                marker = "REGRESSION"
-                regressions.append((key, old, new, delta, "qps"))
-            print(f"  {marker:<10} {describe(key)}: {old:.0f} -> "
-                  f"{new:.0f} qps ({delta:+.1f}%)")
+            old = baseline[key].get("qps")
+            new = current[key].get("qps")
+            if old is not None and new is not None and old > 0:
+                compared += 1
+                delta = 100.0 * (new - old) / old
+                marker = "ok"
+                if delta < -args.threshold:
+                    marker = "REGRESSION"
+                    regressions.append((key, old, new, delta, "qps"))
+                print(f"  {marker:<10} {describe(key)}: {old:.0f} -> "
+                      f"{new:.0f} qps ({delta:+.1f}%)")
             # Tail-latency gate: only for rows measured on both sides.
+            # Latency-only rows (no qps) are trended solely by this.
             old_p99 = baseline[key].get("p99_ns")
             new_p99 = current[key].get("p99_ns")
             if old_p99 and new_p99 and old_p99 > 0:
+                if old is None or new is None:
+                    compared += 1
                 p99_delta = 100.0 * (new_p99 - old_p99) / old_p99
                 p99_marker = "ok"
                 if p99_delta > args.threshold:
