@@ -12,11 +12,14 @@
 #ifndef UCR_BENCH_BENCH_OBS_H_
 #define UCR_BENCH_BENCH_OBS_H_
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 
 namespace ucr::bench_obs {
 
@@ -30,6 +33,36 @@ inline void EmitMetricsSnapshot(const char* bench) {
   std::cout << "JSON {\"bench\":\"" << bench
             << "\",\"section\":\"metrics_snapshot\",\"metrics\":" << metrics
             << "}\n";
+}
+
+/// One trend-able row summarizing the run's telemetry timeline: how
+/// many ticks the sampler completed, what one scrape cost at the tail,
+/// and whether the health engine saw transitions. Emitted by benches
+/// that run with the sampler enabled so tools/bench_trend.py can gate
+/// sampler-overhead regressions like any other metric.
+inline void EmitTimeseriesSummary(const char* bench) {
+  obs::TimeSeriesSampler& ts = obs::TimeSeriesSampler::Global();
+  uint64_t scrape_p99 = 0;
+  for (const auto& p :
+       ts.Recent("ucr_timeseries_scrape_ns", ts.options().tier0_capacity)) {
+    scrape_p99 = std::max(scrape_p99, p.p99);
+  }
+  uint64_t exemplars = 0;
+  for (const auto& m : obs::Registry::Global().Collect()) {
+    if (m.kind != 2 || m.histogram_handle == nullptr) continue;
+    for (const auto& e : m.histogram_handle->SnapExemplars()) {
+      if (e.valid) ++exemplars;
+    }
+  }
+  const obs::HealthVerdict verdict = obs::HealthEngine::Global().last_verdict();
+  std::cout << "JSON {\"bench\":\"" << bench
+            << "\",\"section\":\"timeseries_summary\",\"sampler_ticks\":"
+            << ts.ticks_total()
+            << ",\"scrape_p99_ns\":" << scrape_p99
+            << ",\"exemplars\":" << exemplars
+            << ",\"health_status\":\"" << obs::HealthStatusName(verdict.status)
+            << "\",\"health_transitions\":"
+            << obs::HealthEngine::Global().transitions_total() << "}\n";
 }
 
 }  // namespace ucr::bench_obs

@@ -142,6 +142,19 @@ int main(int argc, char** argv) {
     obs::AuditLog::Global().Start(std::move(options));
   }
   obs::ShadowVerifier::Global().SetInterval(shadow_interval);
+  // Telemetry timeline + exemplars on by default: the ≤2% overhead
+  // budget and the 0-alloc property are measured with the full
+  // observability stack live, not an idealized build. The cadence is
+  // faster than the production 1 s default so even the smoke run
+  // retains real points. UCR_BENCH_NO_TELEMETRY=1 gives the A/B
+  // baseline for isolating sampler + health-engine cost.
+  obs::SetExemplarThreshold(0);  // Every sampled query may leave one.
+  if (std::getenv("UCR_BENCH_NO_TELEMETRY") == nullptr) {
+    obs::TimeSeriesSampler::Options ts_options;
+    ts_options.interval_ms = 100;
+    obs::TimeSeriesSampler::Global().Start(ts_options);
+    obs::HealthEngine::Global().Start(/*interval_ms=*/100);
+  }
 
   constexpr uint64_t kSeed = 42;
   const size_t query_count = smoke ? 2000 : 30000;
@@ -226,8 +239,11 @@ int main(int argc, char** argv) {
     r.shadow_interval = shadow_interval;
     std::cout << JsonLine(r) << "\n";
   }
+  obs::HealthEngine::Global().Stop();
+  obs::TimeSeriesSampler::Global().Stop();
   PublishAllocationGauge();  // ucr_heap_allocations joins the snapshot.
   ucr::bench_obs::EmitMetricsSnapshot("hotpath");
+  ucr::bench_obs::EmitTimeseriesSummary("hotpath");
   obs::ShadowVerifier::Global().SetInterval(0);
   if (audit) obs::AuditLog::Global().Stop();
   return 0;

@@ -17,12 +17,21 @@
 //   ucr_admin metrics <file> [prom|json]       sweep + metrics snapshot
 //   ucr_admin trace   <file> <subject> <object> <right>
 //   ucr_admin serve   <file> [port]            live exposition server
+//   ucr_admin top <host:port> [--once]         terminal dashboard over
+//                                              a running serve instance
 //
 // Exit codes: 0 success, 1 operation failed, 2 bad usage, 3 the system
 // file could not be loaded.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cmath>
 #include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -30,6 +39,7 @@
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/explain.h"
 #include "core/paper_example.h"
@@ -37,9 +47,11 @@
 #include "core/strategy.h"
 #include "core/system.h"
 #include "obs/audit_log.h"
+#include "obs/health.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/shadow.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 #ifndef UCR_ADMIN_VERSION
@@ -167,6 +179,174 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
+// ---------------------------------------------------------------------------
+// top: a dependency-free refreshing dashboard over a serve instance.
+// Plain sockets + anchored field extraction from /statz — both ends of
+// the protocol live in this repo, so a JSON library would be dead
+// weight in an example binary.
+
+/// One short HTTP/1.1 GET against host:port. Returns false on any
+/// socket failure; fills the response body and status code otherwise.
+bool HttpGetBody(const std::string& host, uint16_t port,
+                 const std::string& path, std::string* body,
+                 int* status_code) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: " + host +
+      "\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  if (status_code != nullptr) {
+    *status_code = std::atoi(response.c_str() + response.find(' ') + 1);
+  }
+  *body = response.substr(header_end + 4);
+  return true;
+}
+
+/// The numeric value following `"key":` (first occurrence; /statz keys
+/// are unique at the level we read). 0 when absent.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string anchor = "\"" + key + "\":";
+  const size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + pos + anchor.size(), nullptr);
+}
+
+/// The string value following `anchor` (which must end just before the
+/// opening quote). Empty when absent.
+std::string JsonStringAfter(const std::string& json,
+                            const std::string& anchor) {
+  const size_t pos = json.find(anchor);
+  if (pos == std::string::npos) return "";
+  const size_t start = pos + anchor.size();
+  const size_t end = json.find('"', start);
+  if (end == std::string::npos) return "";
+  return json.substr(start, end - start);
+}
+
+/// Every `"reason":"..."` in the health object, for the verdict lines.
+std::vector<std::string> JsonReasons(const std::string& json) {
+  std::vector<std::string> reasons;
+  size_t pos = 0;
+  const std::string anchor = "\"reason\":\"";
+  while ((pos = json.find(anchor, pos)) != std::string::npos) {
+    const size_t start = pos + anchor.size();
+    const size_t end = json.find('"', start);
+    if (end == std::string::npos) break;
+    reasons.push_back(json.substr(start, end - start));
+    pos = end;
+  }
+  return reasons;
+}
+
+std::string FormatNs(double ns) {
+  char buf[32];
+  if (ns <= 0) {
+    return "-";
+  } else if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  }
+  return buf;
+}
+
+int Top(const std::string& target, bool once) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size()) {
+    std::cerr << "error: top expects <host:port>, got '" << target << "'\n";
+    return kExitBadUsage;
+  }
+  const std::string host = target.substr(0, colon);
+  const long port = std::strtol(target.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "error: bad port in '" << target << "'\n";
+    return kExitBadUsage;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (g_stop_requested == 0) {
+    std::string body;
+    int status = 0;
+    if (!HttpGetBody(host, static_cast<uint16_t>(port), "/statz", &body,
+                     &status)) {
+      std::cerr << "error: cannot reach http://" << target << "/statz\n";
+      return kExitOperationFailed;
+    }
+    std::ostringstream screen;
+    const std::string health =
+        JsonStringAfter(body, "\"health\":{\"status\":\"");
+    screen << "ucr " << target << "  —  "
+           << (once ? "single shot" : "refreshing 1s, Ctrl-C quits") << "\n\n"
+           << "  qps          " << JsonNumber(body, "qps") << "\n"
+           << "  p99          resolve " << FormatNs(JsonNumber(body, "resolve_p99_ns"))
+           << "   system " << FormatNs(JsonNumber(body, "system_p99_ns"))
+           << "   snapshot " << FormatNs(JsonNumber(body, "snapshot_p99_ns"))
+           << "   batch " << FormatNs(JsonNumber(body, "batch_p99_ns")) << "\n"
+           << "  cache hits   resolution "
+           << JsonNumber(body, "resolution_cache_hit_rate") * 100.0
+           << "%   snapshot "
+           << JsonNumber(body, "snapshot_cache_hit_rate") * 100.0 << "%\n"
+           << "  epoch        publish " << JsonNumber(body, "epoch_publish_rate")
+           << "/s   lag " << JsonNumber(body, "epoch_lag") << "\n"
+           << "  rates        slow " << JsonNumber(body, "slow_query_rate")
+           << "/s   audit drop " << JsonNumber(body, "audit_drop_rate")
+           << "/s   shadow mismatch "
+           << JsonNumber(body, "shadow_mismatch_rate") << "/s\n"
+           << "  sampler      ticks " << JsonNumber(body, "ticks") << "\n"
+           << "  health       " << (health.empty() ? "(no engine)" : health)
+           << "\n";
+    for (const std::string& reason : JsonReasons(body)) {
+      screen << "    ! " << reason << "\n";
+    }
+    if (!once) {
+      // Clear + home keeps the dashboard in place between refreshes.
+      std::cout << "\033[2J\033[H";
+    }
+    std::cout << screen.str() << std::flush;
+    if (once) return 0;
+    for (int i = 0; i < 10 && g_stop_requested == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  return 0;
+}
+
 // Long-running operational mode (DESIGN.md §9, §11): loads the system,
 // enables epoch-pinned snapshot reads, starts the audit log (rotating
 // file next to the system file), turns on 1-in-64 shadow verification,
@@ -187,10 +367,22 @@ int Serve(const std::string& path, uint16_t port) {
     audit_options.sinks.push_back(std::move(file_sink));
     obs::AuditLog::Global().Start(std::move(audit_options));
     obs::ShadowVerifier::Global().SetInterval(64);
+    // Telemetry timeline + live health verdict (DESIGN.md §13): the
+    // sampler retains two tiers of history for /timeseries and /statz,
+    // the health engine turns them into /healthz. Start failures are
+    // non-fatal (already running, or metrics compiled out — in which
+    // case the exporter refuses to start below anyway).
+    obs::TimeSeriesSampler::Global().Start();
+    obs::HealthEngine::Global().Start();
+    const auto stop_telemetry = [] {
+      obs::HealthEngine::Global().Stop();
+      obs::TimeSeriesSampler::Global().Stop();
+    };
 
     obs::HttpExporter exporter;
     std::string error;
     if (!exporter.Start(port, &error)) {
+      stop_telemetry();
       obs::AuditLog::Global().Stop();
       return Fail(Status::Internal("cannot start exporter: " + error));
     }
@@ -202,9 +394,12 @@ int Serve(const std::string& path, uint16_t port) {
     // line instead of racing a fixed port or scraping the banner.
     std::cout << "listening 127.0.0.1:" << exporter.port() << std::endl;
     std::cout << "serving http://127.0.0.1:" << exporter.port()
-              << "/{metrics,healthz,varz,tracez}\n"
+              << "/{metrics,healthz,varz,tracez,timeseries,statz}\n"
               << "audit log: " << audit_path << "\n"
               << "shadow verification: 1-in-64\n"
+              << "telemetry: 1s sampler + health engine (try `ucr_admin "
+                 "top 127.0.0.1:"
+              << exporter.port() << "`)\n"
               << "snapshot reads: enabled (epoch "
               << system.snapshots()->current_epoch() << ")\n"
               << "press Ctrl-C to stop" << std::endl;
@@ -233,6 +428,7 @@ int Serve(const std::string& path, uint16_t port) {
                                          system.strategy());
             if (!mode.ok()) {
               exporter.Stop();
+              stop_telemetry();
               obs::AuditLog::Global().Stop();
               return Fail(mode.status());
             }
@@ -244,6 +440,7 @@ int Serve(const std::string& path, uint16_t port) {
     std::cout << "\nstopping (" << exporter.requests_total()
               << " requests served)\n";
     exporter.Stop();
+    stop_telemetry();
     obs::ShadowVerifier::Global().SetInterval(0);
     obs::AuditLog::Global().Stop();
     return 0;
@@ -272,6 +469,9 @@ int main(int argc, char** argv) {
       "  serve   <file> [port]                live exposition server\n"
       "                                       (default port 9464) with\n"
       "                                       audit log + shadow checks\n"
+      "  top <host:port> [--once]             refreshing dashboard over\n"
+      "                                       a running serve instance\n"
+      "                                       (--once prints one frame)\n"
       "\n"
       "flags: --help, --version\n"
       "exit codes: 0 ok, 1 operation failed, 2 bad usage, 3 load failed\n";
@@ -294,6 +494,14 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
 
   if (command == "demo") return Demo(path);
+
+  if (command == "top") {
+    if (argc != 3 && !(argc == 4 && std::string(argv[3]) == "--once")) {
+      std::cerr << usage;
+      return kExitBadUsage;
+    }
+    return Top(path, /*once=*/argc == 4);
+  }
 
   if (command == "serve") {
     if (argc != 3 && argc != 4) {

@@ -75,7 +75,12 @@ BatchMetrics& GetBatchMetrics() {
     record.returned_line = trace->returned_line;
   }
   record.granted = mode == acm::Mode::kPositive;
-  obs::QueryTracer::Global().Record(record);
+  const uint64_t sequence = obs::QueryTracer::Global().Record(record);
+  // Exemplar: link this sample's tail-latency bucket to its trace so
+  // /tracez can recover the full Fig. 4 derivation.
+  GetBatchMetrics().latency.RecordExemplar(record.total_ns, sequence,
+                                           query.subject, query.object,
+                                           query.right);
 }
 }  // namespace
 

@@ -75,7 +75,11 @@ ResolveMetrics& GetResolveMetrics() {
   record.auth_has_negative = trace.auth_has_negative;
   record.returned_line = trace.returned_line;
   record.granted = trace.result == Mode::kPositive;
-  obs::QueryTracer::Global().Record(record);
+  const uint64_t sequence = obs::QueryTracer::Global().Record(record);
+  // Exemplar: the latency histogram keeps this sample's trace id so
+  // /tracez can resolve a tail bucket back to its Fig. 4 derivation.
+  GetResolveMetrics().latency.RecordExemplar(record.total_ns, sequence,
+                                             subject, object, right);
 }
 
 uint64_t SatAdd(uint64_t a, uint64_t b) {

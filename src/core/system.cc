@@ -83,7 +83,11 @@ MutationMetrics& GetMutationMetrics() {
     record.returned_line = trace->returned_line;
   }
   record.granted = mode == acm::Mode::kPositive;
-  obs::QueryTracer::Global().Record(record);
+  const uint64_t sequence = obs::QueryTracer::Global().Record(record);
+  // Exemplar: link this sample's tail-latency bucket to its trace so
+  // /tracez can recover the full Fig. 4 derivation.
+  GetSystemMetrics().latency.RecordExemplar(record.total_ns, sequence,
+                                            subject, object, right);
 }
 
 /// Audit hook for the named administrative operations (DESIGN.md §9).

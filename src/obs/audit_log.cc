@@ -18,6 +18,7 @@ std::string_view AuditEventTypeName(AuditEventType type) {
     case AuditEventType::kAccessDecision: return "access_decision";
     case AuditEventType::kSlowQuery: return "slow_query";
     case AuditEventType::kShadowMismatch: return "shadow_mismatch";
+    case AuditEventType::kHealthTransition: return "health_transition";
   }
   return "unknown";
 }

@@ -34,6 +34,7 @@ enum class AuditEventType : uint8_t {
   kAccessDecision,     ///< Sampled query decision.
   kSlowQuery,          ///< Sampled query over the latency threshold.
   kShadowMismatch,     ///< Fast path diverged from the classic oracle.
+  kHealthTransition,   ///< Health verdict changed (ok|degraded|failing).
 };
 
 /// The exposition name of an event type ("grant", "slow_query", ...).

@@ -1,9 +1,12 @@
 #include "obs/http_exporter.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "obs/audit_log.h"
+#include "obs/health.h"
 #include "obs/shadow.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 #if UCR_METRICS_ENABLED
@@ -65,8 +68,106 @@ std::string RenderVarz() {
       << ",\"written_total\":" << audit.written_total() << "}"
       << ",\"shadow\":{\"interval\":" << shadow.interval()
       << ",\"checks_total\":" << shadow.checks_total()
-      << ",\"mismatch_total\":" << shadow.mismatch_total() << "}}";
+      << ",\"mismatch_total\":" << shadow.mismatch_total() << "}"
+      // Promoted to top level so dashboards and alert probes can
+      // anchor on them without walking the nested objects: the two
+      // "is the observability layer lying to me" signals.
+      << ",\"audit_ring_dropped_total\":" << audit.dropped_total()
+      << ",\"shadow_divergences_total\":" << shadow.mismatch_total()
+      << ",\"timeseries\":{\"running\":"
+      << (TimeSeriesSampler::Global().running() ? "true" : "false")
+      << ",\"ticks\":" << TimeSeriesSampler::Global().ticks_total() << "}"
+      << ",\"health\":" << HealthEngine::Global().RenderJson() << "}";
   return out.str();
+}
+
+/// Reduction helpers over the sampler's newest tier-0 points — the
+/// short window (10 points ≈ 10 s at the default cadence) /statz uses
+/// so its numbers mean "now", not "since process start".
+constexpr size_t kStatzWindow = 10;
+
+double RecentRate(std::string_view metric) {
+  TimeSeriesSampler& ts = TimeSeriesSampler::Global();
+  const auto points = ts.Recent(metric, kStatzWindow);
+  if (points.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const auto& p : points) total += p.delta;
+  const double seconds =
+      static_cast<double>(points.size()) *
+      (static_cast<double>(std::max<uint64_t>(1, ts.options().interval_ms)) /
+       1000.0);
+  return static_cast<double>(total) / seconds;
+}
+
+uint64_t RecentP99(std::string_view metric) {
+  uint64_t worst = 0;
+  for (const auto& p :
+       TimeSeriesSampler::Global().Recent(metric, kStatzWindow)) {
+    worst = std::max(worst, p.p99);
+  }
+  return worst;
+}
+
+double HitRate(std::string_view hits_name, std::string_view misses_name) {
+  Registry& reg = Registry::Global();
+  const uint64_t hits = reg.GetCounter(hits_name, "").Value();
+  const uint64_t misses = reg.GetCounter(misses_name, "").Value();
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+/// /statz: the one-page operator summary `ucr_admin top` refreshes.
+/// Rates come from the time-series rings (empty sampler → zeros);
+/// ratios come straight from the cumulative counters.
+std::string RenderStatz() {
+  TimeSeriesSampler& ts = TimeSeriesSampler::Global();
+  Registry& reg = Registry::Global();
+  const double qps = RecentRate("ucr_system_queries_total") +
+                     RecentRate("ucr_snapshot_queries_total") +
+                     RecentRate("ucr_batch_queries_total");
+  std::ostringstream out;
+  out << "{\"qps\":" << qps
+      << ",\"resolve_p99_ns\":" << RecentP99("ucr_resolve_latency_ns")
+      << ",\"system_p99_ns\":" << RecentP99("ucr_system_query_latency_ns")
+      << ",\"snapshot_p99_ns\":" << RecentP99("ucr_snapshot_query_latency_ns")
+      << ",\"batch_p99_ns\":" << RecentP99("ucr_batch_query_latency_ns")
+      << ",\"resolution_cache_hit_rate\":"
+      << HitRate("ucr_resolution_cache_hits_total",
+                 "ucr_resolution_cache_misses_total")
+      << ",\"snapshot_cache_hit_rate\":"
+      << HitRate("ucr_snapshot_resolution_hits_total",
+                 "ucr_snapshot_resolution_misses_total")
+      << ",\"epoch_publish_rate\":" << RecentRate("ucr_epoch_published_total")
+      << ",\"epoch_lag\":"
+      << reg.GetGauge("ucr_epoch_lag", "").Value()
+      << ",\"audit_drop_rate\":" << RecentRate("ucr_audit_dropped_total")
+      << ",\"shadow_mismatch_rate\":"
+      << RecentRate("ucr_shadow_mismatch_total")
+      << ",\"slow_query_rate\":" << RecentRate("ucr_slow_queries_total")
+      << ",\"sampler\":{\"running\":" << (ts.running() ? "true" : "false")
+      << ",\"interval_ms\":" << ts.options().interval_ms
+      << ",\"ticks\":" << ts.ticks_total() << "}"
+      << ",\"health\":" << HealthEngine::Global().RenderJson() << "}";
+  return out.str();
+}
+
+/// /healthz: JSON verdict once a health engine has evaluated (503 on
+/// failing so probes and load balancers eject the instance); the
+/// legacy bare "ok" liveness reply before that, preserving existing
+/// scrapers on processes that never start the engine.
+std::string RenderHealthz(std::string* content_type, int* http_status) {
+  const HealthEngine& engine = HealthEngine::Global();
+  const HealthVerdict verdict = engine.last_verdict();
+  if (!engine.running() && verdict.rules.empty()) {
+    *content_type = "text/plain; charset=utf-8";
+    return "ok\n";
+  }
+  *content_type = "application/json";
+  if (http_status != nullptr && verdict.status == HealthStatus::kFailing) {
+    *http_status = 503;
+  }
+  return engine.RenderJson();
 }
 
 /// /tracez: recent sampled traces plus the shadow mismatch dump — the
@@ -100,7 +201,9 @@ std::string RenderTracez() {
 }  // namespace
 
 bool HttpExporter::RenderEndpoint(const std::string& path, std::string* body,
-                                  std::string* content_type) {
+                                  std::string* content_type,
+                                  int* http_status) {
+  if (http_status != nullptr) *http_status = 200;
 #if UCR_METRICS_ENABLED
   if (path == "/metrics") {
     *body = Registry::Global().RenderPrometheus();
@@ -108,8 +211,7 @@ bool HttpExporter::RenderEndpoint(const std::string& path, std::string* body,
     return true;
   }
   if (path == "/healthz") {
-    *body = "ok\n";
-    *content_type = "text/plain; charset=utf-8";
+    *body = RenderHealthz(content_type, http_status);
     return true;
   }
   if (path == "/varz") {
@@ -119,6 +221,16 @@ bool HttpExporter::RenderEndpoint(const std::string& path, std::string* body,
   }
   if (path == "/tracez") {
     *body = RenderTracez();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/timeseries") {
+    *body = TimeSeriesSampler::Global().RenderJson();
+    *content_type = "application/json";
+    return true;
+  }
+  if (path == "/statz") {
+    *body = RenderStatz();
     *content_type = "application/json";
     return true;
   }
@@ -257,15 +369,19 @@ void HttpExporter::ServeLoop() {
     std::string body;
     std::string content_type;
     std::string status_line;
+    int http_status = 200;
     if (method != "GET") {
       status_line = "HTTP/1.1 405 Method Not Allowed";
       body = "method not allowed\n";
       content_type = "text/plain; charset=utf-8";
-    } else if (RenderEndpoint(path, &body, &content_type)) {
-      status_line = "HTTP/1.1 200 OK";
+    } else if (RenderEndpoint(path, &body, &content_type, &http_status)) {
+      status_line = http_status == 503
+                        ? "HTTP/1.1 503 Service Unavailable"
+                        : "HTTP/1.1 200 OK";
     } else {
       status_line = "HTTP/1.1 404 Not Found";
-      body = "not found; try /metrics /healthz /varz /tracez\n";
+      body = "not found; try /metrics /healthz /varz /tracez /timeseries "
+             "/statz\n";
       content_type = "text/plain; charset=utf-8";
     }
 

@@ -11,13 +11,20 @@
 namespace ucr::obs {
 
 /// \brief Dependency-free blocking HTTP/1.1 exposition server
-/// (DESIGN.md §9): one dedicated accept thread, one request per
-/// connection (`Connection: close`), four read-only endpoints:
+/// (DESIGN.md §9, §13): one dedicated accept thread, one request per
+/// connection (`Connection: close`), six read-only endpoints:
 ///
-///   /metrics  Prometheus text (text/plain; version=0.0.4)
-///   /healthz  liveness ("ok")
-///   /varz     JSON snapshot: metrics + tracer/audit/shadow status
-///   /tracez   JSON: recent sampled traces + last shadow mismatches
+///   /metrics     Prometheus text (text/plain; version=0.0.4)
+///   /healthz     health verdict; 503 + JSON reasons when the health
+///                engine reports failing, legacy "ok" when no engine
+///                has evaluated
+///   /varz        JSON snapshot: metrics + tracer/audit/shadow/health
+///                and time-series status
+///   /tracez      JSON: recent sampled traces + last shadow mismatches
+///   /timeseries  JSON: the sampler's retained two-tier history
+///   /statz       JSON: one-page operator summary (qps, tail latency,
+///                cache hit rates, epoch churn, health) — what
+///                `ucr_admin top` polls
 ///
 /// Binds 127.0.0.1 only — this is an operator/scrape port, not a
 /// public API. Under `UCR_METRICS=OFF`, `Start` fails with an
@@ -59,9 +66,13 @@ class HttpExporter {
   }
 
   /// Builds the response body + content type for `path`. Exposed for
-  /// tests; returns false for unknown paths (a 404).
+  /// tests; returns false for unknown paths (a 404). When
+  /// `http_status` is non-null it receives the response code (200
+  /// unless an endpoint overrides it — /healthz returns 503 while the
+  /// health engine reports failing).
   static bool RenderEndpoint(const std::string& path, std::string* body,
-                             std::string* content_type);
+                             std::string* content_type,
+                             int* http_status = nullptr);
 
  private:
   void ServeLoop();

@@ -139,6 +139,32 @@ size_t Registry::metric_count() const {
   return impl_ == nullptr ? 0 : impl_->entries.size();
 }
 
+std::vector<Registry::CollectedMetric> Registry::Collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CollectedMetric> out;
+  if (impl_ == nullptr) return out;
+  out.reserve(impl_->entries.size());
+  for (const auto& [name, entry] : impl_->entries) {
+    CollectedMetric m;
+    m.name = name;
+    m.kind = entry.kind;
+    switch (entry.kind) {
+      case 0:
+        m.counter = entry.counter->Value();
+        break;
+      case 1:
+        m.gauge = entry.gauge->Value();
+        break;
+      default:
+        m.histogram = entry.histogram->Snap();
+        m.histogram_handle = entry.histogram.get();
+        break;
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
 std::string Registry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
@@ -215,7 +241,23 @@ std::string Registry::RenderJson() const {
             histograms << ",\"count\":" << snap.counts[i] << "}";
             first_bucket = false;
           }
-          histograms << "]}";
+          histograms << "]";
+          // Exemplars ride along only when captured, so snapshots of
+          // exemplar-free histograms keep their historical shape.
+          const auto exemplars = entry.histogram->SnapExemplars();
+          bool first_exemplar = true;
+          for (const Histogram::Exemplar& e : exemplars) {
+            if (!e.valid) continue;
+            histograms << (first_exemplar ? ",\"exemplars\":[" : ",")
+                       << "{\"value\":" << e.value
+                       << ",\"trace_sequence\":" << e.trace_sequence
+                       << ",\"subject\":" << e.subject
+                       << ",\"object\":" << e.object
+                       << ",\"right\":" << e.right << "}";
+            first_exemplar = false;
+          }
+          if (!first_exemplar) histograms << "]";
+          histograms << "}";
           first_histogram = false;
           break;
         }

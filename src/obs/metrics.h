@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 // Compile-time kill switch (CMake option UCR_METRICS). With the
 // option OFF every recording primitive below compiles to an empty
@@ -159,6 +160,25 @@ class Gauge {
   alignas(64) std::atomic<int64_t> value_{0};
 };
 
+namespace internal {
+/// Minimum observed value for exemplar capture (see
+/// `Histogram::RecordExemplar`). Constant-initialized so the capture
+/// path never goes through a singleton guard.
+inline std::atomic<uint64_t> g_exemplar_threshold{0};
+}  // namespace internal
+
+/// Observations below this value are not captured as exemplars
+/// (`Histogram::RecordExemplar` returns immediately). 0 — the default
+/// — captures every observation the call site offers; call sites only
+/// offer tracer-sampled queries, so even at 0 capture stays off the
+/// unsampled hot path.
+inline void SetExemplarThreshold(uint64_t min_value) {
+  internal::g_exemplar_threshold.store(min_value, std::memory_order_relaxed);
+}
+inline uint64_t ExemplarThreshold() {
+  return internal::g_exemplar_threshold.load(std::memory_order_relaxed);
+}
+
 /// \brief Fixed log-bucket histogram for latency-like values
 /// (nanoseconds, node counts).
 ///
@@ -219,12 +239,99 @@ class Histogram {
     return snap;
   }
 
+  /// \brief One captured latency outlier: the observed value plus the
+  /// identity that produced it — the QueryTracer sequence number and
+  /// the ⟨subject, object, right⟩ triple — so a histogram tail bucket
+  /// links back to the full Fig. 4 derivation retained in /tracez.
+  struct Exemplar {
+    bool valid = false;
+    uint64_t value = 0;
+    uint64_t trace_sequence = 0;  ///< QueryTracer record sequence.
+    uint32_t subject = 0;
+    uint16_t object = 0;
+    uint16_t right = 0;
+  };
+
+  /// Captures `value` + identity into the per-bucket exemplar slot
+  /// (newest wins) when `value >= ExemplarThreshold()`. Lock-free and
+  /// allocation-free: a CAS claim on the slot's sequence word plus
+  /// relaxed field stores; a concurrent writer to the same bucket
+  /// makes this a no-op (exemplars are best-effort). Call sites sit
+  /// behind the tracer's sampling countdown, so the unsampled hot
+  /// path never reaches here.
+  void RecordExemplar(uint64_t value, uint64_t trace_sequence,
+                      uint32_t subject, uint16_t object, uint16_t right) {
+#if UCR_METRICS_ENABLED
+    if (value < ExemplarThreshold()) return;
+    ExemplarSlot& slot = exemplars_[BucketIndex(value)];
+    uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+    if (seq & 1) return;  // Another writer owns the slot; drop.
+    if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+      return;
+    }
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.trace_sequence.store(trace_sequence, std::memory_order_relaxed);
+    slot.subject.store(subject, std::memory_order_relaxed);
+    slot.object.store(object, std::memory_order_relaxed);
+    slot.right.store(right, std::memory_order_relaxed);
+    slot.seq.store(seq + 2, std::memory_order_release);
+#else
+    (void)value;
+    (void)trace_sequence;
+    (void)subject;
+    (void)object;
+    (void)right;
+#endif
+  }
+
+  /// Per-bucket exemplars (entries with `valid == false` never
+  /// captured, or were mid-write on both read attempts). Cold path.
+  std::array<Exemplar, kBuckets> SnapExemplars() const {
+    std::array<Exemplar, kBuckets> out{};
+#if UCR_METRICS_ENABLED
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const ExemplarSlot& slot = exemplars_[i];
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+        if (s1 == 0) break;       // Never written.
+        if (s1 & 1) continue;     // Mid-write; retry.
+        Exemplar e;
+        e.value = slot.value.load(std::memory_order_relaxed);
+        e.trace_sequence =
+            slot.trace_sequence.load(std::memory_order_relaxed);
+        e.subject = slot.subject.load(std::memory_order_relaxed);
+        e.object = slot.object.load(std::memory_order_relaxed);
+        e.right = slot.right.load(std::memory_order_relaxed);
+        if (slot.seq.load(std::memory_order_acquire) != s1) continue;
+        e.valid = true;
+        out[i] = e;
+        break;
+      }
+    }
+#endif
+    return out;
+  }
+
  private:
   struct alignas(64) Shard {
     std::array<std::atomic<uint64_t>, kBuckets> counts{};
     std::atomic<uint64_t> sum{0};
   };
+  /// Seqlock-style slot built entirely from atomics (TSan-clean): an
+  /// odd `seq` marks a write in flight; readers accept a snapshot only
+  /// when `seq` is even and unchanged across the field reads.
+  struct ExemplarSlot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<uint64_t> value{0};
+    std::atomic<uint64_t> trace_sequence{0};
+    std::atomic<uint32_t> subject{0};
+    std::atomic<uint16_t> object{0};
+    std::atomic<uint16_t> right{0};
+  };
   std::array<Shard, internal::kSlots> shards_;
+  std::array<ExemplarSlot, kBuckets> exemplars_;
 };
 
 /// \brief Handles for one instrumented-mutex family: how often the
@@ -312,6 +419,23 @@ class Registry {
   Counter& GetCounter(std::string_view name, std::string_view help);
   Gauge& GetGauge(std::string_view name, std::string_view help);
   Histogram& GetHistogram(std::string_view name, std::string_view help);
+
+  /// One metric's value at collection time. For histograms the entry
+  /// also carries the (process-lifetime-stable) object pointer so
+  /// collectors can read exemplars without re-interning by name.
+  struct CollectedMetric {
+    std::string name;
+    int kind = 0;  ///< 0 counter, 1 gauge, 2 histogram.
+    uint64_t counter = 0;
+    int64_t gauge = 0;
+    Histogram::Snapshot histogram;
+    const Histogram* histogram_handle = nullptr;
+  };
+
+  /// Snapshot of every registered metric, sorted by name — the scrape
+  /// surface the time-series sampler (obs/timeseries.h) consumes.
+  /// Cold path; allocates; safe against concurrent writers.
+  std::vector<CollectedMetric> Collect() const;
 
   /// Prometheus text exposition format (HELP/TYPE + samples,
   /// histograms as cumulative `_bucket{le=...}` series).

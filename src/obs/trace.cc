@@ -47,24 +47,33 @@ namespace {
 }  // namespace
 #endif
 
-void QueryTracer::Record(const QueryTraceRecord& record) {
+uint64_t QueryTracer::Record(const QueryTraceRecord& record) {
 #if UCR_METRICS_ENABLED
   static Counter& sampled_total = Registry::Global().GetCounter(
       "ucr_traces_sampled_total", "Query traces recorded by the sampler");
+  static Counter& slow_total = Registry::Global().GetCounter(
+      "ucr_slow_queries_total",
+      "Tracer-sampled queries at or above the tracer's slow-query "
+      "threshold (health-engine signal)");
   sampled_total.Inc();
+  const uint64_t slow_ns = g_slow_ns.load(std::memory_order_relaxed);
+  if (slow_ns != 0 && record.total_ns >= slow_ns) slow_total.Inc();
+  uint64_t sequence;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ring_[next_] = record;
-    ring_[next_].sequence =
-        recorded_total_.fetch_add(1, std::memory_order_relaxed);
+    sequence = recorded_total_.fetch_add(1, std::memory_order_relaxed);
+    ring_[next_].sequence = sequence;
     next_ = (next_ + 1) % kRingCapacity;
     if (ring_size_ < kRingCapacity) ++ring_size_;
   }
   if (AuditLog::Enabled()) [[unlikely]] {
     AuditSampledQuery(record);
   }
+  return sequence;
 #else
   (void)record;
+  return 0;
 #endif
 }
 

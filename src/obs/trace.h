@@ -103,9 +103,22 @@ class QueryTracer {
 #endif
   }
 
-  /// Stores `record` (assigning its sequence number). Allocation-free;
-  /// bounded by the ring capacity.
-  void Record(const QueryTraceRecord& record);
+  /// Sampled queries at or above this latency increment
+  /// `ucr_slow_queries_total` (the health engine's slow-query rate
+  /// signal). Independent of the audit log's slow-query threshold so
+  /// the health verdict works without an audit sink; 0 disables.
+  void SetSlowThresholdNs(uint64_t ns) {
+    g_slow_ns.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t slow_threshold_ns() const {
+    return g_slow_ns.load(std::memory_order_relaxed);
+  }
+
+  /// Stores `record`, assigning and returning its sequence number (the
+  /// id histogram exemplars carry so /tracez can resolve them back to
+  /// this record's Fig. 4 derivation). Allocation-free; bounded by the
+  /// ring capacity. Returns 0 with instrumentation compiled out.
+  uint64_t Record(const QueryTraceRecord& record);
 
   /// Copy of the retained records, oldest first. Cold path; allocates.
   std::vector<QueryTraceRecord> Snapshot() const;
@@ -122,6 +135,7 @@ class QueryTracer {
   /// Constant-initialized (no static-init guard) so `ShouldSample` can
   /// read it without going through `Global()`.
   static inline std::atomic<uint64_t> g_interval{kDefaultInterval};
+  static inline std::atomic<uint64_t> g_slow_ns{1'000'000};  // 1 ms.
   std::atomic<uint64_t> recorded_total_{0};
   mutable std::mutex mu_;
   std::array<QueryTraceRecord, kRingCapacity> ring_;

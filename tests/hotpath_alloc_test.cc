@@ -18,6 +18,7 @@
 #include "graph/generators.h"
 #include "obs/audit_log.h"
 #include "obs/shadow.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "util/alloc_counter.h"
 #include "util/random.h"
@@ -219,6 +220,76 @@ TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithAuditAndShadow) {
          "an exclusion scope was dropped";
   EXPECT_EQ(obs::ShadowVerifier::Global().mismatch_total(), 0u)
       << "the shadow oracle disagreed with the fast path";
+}
+
+// The §13 extension: the full PR-8 telemetry stack — time-series
+// sampler ticking in the background, exemplar capture enabled at
+// threshold 0, tracing every query — keeps the query thread's budget
+// at zero. The sampler thread scrapes under ScopedAllocExclusion, and
+// exemplar capture is a CAS plus relaxed stores into preallocated
+// per-bucket slots.
+TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithSamplerLive) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (UCR_METRICS=OFF)";
+  }
+
+  Random rng(95);
+  graph::LayeredDagOptions shape;
+  shape.layers = 4;
+  shape.nodes_per_layer = 10;
+  shape.skip_edge_probability = 0.15;
+  auto dag = graph::GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId object = eacm.InternObject("o").value();
+  const acm::RightId right = eacm.InternRight("r").value();
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (!rng.Bernoulli(0.25)) continue;
+    const acm::Mode mode =
+        rng.Bernoulli(0.4) ? acm::Mode::kNegative : acm::Mode::kPositive;
+    ASSERT_TRUE(eacm.Set(v, object, right, mode).ok());
+  }
+
+  obs::QueryTracer& tracer = obs::QueryTracer::Global();
+  const uint64_t previous_interval = tracer.sample_interval();
+  tracer.SetSampleInterval(1);   // Worst case: every query sampled...
+  obs::SetExemplarThreshold(0);  // ...and every sample leaves an exemplar.
+  obs::TimeSeriesSampler::Options ts_options;
+  ts_options.interval_ms = 1;  // Scrape as often as the OS allows.
+  ASSERT_TRUE(obs::TimeSeriesSampler::Global().Start(ts_options, nullptr));
+
+  const Strategy strategy = ParseStrategy("D+LMP-").value();
+  const auto sweep = [&] {
+    for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*dag, eacm, v, object, right, strategy).ok());
+    }
+  };
+
+  sweep();  // Warm-up: arenas, metric handles, exemplar slots.
+  const uint64_t before = AllocationCount();
+  // Keep querying until the sampler has demonstrably scraped mid-sweep
+  // (bounded: CI schedulers can delay the first tick), so the zero
+  // budget is measured while ticks really overlap the queries.
+  for (int pass = 0;
+       pass < 5000 && obs::TimeSeriesSampler::Global().ticks_total() < 2;
+       ++pass) {
+    sweep();
+  }
+  const uint64_t allocations = AllocationCount() - before;
+  obs::TimeSeriesSampler::Global().Stop();
+  tracer.SetSampleInterval(previous_interval);
+  EXPECT_GE(obs::TimeSeriesSampler::Global().ticks_total(), 2u)
+      << "the sampler never ticked; the overlap this test wants did "
+         "not happen";
+  EXPECT_EQ(allocations, 0u)
+      << "the sampler or exemplar capture allocated on the query "
+         "thread's budget — a scrape escaped ScopedAllocExclusion, or "
+         "exemplar capture left its preallocated slots";
 }
 
 TEST(HotPathAllocTest, ArenaSwitchReachesSteadyStateAcrossDagSizes) {

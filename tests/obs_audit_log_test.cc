@@ -13,8 +13,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/paper_example.h"
+#include "core/system.h"
 #include "obs/metrics.h"
 
 namespace ucr::obs {
@@ -196,6 +199,42 @@ TEST(ObsAuditLogTest, RotatingFileSinkRotatesAtSizeLimit) {
 TEST(ObsAuditLogTest, EmitWhileStoppedIsRejected) {
   EXPECT_FALSE(AuditLog::Enabled());
   EXPECT_FALSE(AuditLog::Global().Emit(MakeDecisionEvent(1)));
+}
+
+// Regression: re-granting an identical right is an idempotent no-op in
+// SetMode (the early return precedes audit emission), so it must NOT
+// produce a second grant audit event — operators count grant lines as
+// actual policy changes.
+TEST(ObsAuditLogTest, IdempotentRegrantEmitsNoAuditEvent) {
+  std::vector<std::string> lines;
+  AuditLogOptions options;
+  options.log_sampled_decisions = false;
+  options.slow_query_threshold_ns = 0;
+  options.sinks.push_back(std::make_unique<VectorSink>(&lines));
+  ASSERT_TRUE(AuditLog::Global().Start(std::move(options)));
+
+  core::PaperExample ex = core::MakePaperExample();
+  core::AccessControlSystem system(std::move(ex.dag));
+  ASSERT_TRUE(system.Grant("S2", "obj", "read").ok());
+  ASSERT_TRUE(system.Grant("S2", "obj", "read").ok());  // Idempotent.
+  ASSERT_TRUE(system.DenyAccess("S4", "obj", "read").ok());
+  ASSERT_TRUE(system.DenyAccess("S4", "obj", "read").ok());  // Idempotent.
+  ASSERT_TRUE(system.Revoke("S4", "obj", "read").ok());
+  ASSERT_TRUE(system.Grant("S4", "obj", "read").ok());  // Real change.
+
+  AuditLog::Global().Flush();
+  AuditLog::Global().Stop();
+  size_t grants = 0;
+  size_t denies = 0;
+  size_t revokes = 0;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"grant\"") != std::string::npos) ++grants;
+    if (line.find("\"type\":\"deny\"") != std::string::npos) ++denies;
+    if (line.find("\"type\":\"revoke\"") != std::string::npos) ++revokes;
+  }
+  EXPECT_EQ(grants, 2u);  // First grant + the revoke->grant change only.
+  EXPECT_EQ(denies, 1u);
+  EXPECT_EQ(revokes, 1u);
 }
 
 #endif  // UCR_METRICS_ENABLED

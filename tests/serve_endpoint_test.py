@@ -8,10 +8,16 @@ FIRST stdout line (flushed before the banner); this test builds a demo
 store, starts the server on port 0, parses that line, and exercises the
 HTTP surface:
 
-  /healthz  -> 200, body "ok"
-  /varz     -> 200, JSON carrying the "epoch" object (current epoch,
-               reader pins, publication lag) because serve enables
-               snapshot reads before starting the exporter.
+  /healthz     -> 200; serve runs the health engine, so the body is
+                  the JSON verdict (status "ok" on a healthy server)
+  /varz        -> 200, JSON carrying the "epoch" object (current
+                  epoch, reader pins, publication lag) because serve
+                  enables snapshot reads before starting the exporter
+  /timeseries  -> 200, JSON from the live sampler ("running": true)
+  /statz       -> 200, JSON one-page summary (qps, health object)
+
+plus one `ucr_admin top <host:port> --once` invocation against the
+running server — the operator dashboard's whole data path.
 
 Usage: serve_endpoint_test.py <path-to-ucr_admin>
 """
@@ -97,6 +103,37 @@ def main():
             # listening line appears.
             if int(epoch["current"]) < 1:
                 return fail(proc, f"epoch.current={epoch['current']}, want >=1")
+
+            status, body = fetch(base + "/timeseries")
+            if status != 200:
+                return fail(proc, f"/timeseries -> {status}")
+            timeseries = json.loads(body)
+            if timeseries.get("running") is not True:
+                return fail(proc, f"/timeseries sampler not running: "
+                                  f"{body[:200]}")
+            if "series" not in timeseries or "tiers" not in timeseries:
+                return fail(proc, f"/timeseries lacks series/tiers: "
+                                  f"{body[:200]}")
+
+            status, body = fetch(base + "/statz")
+            if status != 200:
+                return fail(proc, f"/statz -> {status}")
+            statz = json.loads(body)
+            for field in ("qps", "health", "sampler"):
+                if field not in statz:
+                    return fail(proc, f"/statz lacks {field!r}: {body[:200]}")
+
+            # The operator dashboard end to end: one non-interactive
+            # frame against the live server.
+            top = subprocess.run([admin, "top", f"127.0.0.1:{port}",
+                                  "--once"],
+                                 capture_output=True, text=True, timeout=30)
+            if top.returncode != 0:
+                return fail(proc, f"top --once exited {top.returncode}\n"
+                                  f"{top.stdout}\n{top.stderr}")
+            if "health" not in top.stdout:
+                return fail(proc, f"top --once output lacks health line:\n"
+                                  f"{top.stdout}")
         finally:
             if proc.poll() is None:
                 proc.send_signal(signal.SIGTERM)
@@ -106,7 +143,8 @@ def main():
                     proc.kill()
                     proc.wait()
 
-    print("PASS: listening-line handshake, /healthz, /varz epoch object")
+    print("PASS: listening-line handshake, /healthz, /varz epoch object, "
+          "/timeseries, /statz, top --once")
     return 0
 
 

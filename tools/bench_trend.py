@@ -46,8 +46,25 @@ def parse_json_lines(text, origin):
             print(f"warning: {origin}:{line_no}: unparsable line ({error})",
                   file=sys.stderr)
             continue
-        if "qps" not in row and "p99_ns" not in row:
+        if ("qps" not in row and "p99_ns" not in row
+                and row.get("section") != "timeseries_summary"):
             continue  # Metrics snapshots etc. ride along; skip them.
+        if row.get("section") == "timeseries_summary":
+            # Telemetry-timeline summary (bench/bench_obs.h): trended on
+            # its own terms below — scrape cost with log2-bucket slack,
+            # plus a hard health gate.
+            try:
+                row["scrape_p99_ns"] = float(row.get("scrape_p99_ns", 0))
+            except (TypeError, ValueError):
+                row["scrape_p99_ns"] = 0.0
+            key = (
+                row.get("bench", os.path.basename(origin)),
+                "timeseries_summary",
+                False,
+                1,
+            )
+            rows[key] = row
+            continue
         if "qps" in row:
             try:
                 row["qps"] = float(row["qps"])
@@ -162,6 +179,9 @@ def main():
             continue
 
         def headline(row):
+            if row.get("section") == "timeseries_summary":
+                return (f"scrape p99 {row.get('scrape_p99_ns', 0):.0f} ns, "
+                        f"health {row.get('health_status', '?')}")
             if "qps" in row:
                 return f"{row['qps']:.0f} qps"
             return f"p99 {row['p99_ns']:.0f} ns"
@@ -181,6 +201,33 @@ def main():
                     baseline[key].get("skipped_scaling"):
                 print(f"  skipped    {describe(key)}: degenerate-host "
                       f"row (skipped_scaling)")
+                continue
+            if current[key].get("section") == "timeseries_summary":
+                # Telemetry-timeline gate. The health verdict is hard:
+                # a bench run must end healthy (the perturbed-oracle
+                # path is test-only). The scrape cost is trended with
+                # log2-bucket slack — the p99 comes from power-of-two
+                # histogram buckets, so anything under a two-bucket
+                # (4x) growth is bucket noise, not a regression.
+                compared += 1
+                status = current[key].get("health_status", "?")
+                old_scrape = baseline[key].get("scrape_p99_ns", 0.0)
+                new_scrape = current[key].get("scrape_p99_ns", 0.0)
+                marker = "ok"
+                if status != "ok":
+                    marker = "REGRESSION"
+                    regressions.append((key, 0, 0, 0.0,
+                                        f"health={status}"))
+                elif old_scrape > 0 and new_scrape > 4 * old_scrape:
+                    marker = "REGRESSION"
+                    delta = 100.0 * (new_scrape - old_scrape) / old_scrape
+                    regressions.append((key, old_scrape, new_scrape,
+                                        delta, "ns scrape p99"))
+                print(f"  {marker:<10} {describe(key)}: scrape p99 "
+                      f"{old_scrape:.0f} -> {new_scrape:.0f} ns, "
+                      f"health {status}, "
+                      f"ticks {current[key].get('sampler_ticks', '?')}, "
+                      f"exemplars {current[key].get('exemplars', '?')}")
                 continue
             old = baseline[key].get("qps")
             new = current[key].get("qps")
