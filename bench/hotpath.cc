@@ -19,9 +19,12 @@
 // turns on 1-in-N shadow verification, so the DESIGN.md §9 overhead
 // budget (≤2% with audit + shadow at N≥64) is measurable in place.
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <span>
@@ -34,6 +37,7 @@
 #include "core/strategy.h"
 #include "core/system.h"
 #include "obs/audit_log.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "util/alloc_counter.h"
 #include "util/random.h"
@@ -221,6 +225,67 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // -- profiled: the fast resolve_access workload re-run with the
+  // continuous-profiling stack fully live — phase timers arming on
+  // sampled queries plus the 97 Hz SIGPROF wall sampler. The overhead
+  // against the profiler-idle fast row above is the number the ≤2%
+  // budget (DESIGN.md §14) gates; the per-phase sums name the top
+  // phases for the trend gate.
+  double profiler_overhead_pct = 0.0;
+  obs::WallProfiler::Stats prof_stats;
+  char top_phases[128] = "";
+  {
+    std::array<uint64_t, obs::kPhaseCount> phase_before{};
+    for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+      phase_before[i] =
+          obs::Registry::Global()
+              .GetHistogram(obs::PhaseMetricName(static_cast<obs::Phase>(i)),
+                            "")
+              .Snap()
+              .sum;
+    }
+    obs::WallProfiler::Global().Start();
+    core::ResolveAccessOptions options;
+    options.use_fast_path = true;
+    const SectionResult profiled = Measure(
+        "resolve_access_profiled", true, *queries, [&](auto span) {
+          for (const auto& q : span) {
+            auto mode = core::ResolveAccess(system.dag(), system.eacm(),
+                                            q.subject, q.object, q.right,
+                                            canonical, options);
+            if (!mode.ok()) std::abort();
+          }
+        });
+    obs::WallProfiler::Global().Stop();
+    prof_stats = obs::WallProfiler::Global().GetStats();
+    results.push_back(profiled);
+    // The profiler-idle fast resolve_access row is results[1].
+    const double base_qps = results[1].qps;
+    if (base_qps > 0) {
+      profiler_overhead_pct = 100.0 * (base_qps - profiled.qps) / base_qps;
+    }
+    // Top-3 phases by attributed nanoseconds during the profiled pass.
+    std::array<std::pair<uint64_t, size_t>, obs::kPhaseCount> ranked;
+    for (size_t i = 0; i < obs::kPhaseCount; ++i) {
+      const uint64_t sum =
+          obs::Registry::Global()
+              .GetHistogram(obs::PhaseMetricName(static_cast<obs::Phase>(i)),
+                            "")
+              .Snap()
+              .sum;
+      ranked[i] = {sum - phase_before[i], i};
+    }
+    std::sort(ranked.begin(), ranked.end(), std::greater<>());
+    size_t written = 0;
+    for (size_t i = 0; i < 3 && ranked[i].first > 0; ++i) {
+      const int w = std::snprintf(
+          top_phases + written, sizeof(top_phases) - written, "%s%s",
+          written == 0 ? "" : ",",
+          obs::PhaseName(static_cast<obs::Phase>(ranked[i].second)));
+      if (w > 0) written += static_cast<size_t>(w);
+    }
+  }
+
   TablePrinter table(
       {"section", "engine", "total ms", "queries/s", "allocs/query"});
   for (const SectionResult& r : results) {
@@ -244,6 +309,20 @@ int main(int argc, char** argv) {
   PublishAllocationGauge();  // ucr_heap_allocations joins the snapshot.
   ucr::bench_obs::EmitMetricsSnapshot("hotpath");
   ucr::bench_obs::EmitTimeseriesSummary("hotpath");
+  // Continuous-profiling summary (gated by tools/bench_trend.py like
+  // timeseries_summary): the overhead of running phase timers + the
+  // 97 Hz wall sampler, the achieved sampling rate, and the phases
+  // that dominated the profiled pass.
+  std::printf(
+      "JSON {\"bench\":\"hotpath\",\"section\":\"profiler_summary\","
+      "\"overhead_pct\":%.2f,\"samples_total\":%llu,"
+      "\"samples_per_sec\":%.1f,\"dropped_total\":%llu,"
+      "\"threads_seen\":%u,\"top_phases\":\"%s\"}\n",
+      profiler_overhead_pct,
+      static_cast<unsigned long long>(prof_stats.samples_total),
+      prof_stats.samples_per_sec,
+      static_cast<unsigned long long>(prof_stats.dropped_total),
+      prof_stats.threads_seen, top_phases);
   obs::ShadowVerifier::Global().SetInterval(0);
   if (audit) obs::AuditLog::Global().Stop();
   return 0;

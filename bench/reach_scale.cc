@@ -39,6 +39,7 @@
 #include "graph/generators.h"
 #include "graph/reachability.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -143,6 +144,42 @@ void EmitRow(const char* section, size_t nodes, const SectionResult& r) {
       static_cast<unsigned long long>(r.p99_ns));
 }
 
+/// Folded-stack triage for the acceptance gate: how much of the
+/// sampled wall time symbolized to a *named* leaf frame, as opposed
+/// to "[unknown]", a bare hex pc, or the module+offset fallback.
+struct FoldedAttribution {
+  uint64_t total = 0;  ///< Samples across every folded line.
+  uint64_t named = 0;  ///< Samples whose leaf frame carries a symbol.
+};
+
+FoldedAttribution AttributeFolded(const std::string& folded) {
+  FoldedAttribution a;
+  size_t pos = 0;
+  while (pos < folded.size()) {
+    size_t eol = folded.find('\n', pos);
+    if (eol == std::string::npos) eol = folded.size();
+    const std::string line = folded.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Count is after the last space; demangled frames may themselves
+    // contain spaces (template arguments), so split from the right.
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    const uint64_t count =
+        std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    if (count == 0) continue;
+    const std::string stack = line.substr(0, space);
+    const size_t semi = stack.rfind(';');
+    const std::string leaf =
+        semi == std::string::npos ? stack : stack.substr(semi + 1);
+    a.total += count;
+    const bool unnamed = leaf.empty() || leaf == "[unknown]" ||
+                         leaf.compare(0, 2, "0x") == 0 ||
+                         leaf.find("+0x") != std::string::npos;
+    if (!unnamed) a.named += count;
+  }
+  return a;
+}
+
 acm::Mode MustResolve(const Workload& w, graph::NodeId subject,
                       const core::Strategy& strategy,
                       const core::ResolveAccessOptions& options,
@@ -170,6 +207,16 @@ int main(int argc, char** argv) {
   const size_t kClassicQueries = smoke ? 200 : 50;
   const size_t kVerifyQueries = smoke ? 128 : 64;
   const size_t kEdits = smoke ? 8 : 16;
+
+  // UCR_BENCH_PROFILE=1 runs the whole bench under the §14 wall-clock
+  // sampler and reports the named-frame attribution of the folded
+  // profile at the end (acceptance gate: >= 90% of sampled time).
+  const bool profile = std::getenv("UCR_BENCH_PROFILE") != nullptr;
+  if (profile && !obs::WallProfiler::Global().Start()) {
+    std::cerr << "FATAL: UCR_BENCH_PROFILE set but the profiler refused "
+              << "to start (already running, or metrics compiled out)\n";
+    return 1;
+  }
 
   Random rng(20260808);
   Workload w = MakeWorkload(kNodes, kLayers, rng);
@@ -311,5 +358,28 @@ int main(int argc, char** argv) {
   std::cout << "\n" << table.ToString() << "\n";
 
   bench_obs::EmitMetricsSnapshot("reach_scale");
+
+  if (profile) {
+    obs::WallProfiler& wp = obs::WallProfiler::Global();
+    const obs::WallProfiler::Stats pstats = wp.GetStats();
+    wp.Stop();
+    const FoldedAttribution attr = AttributeFolded(wp.RenderFolded());
+    const double named_pct =
+        attr.total > 0
+            ? 100.0 * static_cast<double>(attr.named) /
+                  static_cast<double>(attr.total)
+            : 0.0;
+    std::printf(
+        "profile: %llu samples (%.0f/s), %llu dropped, %u threads, "
+        "%.1f%% of sampled time in named leaf frames\n",
+        static_cast<unsigned long long>(pstats.samples_total),
+        pstats.samples_per_sec,
+        static_cast<unsigned long long>(pstats.dropped_total),
+        pstats.threads_seen, named_pct);
+    if (attr.total == 0 || named_pct < 90.0) {
+      std::cerr << "FATAL: named-frame attribution below the 90% gate\n";
+      return 1;
+    }
+  }
   return 0;
 }

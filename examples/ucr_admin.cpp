@@ -37,6 +37,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <map>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "obs/health.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -347,6 +349,76 @@ int Top(const std::string& target, bool once) {
   return 0;
 }
 
+// profile: pull the wall profiler's folded stacks off a running serve
+// instance. Default is a windowed profile — fetch /profilez, wait
+// `seconds`, fetch again, and print the per-stack count difference so
+// the output covers exactly the window (serve keeps its profiler
+// running for the life of the process). --once prints the cumulative
+// profile from a single fetch instead. Both outputs are flamegraph.pl
+// / speedscope "folded stacks" input.
+int Profile(const std::string& target, int seconds, bool once) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size()) {
+    std::cerr << "error: profile expects <host:port>, got '" << target
+              << "'\n";
+    return kExitBadUsage;
+  }
+  const std::string host = target.substr(0, colon);
+  const long port = std::strtol(target.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::cerr << "error: bad port in '" << target << "'\n";
+    return kExitBadUsage;
+  }
+  const auto fetch_folded = [&](std::map<std::string, uint64_t>* out) {
+    std::string body;
+    int status = 0;
+    if (!HttpGetBody(host, static_cast<uint16_t>(port), "/profilez", &body,
+                     &status) ||
+        status != 200) {
+      std::cerr << "error: cannot reach http://" << target << "/profilez\n";
+      return false;
+    }
+    size_t pos = 0;
+    while (pos < body.size()) {
+      size_t eol = body.find('\n', pos);
+      if (eol == std::string::npos) eol = body.size();
+      const std::string line = body.substr(pos, eol - pos);
+      pos = eol + 1;
+      const size_t space = line.rfind(' ');
+      if (space == std::string::npos || space == 0) continue;
+      const uint64_t count =
+          std::strtoull(line.c_str() + space + 1, nullptr, 10);
+      if (count > 0) (*out)[line.substr(0, space)] += count;
+    }
+    return true;
+  };
+  std::map<std::string, uint64_t> before;
+  if (!once) {
+    if (!fetch_folded(&before)) return kExitOperationFailed;
+    std::cerr << "profiling " << target << " for " << seconds << "s...\n";
+    std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  }
+  std::map<std::string, uint64_t> after;
+  if (!fetch_folded(&after)) return kExitOperationFailed;
+  uint64_t total = 0;
+  for (const auto& [stack, count] : after) {
+    const auto it = before.find(stack);
+    const uint64_t prior = it == before.end() ? 0 : it->second;
+    if (count > prior) {
+      std::cout << stack << " " << (count - prior) << "\n";
+      total += count - prior;
+    }
+  }
+  if (total == 0) {
+    std::cerr << "no samples captured (is the profiler running? serve "
+                 "starts it automatically)\n";
+    return kExitOperationFailed;
+  }
+  std::cerr << total << " samples\n";
+  return 0;
+}
+
 // Long-running operational mode (DESIGN.md §9, §11): loads the system,
 // enables epoch-pinned snapshot reads, starts the audit log (rotating
 // file next to the system file), turns on 1-in-64 shadow verification,
@@ -374,7 +446,12 @@ int Serve(const std::string& path, uint16_t port) {
     // case the exporter refuses to start below anyway).
     obs::TimeSeriesSampler::Global().Start();
     obs::HealthEngine::Global().Start();
+    // Continuous wall-clock profiling (DESIGN.md §14): 97 Hz SIGPROF
+    // sampling for the life of the serve process, read back through
+    // /profilez or `ucr_admin profile`.
+    obs::WallProfiler::Global().Start();
     const auto stop_telemetry = [] {
+      obs::WallProfiler::Global().Stop();
       obs::HealthEngine::Global().Stop();
       obs::TimeSeriesSampler::Global().Stop();
     };
@@ -394,12 +471,15 @@ int Serve(const std::string& path, uint16_t port) {
     // line instead of racing a fixed port or scraping the banner.
     std::cout << "listening 127.0.0.1:" << exporter.port() << std::endl;
     std::cout << "serving http://127.0.0.1:" << exporter.port()
-              << "/{metrics,healthz,varz,tracez,timeseries,statz}\n"
+              << "/{metrics,healthz,varz,tracez,timeseries,statz,profilez}\n"
               << "audit log: " << audit_path << "\n"
               << "shadow verification: 1-in-64\n"
               << "telemetry: 1s sampler + health engine (try `ucr_admin "
                  "top 127.0.0.1:"
               << exporter.port() << "`)\n"
+              << "profiler: 97 Hz wall-clock sampler (try `ucr_admin "
+                 "profile 127.0.0.1:"
+              << exporter.port() << " 5`)\n"
               << "snapshot reads: enabled (epoch "
               << system.snapshots()->current_epoch() << ")\n"
               << "press Ctrl-C to stop" << std::endl;
@@ -472,6 +552,12 @@ int main(int argc, char** argv) {
       "  top <host:port> [--once]             refreshing dashboard over\n"
       "                                       a running serve instance\n"
       "                                       (--once prints one frame)\n"
+      "  profile <host:port> [seconds] [--once]\n"
+      "                                       folded wall-clock stacks\n"
+      "                                       from a running serve\n"
+      "                                       instance (default 10s\n"
+      "                                       window; --once dumps the\n"
+      "                                       cumulative profile)\n"
       "\n"
       "flags: --help, --version\n"
       "exit codes: 0 ok, 1 operation failed, 2 bad usage, 3 load failed\n";
@@ -494,6 +580,27 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
 
   if (command == "demo") return Demo(path);
+
+  if (command == "profile") {
+    int seconds = 10;
+    bool once = false;
+    for (int i = 3; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--once") {
+        once = true;
+      } else {
+        char* end = nullptr;
+        const long parsed = std::strtol(arg.c_str(), &end, 10);
+        if (end == arg.c_str() || *end != '\0' || parsed < 1 ||
+            parsed > 3600) {
+          std::cerr << "profile: seconds must be 1..3600\n";
+          return kExitBadUsage;
+        }
+        seconds = static_cast<int>(parsed);
+      }
+    }
+    return Profile(path, seconds, once);
+  }
 
   if (command == "top") {
     if (argc != 3 && !(argc == 4 && std::string(argv[3]) == "--once")) {

@@ -8,6 +8,7 @@
 #include "graph/ancestor_subgraph.h"
 #include "graph/scratch_subgraph.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "obs/trace.h"
 
@@ -48,7 +49,8 @@ BatchMetrics& GetBatchMetrics() {
                       const Strategy& canonical, bool fast_path,
                       bool resolution_hit, bool subgraph_hit,
                       uint64_t t_start, uint64_t t_propagate, uint64_t t_end,
-                      const ResolveTrace* trace, acm::Mode mode) {
+                      const ResolveTrace* trace, acm::Mode mode,
+                      const obs::PhaseBreakdown& phases) {
   obs::QueryTraceRecord record;
   record.subject = query.subject;
   record.object = query.object;
@@ -65,6 +67,7 @@ BatchMetrics& GetBatchMetrics() {
     record.resolve_ns = t_end - t_propagate;
   }
   record.total_ns = t_end - t_start;
+  record.phases = phases;
   if (trace != nullptr) {
     record.has_majority = trace->c1.has_value();
     record.c1 = trace->c1.value_or(0);
@@ -117,6 +120,8 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
   // histogram, and the Fig. 4 trace fire only for sampled queries.
   const bool sampled = obs::QueryTracer::ShouldSample();
   const uint64_t t_start = sampled ? obs::NowNs() : 0;
+  // Phase-attribution owner scope (DESIGN.md §14).
+  obs::ScopedPhaseCollection phase_scope(sampled);
 
   // Mirrors AccessControlSystem::CheckAccess step for step; decisions
   // are deterministic, so sharing them across threads is sound.
@@ -133,7 +138,8 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
           GetBatchMetrics().latency.Observe(t_end - t_start);
           RecordBatchTrace(query, canonical, options_.use_fast_path,
                            /*resolution_hit=*/true, /*subgraph_hit=*/false,
-                           t_start, t_start, t_end, nullptr, *cached);
+                           t_start, t_start, t_end, nullptr, *cached,
+                           phase_scope.Snapshot());
         }
       }
       return *cached;
@@ -199,7 +205,8 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
       GetBatchMetrics().latency.Observe(t_end - t_start);
       RecordBatchTrace(query, canonical, options_.use_fast_path,
                        /*resolution_hit=*/false, subgraph_hit, t_start,
-                       t_propagate, t_end, trace_out, mode);
+                       t_propagate, t_end, trace_out, mode,
+                       phase_scope.Snapshot());
     }
     if (shadowed) [[unlikely]] {
       ShadowVerifyDecision(*dag_, *eacm_, query.subject, query.object,
@@ -212,6 +219,13 @@ acm::Mode BatchResolver::ResolveOne(const Query& query,
 
 StatusOr<std::vector<acm::Mode>> BatchResolver::ResolveBatch(
     std::span<const Query> queries, const Strategy& strategy) {
+  // Batch-assembly phase (DESIGN.md §14): validation, canonicalization,
+  // and the result-vector setup are the per-batch overhead that no
+  // per-query phase sees. Sampled per batch and observed directly —
+  // a per-query collection spanning ParallelFor would force clock
+  // stamps onto every inline query.
+  const bool sampled = obs::QueryTracer::ShouldSample();
+  const uint64_t t_assemble = sampled ? obs::NowNs() : 0;
   for (const Query& q : queries) {
     if (q.subject >= dag_->node_count() ||
         q.object >= eacm_->object_count() ||
@@ -222,6 +236,15 @@ StatusOr<std::vector<acm::Mode>> BatchResolver::ResolveBatch(
   const Strategy canonical = strategy.Canonical();
   if constexpr (obs::kEnabled) GetBatchMetrics().batches.Inc();
   std::vector<acm::Mode> results(queries.size(), acm::Mode::kNegative);
+  if constexpr (obs::kEnabled) {
+    if (sampled) [[unlikely]] {
+      static obs::Histogram& assemble_hist =
+          obs::Registry::Global().GetHistogram(
+              obs::PhaseMetricName(obs::Phase::kBatchAssemble),
+              "Per-batch time in batch validation/assembly (ns, sampled)");
+      assemble_hist.Observe(obs::NowNs() - t_assemble);
+    }
+  }
   pool_.ParallelFor(0, queries.size(), [&](size_t i) {
     results[i] = ResolveOne(queries[i], canonical);
   });

@@ -2,6 +2,7 @@
 
 #include "obs/audit_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace ucr::core {
 
@@ -28,6 +29,9 @@ std::optional<acm::Mode> ResolutionCache::Lookup(graph::NodeId subject,
                                                  acm::RightId right,
                                                  const Strategy& strategy,
                                                  uint64_t epoch) {
+  // Cache-probe phase attribution (DESIGN.md §14): armed only inside
+  // a sampled query's collection scope.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   internal::CacheMetrics& m = internal::GetCacheMetrics();
   auto it = entries_.find(Key(subject, object, right, strategy));
   if (it == entries_.end()) {
@@ -52,6 +56,7 @@ std::optional<acm::Mode> ResolutionCache::Lookup(graph::NodeId subject,
 void ResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
                             acm::RightId right, const Strategy& strategy,
                             uint64_t epoch, acm::Mode mode) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   entries_[Key(subject, object, right, strategy)] = Entry{epoch, mode};
 }
 
@@ -87,11 +92,16 @@ size_t ResolutionCache::EraseSubjects(const std::vector<uint8_t>& affected) {
 const graph::AncestorSubgraph& SubgraphCache::Get(const graph::Dag& dag,
                                                   graph::NodeId subject) {
   internal::CacheMetrics& m = internal::GetCacheMetrics();
-  auto it = subgraphs_.find(subject);
-  if (it != subgraphs_.end()) {
-    ++hits_;
-    m.subgraph_hits.Inc();
-    return *it->second;
+  {
+    // Probe only: a miss falls through to extraction, which attributes
+    // to the extract phase inside the AncestorSubgraph constructor.
+    obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
+    auto it = subgraphs_.find(subject);
+    if (it != subgraphs_.end()) {
+      ++hits_;
+      m.subgraph_hits.Inc();
+      return *it->second;
+    }
   }
   ++misses_;
   m.subgraph_misses.Inc();

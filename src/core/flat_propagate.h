@@ -14,6 +14,7 @@
 #include "core/rights_bag.h"
 #include "graph/dag.h"
 #include "graph/scratch_subgraph.h"
+#include "obs/profiler.h"
 
 namespace ucr::core {
 
@@ -80,6 +81,9 @@ class FlatPropagator {
   std::span<const RightsEntry> PropagateSink(
       const View& view, const PropagateOptions& options = {},
       PropagateStats* stats = nullptr) {
+    // Phase attribution (DESIGN.md §14): no-op unless the enclosing
+    // query is sampled.
+    obs::ScopedPhaseTimer phase_timer(obs::Phase::kPropagate);
     Run(view, options, stats);
     return MaterializeBag(static_cast<graph::LocalId>(view.sink()));
   }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "obs/profiler.h"
+
 namespace ucr::core {
 
 namespace {
@@ -166,6 +168,9 @@ std::vector<std::vector<RightsEntry>> AggregatedImpl(
 RightsBag PropagateAggregated(const AncestorSubgraph& sub, LabelView labels,
                               const PropagateOptions& options,
                               PropagateStats* stats) {
+  // Phase attribution (DESIGN.md §14): inert unless the enclosing
+  // query is sampled.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kPropagate);
   std::vector<RightsBag> all = PropagateAggregatedAll(sub, labels, options,
                                                       stats);
   return std::move(all[sub.sink()]);
@@ -270,6 +275,7 @@ StatusOr<RightsBag> PropagateLiteral(const AncestorSubgraph& sub,
                                      const PropagateOptions& options,
                                      PropagateStats* stats,
                                      uint64_t max_tuples) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kPropagate);
   UCR_ASSIGN_OR_RETURN(
       std::vector<RightsBag> bags,
       LiteralImpl(sub, labels, options, stats, max_tuples,

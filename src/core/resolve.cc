@@ -7,6 +7,7 @@
 #include "graph/ancestor_subgraph.h"
 #include "graph/scratch_subgraph.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "obs/trace.h"
 
@@ -56,7 +57,8 @@ ResolveMetrics& GetResolveMetrics() {
                       acm::RightId right, const Strategy& canonical,
                       bool fast_path, uint64_t t_start, uint64_t t_extract,
                       uint64_t t_propagate, uint64_t t_end,
-                      const ResolveTrace& trace) {
+                      const ResolveTrace& trace,
+                      const obs::PhaseBreakdown& phases) {
   obs::QueryTraceRecord record;
   record.subject = subject;
   record.object = object;
@@ -67,6 +69,7 @@ ResolveMetrics& GetResolveMetrics() {
   record.propagate_ns = t_propagate - t_extract;
   record.resolve_ns = t_end - t_propagate;
   record.total_ns = t_end - t_start;
+  record.phases = phases;
   record.has_majority = trace.c1.has_value();
   record.c1 = trace.c1.value_or(0);
   record.c2 = trace.c2.value_or(0);
@@ -249,6 +252,9 @@ bool ReachIndexUsable(const graph::ReachabilityIndex* index,
 std::span<const RightsEntry> ComposeIndexedSinkBag(
     const graph::ReachabilityIndex& index, graph::NodeId subject,
     acm::ObjectId object, acm::RightId right, PropagationMode mode) {
+  // Phase attribution (DESIGN.md §14): composition replaces both
+  // extraction and propagation on the indexed path.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCompose);
   using ClassId = graph::ReachabilityIndex::ClassId;
   ComposeScratch& scratch = ComposeScratch::ThreadLocal();
   if (scratch.stamp.size() < index.class_count()) {
@@ -326,6 +332,7 @@ std::string ResolveTrace::C2ToString() const {
 
 acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
                   ResolveTrace* trace) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kResolve);
   const Strategy s = strategy.Canonical();
   ResolveTrace local_trace;
   ResolveTrace& t = trace != nullptr ? *trace : local_trace;
@@ -385,6 +392,7 @@ acm::Mode Resolve(const RightsBag& all_rights, const Strategy& strategy,
 
 acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
                          const Strategy& strategy, ResolveTrace* trace) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kResolve);
   const Strategy s = strategy.Canonical();
   ResolveTrace local_trace;
   ResolveTrace& t = trace != nullptr ? *trace : local_trace;
@@ -470,8 +478,10 @@ acm::Mode ResolveEntries(std::span<const RightsEntry> all_rights,
     acm::Mode fast_mode, const ResolveTrace& fast_trace,
     size_t indexed_bag_entries) {
   // Deliberate sampled work: its heap traffic is excluded from the
-  // hot path's zero-allocation budget (util/alloc_counter.cc).
+  // hot path's zero-allocation budget (util/alloc_counter.cc), and its
+  // re-resolution must not pollute the query's phase breakdown.
   obs::ScopedAllocExclusion off_budget;
+  obs::ScopedPhaseSuspend no_phases;
 
   // Reusable per-thread staging so the steady-state oracle cost is
   // O(sub-graph), not O(node-count) vector churn per shadowed query.
@@ -570,6 +580,12 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
   const bool sampled = obs::QueryTracer::ShouldSample();
   const uint64_t t_start = sampled ? obs::NowNs() : 0;
 
+  // Owner scope of this query's phase attribution (DESIGN.md §14): the
+  // component-internal phase timers arm only when a collection is
+  // active. A no-op when the caller (CheckAccess, the batch resolver,
+  // a snapshot) already owns the scope, or when unsampled.
+  obs::ScopedPhaseCollection phases(sampled);
+
   // Reachability-index path (DESIGN.md §12): the sink bag is composed
   // from the subject's compressed label in O(label) — no extraction,
   // no propagation. `stats` describe the traversal this path skips,
@@ -595,7 +611,7 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
         m.latency.Observe(t_end - t_start);
         RecordQueryTrace(subject, object, right, strategy.Canonical(),
                          /*fast_path=*/true, t_start, t_compose, t_compose,
-                         t_end, *trace_out);
+                         t_end, *trace_out, phases.Snapshot());
       }
       if (shadowed) [[unlikely]] {
         ShadowVerifyDecision(dag, eacm, subject, object, right,
@@ -633,7 +649,7 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
         GetResolveMetrics().latency.Observe(t_end - t_start);
         RecordQueryTrace(subject, object, right, strategy.Canonical(),
                          /*fast_path=*/true, t_start, t_extract, t_propagate,
-                         t_end, *trace_out);
+                         t_end, *trace_out, phases.Snapshot());
       }
       if (shadowed) [[unlikely]] {
         ShadowVerifyDecision(dag, eacm, subject, object, right,
@@ -670,7 +686,7 @@ StatusOr<acm::Mode> ResolveAccess(const graph::Dag& dag,
       m.latency.Observe(t_end - t_start);
       RecordQueryTrace(subject, object, right, strategy.Canonical(),
                        /*fast_path=*/false, t_start, t_extract, t_propagate,
-                       t_end, *trace_out);
+                       t_end, *trace_out, phases.Snapshot());
     }
   }
   return mode;

@@ -2,12 +2,17 @@
 
 #include "core/flat_propagate.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace ucr::core {
 
 std::optional<acm::Mode> ShardedResolutionCache::Lookup(
     graph::NodeId subject, acm::ObjectId object, acm::RightId right,
     const Strategy& strategy, uint64_t epoch) {
+  // Cache-probe phase attribution (DESIGN.md §14): the wait for the
+  // shard lock is part of the probe cost a query pays, so the timer
+  // opens before the lock. Armed only for sampled queries.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   internal::CacheMetrics& m = internal::GetCacheMetrics();
   const CacheKey key = Key(subject, object, right, strategy);
   Shard& shard = ShardFor(key);
@@ -39,6 +44,7 @@ void ShardedResolutionCache::Store(graph::NodeId subject, acm::ObjectId object,
                                    acm::RightId right,
                                    const Strategy& strategy, uint64_t epoch,
                                    acm::Mode mode) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   const CacheKey key = Key(subject, object, right, strategy);
   Shard& shard = ShardFor(key);
   obs::ScopedMetricsLock lock(shard.mu, obs::GetLockWaitMetrics());
@@ -109,12 +115,17 @@ const graph::AncestorSubgraph& ShardedSubgraphCache::Get(
   internal::CacheMetrics& m = internal::GetCacheMetrics();
   Shard& shard = shards_[subject & (kShardCount - 1)];
   obs::ScopedMetricsLock lock(shard.mu, obs::GetLockWaitMetrics());
-  auto it = shard.subgraphs.find(subject);
-  if (it != shard.subgraphs.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-    m.subgraph_hits.Inc();
-    if (hit != nullptr) *hit = true;
-    return *it->second;
+  {
+    // Probe only: a miss falls through to extraction, which the
+    // AncestorSubgraph constructor attributes to the extract phase.
+    obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
+    auto it = shard.subgraphs.find(subject);
+    if (it != shard.subgraphs.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      m.subgraph_hits.Inc();
+      if (hit != nullptr) *hit = true;
+      return *it->second;
+    }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
   m.subgraph_misses.Inc();

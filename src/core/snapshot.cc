@@ -7,6 +7,7 @@
 
 #include "core/flat_propagate.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace ucr::core {
@@ -81,7 +82,8 @@ size_t RoundUpPow2(size_t n) {
     graph::NodeId subject, acm::ObjectId object, acm::RightId right,
     const Strategy& canonical, bool resolution_hit, bool subgraph_hit,
     uint64_t t_start, uint64_t t_extract, uint64_t t_propagate, uint64_t t_end,
-    const ResolveTrace* trace, acm::Mode mode) {
+    const ResolveTrace* trace, acm::Mode mode,
+    const obs::PhaseBreakdown& phases) {
   obs::QueryTraceRecord record;
   record.subject = subject;
   record.object = object;
@@ -96,6 +98,7 @@ size_t RoundUpPow2(size_t n) {
     record.resolve_ns = t_end - t_propagate;
   }
   record.total_ns = t_end - t_start;
+  record.phases = phases;
   if (trace != nullptr) {
     record.has_majority = trace->c1.has_value();
     record.c1 = trace->c1.value_or(0);
@@ -128,6 +131,8 @@ std::optional<acm::Mode> EpochResolutionTable::Lookup(graph::NodeId subject,
                                                       acm::ObjectId object,
                                                       acm::RightId right,
                                                       uint8_t strategy) const {
+  // Epoch-table probes share the cache-probe phase (DESIGN.md §14).
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   const uint64_t triple = PackTriple(subject, object, right);
   size_t idx = SeedIndex(triple, strategy);
   for (size_t i = 0; i < kMaxProbes; ++i, idx = (idx + 1) & mask_) {
@@ -150,6 +155,7 @@ std::optional<acm::Mode> EpochResolutionTable::Lookup(graph::NodeId subject,
 bool EpochResolutionTable::TryStore(graph::NodeId subject,
                                     acm::ObjectId object, acm::RightId right,
                                     uint8_t strategy, acm::Mode mode) {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   if (size_.load(std::memory_order_relaxed) >= max_load_) return false;
   const uint64_t triple = PackTriple(subject, object, right);
   const uint64_t value =
@@ -199,6 +205,7 @@ EpochSubgraphTable::~EpochSubgraphTable() {
 
 const graph::AncestorSubgraph* EpochSubgraphTable::Find(
     graph::NodeId subject) const {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   const uint64_t key = static_cast<uint64_t>(subject) + 1;
   size_t idx = SeedIndex(subject);
   for (size_t i = 0; i < kMaxProbes; ++i, idx = (idx + 1) & mask_) {
@@ -216,6 +223,7 @@ const graph::AncestorSubgraph* EpochSubgraphTable::Find(
 const graph::AncestorSubgraph* EpochSubgraphTable::Install(
     graph::NodeId subject,
     std::unique_ptr<const graph::AncestorSubgraph>& sub) const {
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kCacheProbe);
   const uint64_t key = static_cast<uint64_t>(subject) + 1;
   size_t idx = SeedIndex(subject);
   for (size_t i = 0; i < kMaxProbes; ++i, idx = (idx + 1) & mask_) {
@@ -358,6 +366,8 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
   const uint8_t strategy_index = canonical.CanonicalIndex();
   const bool sampled = obs::QueryTracer::ShouldSample();
   const uint64_t t_start = sampled ? obs::NowNs() : 0;
+  // Phase-attribution owner scope (DESIGN.md §14).
+  obs::ScopedPhaseCollection phase_scope(sampled);
 
   // A memoized decision has no derivation, so a caller asking for the
   // trace or stats always re-derives (and skips the redundant store:
@@ -381,7 +391,7 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
           RecordSnapshotTrace(subject, object, right, canonical,
                               /*resolution_hit=*/true, /*subgraph_hit=*/false,
                               t_start, t_start, t_start, t_end, nullptr,
-                              *cached);
+                              *cached, phase_scope.Snapshot());
         }
       }
       return *cached;
@@ -457,7 +467,8 @@ StatusOr<acm::Mode> SnapshotResolveAccess(const HierarchySnapshot& snapshot,
       GetSnapshotMetrics().latency.Observe(t_end - t_start);
       RecordSnapshotTrace(subject, object, right, canonical,
                           /*resolution_hit=*/false, subgraph_hit, t_start,
-                          t_extract, t_propagate, t_end, trace_out, mode);
+                          t_extract, t_propagate, t_end, trace_out, mode,
+                          phase_scope.Snapshot());
     }
   }
   return mode;

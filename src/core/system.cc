@@ -7,6 +7,7 @@
 #include "core/propagate.h"
 #include "obs/audit_log.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -59,7 +60,8 @@ MutationMetrics& GetMutationMetrics() {
                        acm::RightId right, const Strategy& canonical,
                        bool resolution_hit, bool subgraph_hit,
                        uint64_t t_start, uint64_t t_propagate, uint64_t t_end,
-                       const ResolveTrace* trace, acm::Mode mode) {
+                       const ResolveTrace* trace, acm::Mode mode,
+                       const obs::PhaseBreakdown& phases) {
   obs::QueryTraceRecord record;
   record.subject = subject;
   record.object = object;
@@ -73,6 +75,7 @@ MutationMetrics& GetMutationMetrics() {
     record.resolve_ns = t_end - t_propagate;
   }
   record.total_ns = t_end - t_start;
+  record.phases = phases;
   if (trace != nullptr) {
     record.has_majority = trace->c1.has_value();
     record.c1 = trace->c1.value_or(0);
@@ -484,6 +487,9 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
   const Strategy canonical = strategy.Canonical();
   const bool sampled = obs::QueryTracer::ShouldSample();
   const uint64_t t_start = sampled ? obs::NowNs() : 0;
+  // Phase-attribution owner scope (DESIGN.md §14): the cache probes,
+  // composition, propagation, and resolve below attribute into it.
+  obs::ScopedPhaseCollection phase_scope(sampled);
   // Cache entries are validated against the (object, right) column's
   // own epoch, so edits to unrelated columns keep their cached
   // decisions warm.
@@ -499,7 +505,8 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
           GetSystemMetrics().latency.Observe(t_end - t_start);
           RecordSystemTrace(subject, object, right, canonical,
                             /*resolution_hit=*/true, /*subgraph_hit=*/false,
-                            t_start, t_start, t_end, nullptr, *cached);
+                            t_start, t_start, t_end, nullptr, *cached,
+                            phase_scope.Snapshot());
         }
       }
       return *cached;
@@ -533,7 +540,8 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
           GetSystemMetrics().latency.Observe(t_end - t_start);
           RecordSystemTrace(subject, object, right, canonical,
                             /*resolution_hit=*/false, /*subgraph_hit=*/false,
-                            t_start, t_start, t_end, &sampled_trace, mode);
+                            t_start, t_start, t_end, &sampled_trace, mode,
+                            phase_scope.Snapshot());
         }
       }
       return mode;
@@ -570,7 +578,8 @@ StatusOr<acm::Mode> AccessControlSystem::CheckAccess(graph::NodeId subject,
       GetSystemMetrics().latency.Observe(t_end - t_start);
       RecordSystemTrace(subject, object, right, canonical,
                         /*resolution_hit=*/false, subgraph_hit, t_start,
-                        t_propagate, t_end, &sampled_trace, mode);
+                        t_propagate, t_end, &sampled_trace, mode,
+                        phase_scope.Snapshot());
     }
   }
   return mode;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "graph/scratch_subgraph.h"
+#include "obs/profiler.h"
 
 namespace ucr::graph {
 
@@ -19,6 +20,9 @@ uint64_t SatAdd(uint64_t a, uint64_t b) {
 
 AncestorSubgraph::AncestorSubgraph(const Dag& dag, NodeId sink) : dag_(&dag) {
   assert(sink < dag.node_count());
+  // Classic-engine extraction shares the extract phase with the
+  // scratch arena (DESIGN.md §14); inert unless the query is sampled.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kExtract);
 
   // Reverse BFS from the sink over parent edges discovers the member
   // set in deterministic order; the discovery order is also convenient

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace ucr::graph {
 
@@ -40,6 +41,9 @@ void SubgraphScratch::EnsureNodeCapacity(size_t node_count) {
 
 ScratchSubgraphView SubgraphScratch::Extract(const Dag& dag, NodeId sink) {
   assert(sink < dag.node_count());
+  // Phase attribution (DESIGN.md §14): armed only inside a sampled
+  // query's collection scope — a TLS load + branch otherwise.
+  obs::ScopedPhaseTimer phase_timer(obs::Phase::kExtract);
   EnsureNodeCapacity(dag.node_count());
   ++epoch_;
 

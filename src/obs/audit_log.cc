@@ -1,6 +1,8 @@
 #include "obs/audit_log.h"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 namespace ucr::obs {
@@ -140,7 +142,23 @@ void RotatingFileSink::Write(std::string_view line) {
   if (file_ == nullptr) return;
   if (bytes_ > 0 && bytes_ + line.size() + 1 > max_bytes_) Rotate();
   if (file_ == nullptr) return;
-  std::fwrite(line.data(), 1, line.size(), file_);
+  // §14 EINTR audit: the wall profiler's SIGPROF lands on the writer
+  // thread too. A signal mid-write can leave fwrite short with the
+  // stream's error flag set; retry the remainder instead of silently
+  // truncating the event line.
+  size_t off = 0;
+  while (off < line.size()) {
+    const size_t n =
+        std::fwrite(line.data() + off, 1, line.size() - off, file_);
+    off += n;
+    if (n == 0 || std::ferror(file_)) {
+      if (errno == EINTR) {
+        std::clearerr(file_);
+        continue;
+      }
+      break;
+    }
+  }
   std::fputc('\n', file_);
   bytes_ += line.size() + 1;
 }

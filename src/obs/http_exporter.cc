@@ -5,6 +5,7 @@
 
 #include "obs/audit_log.h"
 #include "obs/health.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -24,6 +25,19 @@ namespace ucr::obs {
 namespace {
 
 #if UCR_METRICS_ENABLED
+/// The wall profiler's status object (shared by /varz and /statz).
+std::string RenderProfilerStats() {
+  const WallProfiler::Stats stats = WallProfiler::Global().GetStats();
+  std::ostringstream out;
+  out << "{\"running\":" << (stats.running ? "true" : "false")
+      << ",\"samples_total\":" << stats.samples_total
+      << ",\"dropped_total\":" << stats.dropped_total
+      << ",\"signals_sent\":" << stats.signals_sent
+      << ",\"threads_seen\":" << stats.threads_seen
+      << ",\"samples_per_sec\":" << stats.samples_per_sec << "}";
+  return out.str();
+}
+
 /// /varz: one JSON object joining the metric registry snapshot with
 /// the status of the other observability subsystems.
 std::string RenderVarz() {
@@ -77,6 +91,7 @@ std::string RenderVarz() {
       << ",\"timeseries\":{\"running\":"
       << (TimeSeriesSampler::Global().running() ? "true" : "false")
       << ",\"ticks\":" << TimeSeriesSampler::Global().ticks_total() << "}"
+      << ",\"profiler\":" << RenderProfilerStats()
       << ",\"health\":" << HealthEngine::Global().RenderJson() << "}";
   return out.str();
 }
@@ -106,6 +121,42 @@ uint64_t RecentP99(std::string_view metric) {
     worst = std::max(worst, p.p99);
   }
   return worst;
+}
+
+/// Nanoseconds a histogram accumulated over the /statz window (the
+/// sum-of-observations delta the sampler records per tick).
+uint64_t RecentSumDelta(std::string_view metric) {
+  uint64_t total = 0;
+  for (const auto& p :
+       TimeSeriesSampler::Global().Recent(metric, kStatzWindow)) {
+    total += p.sum_delta;
+  }
+  return total;
+}
+
+/// The live "% time per phase" panel (DESIGN.md §14): each phase's
+/// share of the sampled-query nanoseconds attributed over the /statz
+/// window. All zeros until phase collection has flushed something.
+std::string RenderPhasePanel() {
+  uint64_t ns[kPhaseCount];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    ns[i] = RecentSumDelta(PhaseMetricName(static_cast<Phase>(i)));
+    total += ns[i];
+  }
+  std::ostringstream out;
+  out << "{";
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    if (i != 0) out << ",";
+    const double pct =
+        total == 0 ? 0.0
+                   : 100.0 * static_cast<double>(ns[i]) /
+                         static_cast<double>(total);
+    out << "\"" << PhaseName(static_cast<Phase>(i)) << "\":{\"ns\":" << ns[i]
+        << ",\"pct\":" << pct << "}";
+  }
+  out << ",\"window_total_ns\":" << total << "}";
+  return out.str();
 }
 
 double HitRate(std::string_view hits_name, std::string_view misses_name) {
@@ -145,6 +196,8 @@ std::string RenderStatz() {
       << ",\"shadow_mismatch_rate\":"
       << RecentRate("ucr_shadow_mismatch_total")
       << ",\"slow_query_rate\":" << RecentRate("ucr_slow_queries_total")
+      << ",\"phases\":" << RenderPhasePanel()
+      << ",\"profiler\":" << RenderProfilerStats()
       << ",\"sampler\":{\"running\":" << (ts.running() ? "true" : "false")
       << ",\"interval_ms\":" << ts.options().interval_ms
       << ",\"ticks\":" << ts.ticks_total() << "}"
@@ -232,6 +285,13 @@ bool HttpExporter::RenderEndpoint(const std::string& path, std::string* body,
   if (path == "/statz") {
     *body = RenderStatz();
     *content_type = "application/json";
+    return true;
+  }
+  if (path == "/profilez") {
+    // Folded stacks (flamegraph.pl / speedscope input). Empty until
+    // the wall profiler has been started and captured samples.
+    *body = WallProfiler::Global().RenderFolded();
+    *content_type = "text/plain; charset=utf-8";
     return true;
   }
 #else
@@ -328,6 +388,10 @@ void HttpExporter::ServeLoop() {
     while (total < sizeof(buffer) - 1) {
       const ssize_t n =
           ::recv(client, buffer + total, sizeof(buffer) - 1 - total, 0);
+      // The wall profiler's SIGPROF lands on this thread too (§14
+      // EINTR audit): an interrupted read is retried, not treated as a
+      // disconnect or a stall.
+      if (n < 0 && errno == EINTR) continue;
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         stalled = true;
         break;
@@ -381,7 +445,7 @@ void HttpExporter::ServeLoop() {
     } else {
       status_line = "HTTP/1.1 404 Not Found";
       body = "not found; try /metrics /healthz /varz /tracez /timeseries "
-             "/statz\n";
+             "/statz /profilez\n";
       content_type = "text/plain; charset=utf-8";
     }
 
@@ -395,6 +459,7 @@ void HttpExporter::ServeLoop() {
     while (sent < out.size()) {
       const ssize_t n =
           ::send(client, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;  // §14 EINTR audit.
       if (n <= 0) break;
       sent += static_cast<size_t>(n);
     }

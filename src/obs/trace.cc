@@ -1,9 +1,11 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 #include "obs/audit_log.h"
+#include "obs/profiler.h"
 
 namespace ucr::obs {
 
@@ -39,7 +41,22 @@ namespace {
   const uint64_t slow_ns = AuditLog::slow_query_threshold_ns();
   if (slow_ns != 0 && record.total_ns >= slow_ns) {
     event.type = AuditEventType::kSlowQuery;
-    FormatFig4Compact(record, event.detail, sizeof(event.detail));
+    size_t n = FormatFig4Compact(record, event.detail, sizeof(event.detail));
+    // Phase breakdown (DESIGN.md §14): name the phase that made the
+    // query slow, right in the audit event. Stack-only, like the rest.
+    if (record.phases.TotalNs() != 0 && n + 1 < sizeof(event.detail)) {
+      for (size_t i = 0; i < kPhaseCount && n + 1 < sizeof(event.detail);
+           ++i) {
+        const uint64_t ns = record.phases.ns[i];
+        if (ns == 0) continue;
+        const int w = std::snprintf(
+            event.detail + n, sizeof(event.detail) - n, " %s=%lluns",
+            PhaseName(static_cast<Phase>(i)),
+            static_cast<unsigned long long>(ns));
+        if (w <= 0) break;
+        n = std::min(n + static_cast<size_t>(w), sizeof(event.detail) - 1);
+      }
+    }
     AuditLog::Global().Emit(event);
   }
 }
@@ -108,7 +125,13 @@ std::string ToJson(const QueryTraceRecord& r) {
       << ",\"extract_ns\":" << r.extract_ns
       << ",\"propagate_ns\":" << r.propagate_ns
       << ",\"resolve_ns\":" << r.resolve_ns << ",\"total_ns\":" << r.total_ns
-      << ",\"fig4\":{";
+      << ",\"phases\":{";
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    if (i != 0) out << ",";
+    out << "\"" << PhaseName(static_cast<Phase>(i))
+        << "_ns\":" << r.phases.ns[i];
+  }
+  out << "},\"fig4\":{";
   if (r.has_majority) {
     out << "\"c1\":" << r.c1 << ",\"c2\":" << r.c2 << ",";
   }

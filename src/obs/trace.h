@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace ucr::obs {
 
@@ -39,6 +40,11 @@ struct QueryTraceRecord {
   uint64_t propagate_ns = 0;
   uint64_t resolve_ns = 0;
   uint64_t total_ns = 0;
+
+  // Per-phase attribution (DESIGN.md §14), collected by the scoped
+  // phase timers while this query's collection scope was active. All
+  // zero when phase collection was off (e.g. UCR_METRICS=OFF).
+  PhaseBreakdown phases;
 
   // Fig. 4 outcome (paper Table 3): majority counters, Auth set,
   // returning line, decision.

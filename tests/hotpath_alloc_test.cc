@@ -17,6 +17,7 @@
 #include "graph/dag.h"
 #include "graph/generators.h"
 #include "obs/audit_log.h"
+#include "obs/profiler.h"
 #include "obs/shadow.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -290,6 +291,78 @@ TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithSamplerLive) {
       << "the sampler or exemplar capture allocated on the query "
          "thread's budget — a scrape escaped ScopedAllocExclusion, or "
          "exemplar capture left its preallocated slots";
+}
+
+// The §14 extension: phase timers collecting on EVERY query (tracing
+// 1-in-1) while the SIGPROF wall sampler interrupts the query thread
+// at ~1 kHz. The phase accumulator is zero-initialized POD TLS, the
+// flush observes into preallocated histogram shards, the signal
+// handler writes a CAS-claimed static ring, and the ticker thread
+// drains under ScopedAllocExclusion — so the query thread's budget
+// stays at zero even mid-interrupt.
+TEST(HotPathAllocTest, SteadyStateStaysAllocationFreeWithProfilerLive) {
+  if (UCR_ALLOC_TEST_SKIP) {
+    GTEST_SKIP() << "allocation bounds are checked without sanitizers";
+  }
+  if (!obs::kEnabled) {
+    GTEST_SKIP() << "instrumentation compiled out (UCR_METRICS=OFF)";
+  }
+
+  Random rng(96);
+  graph::LayeredDagOptions shape;
+  shape.layers = 4;
+  shape.nodes_per_layer = 10;
+  shape.skip_edge_probability = 0.15;
+  auto dag = graph::GenerateLayeredDag(shape, rng);
+  ASSERT_TRUE(dag.ok());
+
+  acm::ExplicitAcm eacm;
+  const acm::ObjectId object = eacm.InternObject("o").value();
+  const acm::RightId right = eacm.InternRight("r").value();
+  for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+    if (!rng.Bernoulli(0.25)) continue;
+    const acm::Mode mode =
+        rng.Bernoulli(0.4) ? acm::Mode::kNegative : acm::Mode::kPositive;
+    ASSERT_TRUE(eacm.Set(v, object, right, mode).ok());
+  }
+
+  obs::QueryTracer& tracer = obs::QueryTracer::Global();
+  const uint64_t previous_interval = tracer.sample_interval();
+  tracer.SetSampleInterval(1);  // Every query runs a phase collection.
+  obs::WallProfiler::Options profiler_options;
+  profiler_options.hz = 997;  // ~1 kHz: far above the production 97 Hz.
+  ASSERT_TRUE(obs::WallProfiler::Global().Start(profiler_options));
+
+  const Strategy strategy = ParseStrategy("D+LMP-").value();
+  const auto sweep = [&] {
+    for (graph::NodeId v = 0; v < dag->node_count(); ++v) {
+      ASSERT_TRUE(
+          ResolveAccess(*dag, eacm, v, object, right, strategy).ok());
+    }
+  };
+
+  sweep();  // Warm-up: arenas, metric handles, phase histograms.
+  const uint64_t before = AllocationCount();
+  // Keep querying until the sampler has demonstrably interrupted the
+  // process mid-sweep (bounded: signal delivery can lag on loaded CI
+  // hosts), so the zero budget is measured under real interrupts.
+  for (int pass = 0;
+       pass < 5000 &&
+       obs::WallProfiler::Global().GetStats().samples_total < 8;
+       ++pass) {
+    sweep();
+  }
+  const uint64_t allocations = AllocationCount() - before;
+  const auto stats = obs::WallProfiler::Global().GetStats();
+  obs::WallProfiler::Global().Stop();
+  tracer.SetSampleInterval(previous_interval);
+  EXPECT_GE(stats.samples_total, 8u)
+      << "the wall sampler never captured mid-sweep; the overlap this "
+         "test wants did not happen";
+  EXPECT_EQ(allocations, 0u)
+      << "phase timers or the wall sampler allocated on the query "
+         "thread's budget — a flush left its preallocated histograms, "
+         "or the signal handler escaped the static ring pool";
 }
 
 TEST(HotPathAllocTest, ArenaSwitchReachesSteadyStateAcrossDagSizes) {

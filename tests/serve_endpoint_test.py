@@ -14,10 +14,13 @@ HTTP surface:
                   epoch, reader pins, publication lag) because serve
                   enables snapshot reads before starting the exporter
   /timeseries  -> 200, JSON from the live sampler ("running": true)
-  /statz       -> 200, JSON one-page summary (qps, health object)
+  /statz       -> 200, JSON one-page summary (qps, health, phases)
+  /profilez    -> 200, folded stacks from the wall-clock profiler
+                  serve starts (every line `frame[;frame...] <count>`)
 
 plus one `ucr_admin top <host:port> --once` invocation against the
-running server — the operator dashboard's whole data path.
+running server — the operator dashboard's whole data path — and one
+`ucr_admin profile <host:port> --once`, the flamegraph-export path.
 
 Usage: serve_endpoint_test.py <path-to-ucr_admin>
 """
@@ -119,9 +122,26 @@ def main():
             if status != 200:
                 return fail(proc, f"/statz -> {status}")
             statz = json.loads(body)
-            for field in ("qps", "health", "sampler"):
+            for field in ("qps", "health", "sampler", "phases", "profiler"):
                 if field not in statz:
                     return fail(proc, f"/statz lacks {field!r}: {body[:200]}")
+            profiler = statz["profiler"]
+            if profiler.get("running") is not True:
+                return fail(proc, f"serve did not start the wall profiler: "
+                                  f"{profiler}")
+
+            # The continuous profiler: folded stacks, one
+            # `frame[;frame...] <count>` per line.
+            status, body = fetch(base + "/profilez")
+            if status != 200:
+                return fail(proc, f"/profilez -> {status}")
+            for line in body.splitlines():
+                if not line:
+                    continue
+                stack, _, count = line.rpartition(" ")
+                if not stack or not count.isdigit() or int(count) < 1:
+                    return fail(proc, f"/profilez line not folded-stack "
+                                      f"format: {line!r}")
 
             # The operator dashboard end to end: one non-interactive
             # frame against the live server.
@@ -134,6 +154,30 @@ def main():
             if "health" not in top.stdout:
                 return fail(proc, f"top --once output lacks health line:\n"
                                   f"{top.stdout}")
+
+            # The flamegraph-export path end to end: one cumulative
+            # profile fetch. Retried briefly — the 97 Hz sampler may
+            # not have captured its first stack yet on a slow host.
+            for attempt in range(10):
+                prof = subprocess.run([admin, "profile",
+                                       f"127.0.0.1:{port}", "--once"],
+                                      capture_output=True, text=True,
+                                      timeout=30)
+                if prof.returncode == 0:
+                    break
+                time.sleep(0.5)
+            if prof.returncode != 0:
+                return fail(proc, f"profile --once exited "
+                                  f"{prof.returncode}\n{prof.stdout}\n"
+                                  f"{prof.stderr}")
+            folded = [l for l in prof.stdout.splitlines() if l.strip()]
+            if not folded:
+                return fail(proc, "profile --once printed no stacks")
+            for line in folded:
+                stack, _, count = line.rpartition(" ")
+                if not stack or not count.isdigit():
+                    return fail(proc, f"profile --once line not folded-"
+                                      f"stack format: {line!r}")
         finally:
             if proc.poll() is None:
                 proc.send_signal(signal.SIGTERM)
@@ -144,7 +188,8 @@ def main():
                     proc.wait()
 
     print("PASS: listening-line handshake, /healthz, /varz epoch object, "
-          "/timeseries, /statz, top --once")
+          "/timeseries, /statz phases+profiler, /profilez, top --once, "
+          "profile --once")
     return 0
 
 

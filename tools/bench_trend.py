@@ -47,8 +47,24 @@ def parse_json_lines(text, origin):
                   file=sys.stderr)
             continue
         if ("qps" not in row and "p99_ns" not in row
-                and row.get("section") != "timeseries_summary"):
+                and row.get("section") not in ("timeseries_summary",
+                                               "profiler_summary")):
             continue  # Metrics snapshots etc. ride along; skip them.
+        if row.get("section") == "profiler_summary":
+            # Continuous-profiling summary (bench/hotpath.cc): gated on
+            # its own terms below — the overhead budget is hard.
+            try:
+                row["overhead_pct"] = float(row.get("overhead_pct", 0))
+            except (TypeError, ValueError):
+                row["overhead_pct"] = 0.0
+            key = (
+                row.get("bench", os.path.basename(origin)),
+                "profiler_summary",
+                False,
+                1,
+            )
+            rows[key] = row
+            continue
         if row.get("section") == "timeseries_summary":
             # Telemetry-timeline summary (bench/bench_obs.h): trended on
             # its own terms below — scrape cost with log2-bucket slack,
@@ -179,6 +195,9 @@ def main():
             continue
 
         def headline(row):
+            if row.get("section") == "profiler_summary":
+                return (f"overhead {row.get('overhead_pct', 0):.2f}%, "
+                        f"{row.get('samples_per_sec', 0):.0f} samples/s")
             if row.get("section") == "timeseries_summary":
                 return (f"scrape p99 {row.get('scrape_p99_ns', 0):.0f} ns, "
                         f"health {row.get('health_status', '?')}")
@@ -201,6 +220,27 @@ def main():
                     baseline[key].get("skipped_scaling"):
                 print(f"  skipped    {describe(key)}: degenerate-host "
                       f"row (skipped_scaling)")
+                continue
+            if current[key].get("section") == "profiler_summary":
+                # Continuous-profiling gate (DESIGN.md §14): phase
+                # timers + the wall sampler must stay within the <=2%
+                # budget. A small slack above the documented budget
+                # absorbs run-to-run scheduler noise on loaded CI
+                # hosts; the budget itself is asserted by the bench on
+                # quiet hardware.
+                compared += 1
+                overhead = current[key].get("overhead_pct", 0.0)
+                marker = "ok"
+                if overhead > 4.0:
+                    marker = "REGRESSION"
+                    regressions.append((key, 0, overhead, overhead,
+                                        "% profiler overhead"))
+                print(f"  {marker:<10} {describe(key)}: overhead "
+                      f"{overhead:.2f}%, "
+                      f"{current[key].get('samples_per_sec', 0):.0f} "
+                      f"samples/s, dropped "
+                      f"{current[key].get('dropped_total', '?')}, "
+                      f"top {current[key].get('top_phases', '?')!r}")
                 continue
             if current[key].get("section") == "timeseries_summary":
                 # Telemetry-timeline gate. The health verdict is hard:
