@@ -19,6 +19,8 @@
 // turns on 1-in-N shadow verification, so the DESIGN.md §9 overhead
 // budget (≤2% with audit + shadow at N≥64) is measurable in place.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -33,6 +35,7 @@
 #include <vector>
 
 #include "core/batch_resolver.h"
+#include "core/persistent_system.h"
 #include "core/resolve.h"
 #include "core/strategy.h"
 #include "core/system.h"
@@ -204,6 +207,48 @@ int main(int argc, char** argv) {
             if (!mode.ok()) std::abort();
           }
         }));
+  }
+
+  // -- resolve_access_wal: the fast workload against a system opened
+  // from a durable store (mmap'd binary snapshot + WAL attached, one
+  // committed batch in the log). Queries never touch the WAL, so
+  // durability must cost the read path nothing: the smoke run
+  // hard-asserts the section stays at zero allocations per query.
+  {
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string dir =
+        std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+        "/ucr_hotpath_wal_" + std::to_string(static_cast<long>(::getpid()));
+    if (!core::PersistentSystem::Initialize(dir, system).ok()) std::abort();
+    auto store = core::PersistentSystem::Open(dir);
+    if (!store.ok()) std::abort();
+    const std::vector<core::AccessControlSystem::MutationOp> batch = {
+        core::AccessControlSystem::MutationOp::Grant(
+            store->system().dag().name(0), "wal_probe", "read")};
+    if (!store->Apply(batch).ok()) std::abort();
+
+    core::ResolveAccessOptions options;
+    options.use_fast_path = true;
+    const core::AccessControlSystem& stored = store->system();
+    results.push_back(Measure(
+        "resolve_access_wal", true, *queries, [&](auto span) {
+          for (const auto& q : span) {
+            auto mode = core::ResolveAccess(stored.dag(), stored.eacm(),
+                                            q.subject, q.object, q.right,
+                                            canonical, options);
+            if (!mode.ok()) std::abort();
+          }
+        }));
+    if (smoke && results.back().allocs_per_query != 0.0) {
+      std::fprintf(stderr,
+                   "FATAL: resolve_access_wal allocated %.4f per query; "
+                   "the WAL-enabled hot path must stay allocation-free\n",
+                   results.back().allocs_per_query);
+      std::abort();
+    }
+    std::remove(core::PersistentSystem::SnapshotPath(dir).c_str());
+    std::remove(core::PersistentSystem::WalPath(dir).c_str());
+    ::rmdir(dir.c_str());
   }
 
   // -- batch_resolve: the serving path. A fresh resolver per pass

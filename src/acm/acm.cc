@@ -5,6 +5,7 @@
 
 #include "obs/audit_log.h"
 #include "obs/metrics.h"
+#include "util/binio.h"
 #include "util/string_util.h"
 
 namespace ucr::acm {
@@ -313,6 +314,91 @@ StatusOr<ExplicitAcm> FromText(std::string_view text, const graph::Dag& dag) {
     if (!mode.has_value()) return error("mode must be '+' or '-'");
     Status s = eacm.Set(subject, *object, *right, *mode);
     if (!s.ok()) return error(s.message());
+  }
+  return eacm;
+}
+
+void AppendAcmBinary(const ExplicitAcm& eacm, std::string* out) {
+  bin::AppendU32(static_cast<uint32_t>(eacm.object_count()), out);
+  bin::AppendU32(static_cast<uint32_t>(eacm.right_count()), out);
+  const std::vector<ExplicitAcm::Entry> entries = eacm.SortedEntries();
+  bin::AppendU64(entries.size(), out);
+  for (size_t o = 0; o < eacm.object_count(); ++o) {
+    bin::AppendString(eacm.object_name(static_cast<ObjectId>(o)), out);
+  }
+  for (size_t r = 0; r < eacm.right_count(); ++r) {
+    bin::AppendString(eacm.right_name(static_cast<RightId>(r)), out);
+  }
+  for (const auto& entry : entries) {
+    bin::AppendU32(entry.subject, out);
+    bin::AppendU16(entry.object, out);
+    bin::AppendU16(entry.right, out);
+    out->push_back(static_cast<char>(entry.mode));
+  }
+}
+
+StatusOr<ExplicitAcm> AcmFromBinary(std::string_view bytes,
+                                    size_t subject_count) {
+  bin::Reader reader(bytes);
+  uint32_t object_count = 0;
+  uint32_t right_count = 0;
+  uint64_t entry_count = 0;
+  if (!reader.ReadU32(&object_count) || !reader.ReadU32(&right_count) ||
+      !reader.ReadU64(&entry_count)) {
+    return Status::Corruption("acm section: truncated header");
+  }
+  // 16-bit id spaces bound the name tables; entries are 9 bytes each,
+  // so a plausibility floor rejects OOM-bait counts up front.
+  if (object_count > 65536 || right_count > 65536 ||
+      entry_count > bytes.size() / 9) {
+    return Status::Corruption("acm section: implausible counts");
+  }
+
+  ExplicitAcm eacm;
+  std::string name;
+  for (uint32_t o = 0; o < object_count; ++o) {
+    if (!reader.ReadString(&name)) {
+      return Status::Corruption("acm section: truncated object table");
+    }
+    auto id = eacm.InternObject(name);
+    if (!id.ok() || id.value() != o) {
+      return Status::Corruption("acm section: duplicate object name");
+    }
+  }
+  for (uint32_t r = 0; r < right_count; ++r) {
+    if (!reader.ReadString(&name)) {
+      return Status::Corruption("acm section: truncated right table");
+    }
+    auto id = eacm.InternRight(name);
+    if (!id.ok() || id.value() != r) {
+      return Status::Corruption("acm section: duplicate right name");
+    }
+  }
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    uint32_t subject = 0;
+    uint16_t object = 0;
+    uint16_t right = 0;
+    if (!reader.ReadU32(&subject) || !reader.ReadU16(&object) ||
+        !reader.ReadU16(&right) || reader.remaining() < 1) {
+      return Status::Corruption("acm section: truncated entries");
+    }
+    std::string_view mode_byte;
+    reader.ReadBytes(1, &mode_byte);
+    const auto raw_mode = static_cast<unsigned char>(mode_byte[0]);
+    if (subject >= subject_count || object >= object_count ||
+        right >= right_count || raw_mode > 1) {
+      return Status::Corruption("acm section: entry out of range");
+    }
+    const Status set = eacm.Set(subject, object, right,
+                                static_cast<Mode>(raw_mode));
+    if (!set.ok()) {
+      // Duplicate or contradicting triple — SortedEntries never emits
+      // either, so the bytes were tampered with.
+      return Status::Corruption("acm section: conflicting duplicate entry");
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("acm section: trailing bytes");
   }
   return eacm;
 }

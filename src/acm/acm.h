@@ -205,6 +205,21 @@ std::string ToText(const ExplicitAcm& eacm, const graph::Dag& dag);
 /// against `dag` by name.
 StatusOr<ExplicitAcm> FromText(std::string_view text, const graph::Dag& dag);
 
+/// \brief Appends the matrix in the binary snapshot layout: object and
+/// right name tables *in intern order* (so every interned id survives a
+/// save/load cycle byte-for-byte — cached column epochs, packed reach
+/// rows, and WAL replay all key on those ids), then the entries sorted
+/// by (subject, object, right).
+void AppendAcmBinary(const ExplicitAcm& eacm, std::string* out);
+
+/// \brief Parses `AppendAcmBinary` output. `subject_count` is the node
+/// count of the subject hierarchy the matrix accompanies; entries
+/// referencing subjects at or beyond it — like out-of-range object or
+/// right ids, contradictions, or truncation — are `kCorruption`, never
+/// UB. The bytes are untrusted (fuzzed under asan-ubsan).
+StatusOr<ExplicitAcm> AcmFromBinary(std::string_view bytes,
+                                    size_t subject_count);
+
 }  // namespace ucr::acm
 
 #endif  // UCR_ACM_ACM_H_

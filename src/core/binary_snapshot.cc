@@ -1,0 +1,137 @@
+#include "core/binary_snapshot.h"
+
+#include "core/propagate.h"
+#include "core/strategy.h"
+#include "graph/io.h"
+#include "util/binio.h"
+#include "util/crc32.h"
+#include "util/fs.h"
+
+namespace ucr::core {
+
+namespace {
+
+constexpr char kMagic[] = "UCRSNAP1";
+constexpr size_t kMagicSize = 8;
+constexpr uint32_t kVersion = 1;
+/// magic + version + lsn + strategy + mode + reserved + two
+/// (size, crc) section descriptors + header crc.
+constexpr size_t kHeaderSize = 8 + 4 + 8 + 1 + 1 + 2 + (8 + 4) * 2 + 4;
+
+}  // namespace
+
+std::string EncodeBinarySnapshot(const AccessControlSystem& system,
+                                 uint64_t lsn) {
+  std::string dag_bytes;
+  graph::AppendDagBinary(system.dag(), &dag_bytes);
+  std::string acm_bytes;
+  acm::AppendAcmBinary(system.eacm(), &acm_bytes);
+
+  std::string out;
+  out.reserve(kHeaderSize + dag_bytes.size() + acm_bytes.size());
+  out.append(kMagic, kMagicSize);
+  bin::AppendU32(kVersion, &out);
+  bin::AppendU64(lsn, &out);
+  out.push_back(static_cast<char>(system.strategy().CanonicalIndex()));
+  out.push_back(static_cast<char>(system.propagation_mode()));
+  bin::AppendU16(0, &out);  // Reserved.
+  bin::AppendU64(dag_bytes.size(), &out);
+  bin::AppendU32(Crc32(dag_bytes), &out);
+  bin::AppendU64(acm_bytes.size(), &out);
+  bin::AppendU32(Crc32(acm_bytes), &out);
+  bin::AppendU32(Crc32(out), &out);  // Header CRC covers all the above.
+  out += dag_bytes;
+  out += acm_bytes;
+  return out;
+}
+
+StatusOr<AccessControlSystem> DecodeBinarySnapshot(std::string_view bytes,
+                                                   SystemOptions options,
+                                                   SnapshotMeta* meta) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::Corruption("snapshot: truncated header");
+  }
+  if (std::string_view(bytes.data(), kMagicSize) !=
+      std::string_view(kMagic, kMagicSize)) {
+    return Status::Corruption("snapshot: bad magic");
+  }
+  bin::Reader header(bytes.data() + kMagicSize, kHeaderSize - kMagicSize);
+  uint32_t version = 0;
+  uint64_t lsn = 0;
+  std::string_view strategy_byte;
+  std::string_view mode_byte;
+  uint16_t reserved = 0;
+  uint64_t dag_size = 0;
+  uint32_t dag_crc = 0;
+  uint64_t acm_size = 0;
+  uint32_t acm_crc = 0;
+  uint32_t header_crc = 0;
+  header.ReadU32(&version);
+  header.ReadU64(&lsn);
+  header.ReadBytes(1, &strategy_byte);
+  header.ReadBytes(1, &mode_byte);
+  header.ReadU16(&reserved);
+  header.ReadU64(&dag_size);
+  header.ReadU32(&dag_crc);
+  header.ReadU64(&acm_size);
+  header.ReadU32(&acm_crc);
+  header.ReadU32(&header_crc);
+  if (!header.ok()) return Status::Corruption("snapshot: truncated header");
+  if (Crc32(bytes.data(), kHeaderSize - 4) != header_crc) {
+    return Status::Corruption("snapshot: header checksum mismatch");
+  }
+  if (version != kVersion) {
+    // Versioning exists exactly so an old binary refuses a newer format
+    // cleanly instead of misparsing it.
+    return Status::Corruption("snapshot: unsupported version " +
+                              std::to_string(version) + " (this build reads " +
+                              std::to_string(kVersion) + ")");
+  }
+  const auto strategy_index = static_cast<uint8_t>(strategy_byte[0]);
+  const auto raw_mode = static_cast<uint8_t>(mode_byte[0]);
+  if (strategy_index >= AllStrategies().size() ||
+      raw_mode > static_cast<uint8_t>(PropagationMode::kSecondWins)) {
+    return Status::Corruption("snapshot: invalid strategy or mode");
+  }
+  const size_t body = bytes.size() - kHeaderSize;
+  if (dag_size > body || acm_size > body || dag_size + acm_size != body) {
+    return Status::Corruption("snapshot: section sizes do not match file");
+  }
+  const std::string_view dag_bytes = bytes.substr(kHeaderSize, dag_size);
+  const std::string_view acm_bytes =
+      bytes.substr(kHeaderSize + dag_size, acm_size);
+  if (Crc32(dag_bytes) != dag_crc) {
+    return Status::Corruption("snapshot: graph section checksum mismatch");
+  }
+  if (Crc32(acm_bytes) != acm_crc) {
+    return Status::Corruption("snapshot: matrix section checksum mismatch");
+  }
+
+  UCR_ASSIGN_OR_RETURN(graph::Dag dag, graph::DagFromBinary(dag_bytes));
+  UCR_ASSIGN_OR_RETURN(acm::ExplicitAcm eacm,
+                       acm::AcmFromBinary(acm_bytes, dag.node_count()));
+
+  // Strategy and propagation mode are saved state, not configuration.
+  options.default_strategy = AllStrategies()[strategy_index];
+  options.propagation_mode = static_cast<PropagationMode>(raw_mode);
+  if (meta != nullptr) {
+    meta->lsn = lsn;
+    meta->strategy_index = strategy_index;
+    meta->propagation_mode = raw_mode;
+  }
+  return AccessControlSystem(std::move(dag), std::move(eacm), options);
+}
+
+Status WriteBinarySnapshot(const AccessControlSystem& system, uint64_t lsn,
+                           const std::string& path) {
+  return WriteFileAtomic(path, EncodeBinarySnapshot(system, lsn));
+}
+
+StatusOr<AccessControlSystem> LoadBinarySnapshot(const std::string& path,
+                                                 SystemOptions options,
+                                                 SnapshotMeta* meta) {
+  UCR_ASSIGN_OR_RETURN(MappedFile mapped, MappedFile::Open(path));
+  return DecodeBinarySnapshot(mapped.bytes(), options, meta);
+}
+
+}  // namespace ucr::core

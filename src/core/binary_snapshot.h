@@ -1,0 +1,72 @@
+#ifndef UCR_CORE_BINARY_SNAPSHOT_H_
+#define UCR_CORE_BINARY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/system.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief Compact binary snapshot of one policy store (DESIGN.md §15):
+/// the durable complement of the WAL. A snapshot captures the full
+/// state as of an LSN; recovery loads it and replays only WAL records
+/// above that LSN.
+///
+/// On-disk layout (little-endian):
+///
+///     "UCRSNAP1"            (8-byte magic)
+///     u32 version           (currently 1)
+///     u64 lsn               (WAL position this state includes)
+///     u8  strategy_index    (session strategy, canonical 0..47)
+///     u8  propagation_mode
+///     u16 reserved          (zero)
+///     u64 dag_size | u32 dag_crc      (graph section, AppendDagBinary)
+///     u64 acm_size | u32 acm_crc      (matrix section, AppendAcmBinary)
+///     u32 header_crc        (CRC of all preceding header bytes)
+///     <dag section bytes> <acm section bytes>
+///
+/// Every section carries its own CRC so a flipped bit anywhere is
+/// `kCorruption` before a single byte reaches the deserializers (which
+/// re-validate structure anyway — defense in depth, the bytes are
+/// untrusted and fuzzed).
+///
+/// Writes are crash-safe: temp file in the target's directory, fsync,
+/// rename over the target, fsync the directory. A crash mid-write
+/// leaves the previous snapshot untouched.
+struct SnapshotMeta {
+  uint64_t lsn = 0;
+  uint8_t strategy_index = 0;
+  uint8_t propagation_mode = 0;
+};
+
+/// Serializes `system`'s durable state (hierarchy + matrix + session
+/// strategy) and writes it atomically to `path`. `lsn` stamps the WAL
+/// position the snapshot includes.
+Status WriteBinarySnapshot(const AccessControlSystem& system, uint64_t lsn,
+                           const std::string& path);
+
+/// \brief Loads a binary snapshot, memory-mapping the file read-only so
+/// section bytes stream straight from the page cache (a multi-GB
+/// hierarchy costs page faults, not an up-front read). Validates magic,
+/// version, and all CRCs; any mismatch or short file is a clean
+/// `kCorruption`. `options.default_strategy` and `propagation_mode`
+/// are overridden by the snapshot's own (they are part of the saved
+/// state); every other option is the caller's.
+StatusOr<AccessControlSystem> LoadBinarySnapshot(const std::string& path,
+                                                 SystemOptions options,
+                                                 SnapshotMeta* meta = nullptr);
+
+/// In-memory encode/decode of the same byte layout (header included) —
+/// the fuzz harness mutates these bytes without touching disk.
+std::string EncodeBinarySnapshot(const AccessControlSystem& system,
+                                 uint64_t lsn);
+StatusOr<AccessControlSystem> DecodeBinarySnapshot(std::string_view bytes,
+                                                   SystemOptions options,
+                                                   SnapshotMeta* meta
+                                                   = nullptr);
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_BINARY_SNAPSHOT_H_

@@ -1,0 +1,166 @@
+#include "core/persistent_system.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/strategy.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+
+namespace ucr::core {
+
+namespace {
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) return Status::OK();
+  return Status::Corruption("mkdir failed for '" + dir +
+                            "': " + std::strerror(errno));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void EmitWalCommitEvent(uint64_t lsn, size_t applied) {
+  if (!obs::AuditLog::Enabled()) return;
+  obs::AuditEvent event;
+  event.type = obs::AuditEventType::kWalCommit;
+  event.value = lsn;
+  event.SetDetail("applied=" + std::to_string(applied));
+  obs::AuditLog::Global().Emit(event);
+}
+
+}  // namespace
+
+StatusOr<PersistentSystem> PersistentSystem::Open(const std::string& dir,
+                                                  SystemOptions options,
+                                                  OpenStats* stats) {
+  UCR_RETURN_IF_ERROR(EnsureDirectory(dir));
+  OpenStats local_stats;
+
+  // 1. Base state: the snapshot if one exists, else an empty system
+  //    (membership ops create subjects, so a store can grow from
+  //    nothing entirely through Apply).
+  uint64_t snapshot_lsn = 0;
+  std::unique_ptr<AccessControlSystem> system;
+  const std::string snapshot_path = SnapshotPath(dir);
+  if (FileExists(snapshot_path)) {
+    SnapshotMeta meta;
+    auto loaded = LoadBinarySnapshot(snapshot_path, options, &meta);
+    if (!loaded.ok()) return loaded.status();
+    system = std::make_unique<AccessControlSystem>(std::move(loaded).value());
+    snapshot_lsn = meta.lsn;
+    local_stats.loaded_snapshot = true;
+    local_stats.snapshot_lsn = meta.lsn;
+  } else {
+    system = std::make_unique<AccessControlSystem>(graph::Dag(), options);
+  }
+
+  // 2. Replay the WAL above the snapshot's LSN, truncating any torn
+  //    tail so the writer appends after a clean end.
+  auto contents = ReadWal(WalPath(dir), /*repair_torn_tail=*/true);
+  if (!contents.ok()) return contents.status();
+  local_stats.torn_bytes = contents->torn_bytes;
+  local_stats.discarded_ops = contents->uncommitted_ops;
+  for (const WalEvent& event : contents->events) {
+    if (event.lsn <= snapshot_lsn) continue;  // Already in the snapshot.
+    switch (event.kind) {
+      case WalEvent::Kind::kBatch: {
+        // Replay exactly the committed prefix: ops past `applied`
+        // failed (or were never attempted) in the original run, and
+        // retrying them would diverge from the acknowledged history.
+        AccessControlSystem::MutationBatchStats batch_stats;
+        const auto prefix =
+            std::span<const AccessControlSystem::MutationOp>(event.ops)
+                .first(event.applied);
+        const Status replayed = system->ApplyMutations(prefix, &batch_stats);
+        if (!replayed.ok() || batch_stats.applied != event.applied) {
+          return Status::Corruption(
+              "WAL replay diverged at lsn " + std::to_string(event.lsn) +
+              ": " + (replayed.ok() ? "short apply" : replayed.message()));
+        }
+        ++local_stats.replayed_batches;
+        local_stats.replayed_ops += event.applied;
+        break;
+      }
+      case WalEvent::Kind::kStrategyChange: {
+        auto strategy = ParseStrategy(event.strategy_mnemonic);
+        if (!strategy.ok()) {
+          return Status::Corruption("WAL replay: bad strategy mnemonic '" +
+                                    event.strategy_mnemonic + "' at lsn " +
+                                    std::to_string(event.lsn));
+        }
+        system->SetStrategy(strategy.value());
+        break;
+      }
+    }
+  }
+
+  // 3. Append after the highest LSN either file has seen.
+  const uint64_t last_lsn = std::max(snapshot_lsn, contents->last_lsn);
+  auto wal = WalWriter::Open(WalPath(dir), last_lsn + 1);
+  if (!wal.ok()) return wal.status();
+
+  if (stats != nullptr) *stats = local_stats;
+  return PersistentSystem(dir, std::move(*system), std::move(wal).value());
+}
+
+Status PersistentSystem::Initialize(const std::string& dir,
+                                    const AccessControlSystem& system) {
+  UCR_RETURN_IF_ERROR(EnsureDirectory(dir));
+  const std::string snapshot_path = SnapshotPath(dir);
+  if (FileExists(snapshot_path)) {
+    return Status::AlreadyExists("store already initialized: " +
+                                 snapshot_path);
+  }
+  return WriteBinarySnapshot(system, /*lsn=*/0, snapshot_path);
+}
+
+Status PersistentSystem::Apply(
+    std::span<const AccessControlSystem::MutationOp> ops,
+    AccessControlSystem::MutationBatchStats* stats) {
+  // Write-ahead: the ops reach the log (unsynced) before any of them
+  // touches memory. If the log cannot take them, nothing happens.
+  UCR_RETURN_IF_ERROR(wal_->BeginBatch(ops));
+
+  AccessControlSystem::MutationBatchStats local_stats;
+  const Status applied = system_->ApplyMutations(ops, &local_stats);
+
+  // Commit what actually happened — on a partial failure the commit
+  // record's `applied` pins the replayable prefix — and fsync once
+  // for the whole batch (group commit).
+  auto lsn = wal_->Commit(ops.size(), local_stats.applied);
+  if (!lsn.ok()) {
+    // The in-memory apply happened but durability is gone; surface the
+    // I/O error (it outranks any op-level failure in `applied`).
+    return lsn.status();
+  }
+  local_stats.last_lsn = lsn.value();
+  EmitWalCommitEvent(lsn.value(), local_stats.applied);
+  if (stats != nullptr) *stats = local_stats;
+  return applied;
+}
+
+Status PersistentSystem::SetStrategy(const Strategy& strategy) {
+  // Log first: a strategy change acknowledged but lost would silently
+  // flip decisions after a restart.
+  UCR_RETURN_IF_ERROR(
+      wal_->AppendStrategyChange(strategy.Canonical().ToMnemonic()).status());
+  system_->SetStrategy(strategy);
+  return Status::OK();
+}
+
+Status PersistentSystem::Compact() {
+  // Snapshot first, truncate second; the order is the crash-safety.
+  // Die after the snapshot rename but before the truncate and recovery
+  // just skips every WAL record at or below the snapshot's LSN.
+  const uint64_t lsn = last_lsn();
+  UCR_RETURN_IF_ERROR(WriteBinarySnapshot(*system_, lsn, SnapshotPath(dir_)));
+  return wal_->Reset(lsn + 1);
+}
+
+}  // namespace ucr::core

@@ -1,0 +1,123 @@
+#ifndef UCR_CORE_PERSISTENT_SYSTEM_H_
+#define UCR_CORE_PERSISTENT_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/binary_snapshot.h"
+#include "core/system.h"
+#include "core/wal.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief An `AccessControlSystem` backed by a durable store: a
+/// directory holding one binary snapshot plus one WAL (DESIGN.md §15).
+///
+///     <dir>/snapshot.ucrs   full state as of the snapshot's LSN
+///     <dir>/wal.log         MutationOp batches committed above it
+///
+/// `Open` recovers: load the snapshot (mmap'd — a multi-GB hierarchy
+/// serves queries seconds after start), scan the WAL, truncate any
+/// torn tail, and replay committed batches whose LSN exceeds the
+/// snapshot's. `Apply` is the durable `ApplyMutations`: op records are
+/// written *before* the in-memory apply, and one commit record +
+/// fsync (group commit) makes the batch durable afterwards — a crash
+/// at any instant loses only unacknowledged work. `Compact` folds the
+/// WAL into a fresh snapshot (written atomically) and truncates it;
+/// a crash between those two steps is safe because replay skips
+/// records at or below the snapshot's LSN.
+///
+/// Reads go straight to `system()` — queries are not intermediated.
+/// Mutations MUST go through `Apply`/`SetStrategy`; bypassing them to
+/// `system()`'s own mutators writes state the store will forget.
+///
+/// Thread-safety: same as the underlying system's write path — one
+/// mutator at a time; concurrent snapshot readers are fine.
+class PersistentSystem {
+ public:
+  /// What recovery found and did, for logs and tests.
+  struct OpenStats {
+    bool loaded_snapshot = false;
+    uint64_t snapshot_lsn = 0;    ///< LSN the snapshot included.
+    size_t replayed_batches = 0;  ///< Committed batches re-applied.
+    size_t replayed_ops = 0;      ///< Ops re-applied from those batches.
+    size_t discarded_ops = 0;     ///< Uncommitted trailing op records.
+    uint64_t torn_bytes = 0;      ///< Torn-tail bytes truncated.
+  };
+
+  /// Opens (creating if absent) the store at directory `dir` and
+  /// recovers to the last committed state. `options` configures the
+  /// in-memory system; the snapshot's saved strategy/propagation mode
+  /// win over the ones in `options`.
+  static StatusOr<PersistentSystem> Open(const std::string& dir,
+                                         SystemOptions options = {},
+                                         OpenStats* stats = nullptr);
+
+  /// \brief Creates a store at `dir` seeded with `system`'s current
+  /// state (one snapshot at LSN 0, empty WAL). Fails if the store
+  /// already has a snapshot — seeding is for imports, not overwrites.
+  static Status Initialize(const std::string& dir,
+                           const AccessControlSystem& system);
+
+  PersistentSystem(PersistentSystem&&) = default;
+  PersistentSystem& operator=(PersistentSystem&&) = default;
+
+  /// The recovered in-memory system. Mutate only through `Apply`.
+  AccessControlSystem& system() { return *system_; }
+  const AccessControlSystem& system() const { return *system_; }
+
+  /// \brief Durable `ApplyMutations`: logs the ops, applies them,
+  /// commits with one fsync. On a partial batch failure the applied
+  /// prefix is both durable and in memory (`stats` carries
+  /// `failed_index`, and the commit record carries the same count, so
+  /// recovery replays exactly that prefix). `stats->last_lsn` is the
+  /// batch's commit LSN, also emitted to the audit ring as one
+  /// `kWalCommit` event — the LSN joins the two trails.
+  Status Apply(std::span<const AccessControlSystem::MutationOp> ops,
+               AccessControlSystem::MutationBatchStats* stats = nullptr);
+
+  /// Durable strategy change (logged + fsync'd, then applied).
+  Status SetStrategy(const Strategy& strategy);
+
+  /// \brief Folds the log into a fresh snapshot: write snapshot at the
+  /// current LSN (temp-then-rename), then truncate the WAL. Restart
+  /// cost collapses to one mmap regardless of history length.
+  Status Compact();
+
+  /// \brief Relaxed durability (`synchronous_commit = off`): `Apply`
+  /// still appends ordered, checksummed records but skips the
+  /// per-commit fsync, so a crash can lose the most recent commits —
+  /// never corrupt or reorder them. `Sync` is the explicit barrier;
+  /// clean shutdown syncs automatically. Default: every commit fsyncs.
+  void set_sync_on_commit(bool sync) { wal_->set_sync_on_commit(sync); }
+  Status Sync() { return wal_->Sync(); }
+
+  /// Highest LSN assigned so far (0 = nothing ever logged).
+  uint64_t last_lsn() const { return wal_->next_lsn() - 1; }
+
+  const std::string& dir() const { return dir_; }
+  static std::string SnapshotPath(const std::string& dir) {
+    return dir + "/snapshot.ucrs";
+  }
+  static std::string WalPath(const std::string& dir) {
+    return dir + "/wal.log";
+  }
+
+ private:
+  PersistentSystem(std::string dir, AccessControlSystem system, WalWriter wal)
+      : dir_(std::move(dir)),
+        system_(std::make_unique<AccessControlSystem>(std::move(system))),
+        wal_(std::make_unique<WalWriter>(std::move(wal))) {}
+
+  std::string dir_;
+  // Boxed so the facade stays cheaply movable.
+  std::unique_ptr<AccessControlSystem> system_;
+  std::unique_ptr<WalWriter> wal_;
+};
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_PERSISTENT_SYSTEM_H_

@@ -5,6 +5,7 @@
 
 #include "acm/acm.h"
 #include "graph/io.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace ucr::core {
@@ -120,12 +121,11 @@ StatusOr<AccessControlSystem> LoadSystemFromText(std::string_view text,
 Status SaveSystemToFile(const AccessControlSystem& system,
                         const std::string& path) {
   UCR_RETURN_IF_ERROR(graph::ValidateSerializable(system.dag()));
-  std::ofstream out(path);
-  if (!out) return Status::Corruption("cannot open for writing: " + path);
-  out << SaveSystemToText(system);
-  out.flush();
-  if (!out) return Status::Corruption("write failed: " + path);
-  return Status::OK();
+  // Atomic replace (util/fs.h): the previous save used an unchecked
+  // ofstream straight onto `path`, so a crash or full disk mid-write
+  // destroyed the only copy. Now a failure at any point leaves the
+  // existing file byte-identical.
+  return WriteFileAtomic(path, SaveSystemToText(system));
 }
 
 StatusOr<AccessControlSystem> LoadSystemFromFile(const std::string& path,

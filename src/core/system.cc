@@ -145,6 +145,29 @@ AccessControlSystem::AccessControlSystem(graph::Dag dag, SystemOptions options)
   if (options_.enable_snapshot_reads) EnableSnapshotReads();
 }
 
+AccessControlSystem::AccessControlSystem(graph::Dag dag, acm::ExplicitAcm eacm,
+                                         SystemOptions options)
+    : dag_(std::move(dag)), eacm_(std::move(eacm)), options_(options) {
+  options_.default_strategy = options_.default_strategy.Canonical();
+  if (options_.enable_snapshot_reads) EnableSnapshotReads();
+}
+
+const char* AccessControlSystem::MutationOpKindName(MutationOp::Kind kind) {
+  switch (kind) {
+    case MutationOp::Kind::kGrant:
+      return "grant";
+    case MutationOp::Kind::kDeny:
+      return "deny";
+    case MutationOp::Kind::kRevoke:
+      return "revoke";
+    case MutationOp::Kind::kAddMembership:
+      return "add_membership";
+    case MutationOp::Kind::kRemoveMembership:
+      return "remove_membership";
+  }
+  return "unknown";
+}
+
 void AccessControlSystem::SetStrategy(const Strategy& strategy) {
   WriterGuard guard(snapshot_state_ != nullptr ? &snapshot_state_->write_mu
                                                : nullptr);
@@ -376,6 +399,7 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
                                                : nullptr);
   std::vector<graph::NodeId> affected;
   size_t applied = 0;
+  size_t failed_index = MutationBatchStats::kNone;
   Status status;
   for (const MutationOp& op : ops) {
     switch (op.kind) {
@@ -399,7 +423,18 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
                                   &affected);
         break;
     }
-    if (!status.ok()) break;
+    if (!status.ok()) {
+      // Name the failing position and kind in the status itself:
+      // partial-batch failures were previously opaque (the caller knew
+      // *something* failed, not where to resume), and WAL replay needs
+      // the applied-prefix boundary to be unambiguous.
+      failed_index = applied;
+      status = Status(status.code(),
+                      "op " + std::to_string(failed_index) + " (" +
+                          MutationOpKindName(op.kind) +
+                          "): " + status.message());
+      break;
+    }
     ++applied;
     NoteMutationApplied();
   }
@@ -416,6 +451,7 @@ Status AccessControlSystem::ApplyMutations(std::span<const MutationOp> ops,
   if (stats != nullptr) {
     stats->applied = applied;
     stats->invalidated_entries = dropped;
+    stats->failed_index = failed_index;
     stats->affected = std::move(affected);
   }
   return status;

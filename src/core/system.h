@@ -115,6 +115,21 @@ class AccessControlSystem {
   /// Takes ownership of the hierarchy.
   explicit AccessControlSystem(graph::Dag dag, SystemOptions options = {});
 
+  /// \brief Adopts a hierarchy *and* a pre-populated explicit matrix
+  /// wholesale — the binary snapshot loader's constructor
+  /// (core/binary_snapshot.h).
+  ///
+  /// The text loader replays entries through `Grant`/`DenyAccess`,
+  /// which re-interns object/right names in entry order; a snapshot
+  /// must instead preserve the saved intern order exactly (interned
+  /// ids persist in WAL-adjacent state and in callers' hands), so this
+  /// path skips replay and takes the matrix as-is. Caches start cold;
+  /// the matrix's epoch history is its own.
+  /// (`options` is deliberately not defaulted: `{dag, {}}` must keep
+  /// resolving to the plain constructor above.)
+  AccessControlSystem(graph::Dag dag, acm::ExplicitAcm eacm,
+                      SystemOptions options);
+
   // Move-only: the caches reference internal state, and two live
   // copies of one policy store invite divergence bugs.
   AccessControlSystem(const AccessControlSystem&) = delete;
@@ -233,11 +248,29 @@ class AccessControlSystem {
     }
   };
 
+  /// Stable lower-case name of a mutation-op kind ("grant", "deny",
+  /// "revoke", "add_membership", "remove_membership") — error messages
+  /// and tooling output.
+  static const char* MutationOpKindName(MutationOp::Kind kind);
+
   /// What a mutation batch did, for observability and for forwarding
   /// the coalesced affected set to external caches.
   struct MutationBatchStats {
+    /// Sentinel for `failed_index`: every op applied.
+    static constexpr size_t kNone = static_cast<size_t>(-1);
+
     size_t applied = 0;              ///< Ops executed successfully.
     size_t invalidated_entries = 0;  ///< Cache entries dropped.
+    /// Index into the batch of the op that failed, or `kNone` when the
+    /// whole batch applied. On failure `failed_index == applied`: the
+    /// ops before it are master state, the rest were never attempted —
+    /// exactly what a caller (or WAL replay) needs to resume
+    /// deterministically after the last applied op.
+    size_t failed_index = kNone;
+    /// Log sequence number of this batch's WAL commit record; 0 when
+    /// the system is not running on a durable store (core/
+    /// persistent_system.h fills it in).
+    uint64_t last_lsn = 0;
     /// Union of the per-edit affected sets, ascending by node id.
     std::vector<graph::NodeId> affected;
   };
@@ -251,7 +284,9 @@ class AccessControlSystem {
   /// epochs and need no sweep. Stops at the first failing op (prior
   /// ops stay applied — each op is individually atomic and the sweep
   /// still covers them); no query may run between the failing batch
-  /// and the returned status being handled.
+  /// and the returned status being handled. A failure Status names the
+  /// failing op's index and kind, and `stats->failed_index` carries the
+  /// index so callers resume without parsing the message.
   Status ApplyMutations(std::span<const MutationOp> ops,
                         MutationBatchStats* stats = nullptr);
 

@@ -1,0 +1,390 @@
+#include "core/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/binio.h"
+#include "util/crc32.h"
+
+namespace ucr::core {
+
+namespace {
+
+constexpr char kMagic[] = "UCRWAL01";
+constexpr size_t kMagicSize = 8;
+/// Per-record framing: u32 payload length + u32 payload CRC.
+constexpr size_t kFrameSize = 8;
+/// A payload is at least the type byte + the LSN.
+constexpr size_t kMinPayload = 9;
+/// Single-record ceiling; a length field beyond this is corruption,
+/// not a big record (the largest legal record is one op whose three
+/// strings are bounded by sane name lengths).
+constexpr uint32_t kMaxPayload = 1u << 26;  // 64 MiB
+
+struct WalMetrics {
+  obs::Counter& records;
+  obs::Counter& commits;
+  obs::Counter& bytes;
+  obs::Counter& fsyncs;
+  obs::Counter& replayed;
+  obs::Counter& torn_bytes;
+  obs::Counter& errors;
+};
+
+WalMetrics& GetWalMetrics() {
+  static WalMetrics* metrics = new WalMetrics{
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_records_total", "WAL records appended (op + commit + "
+                                   "strategy)"),
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_commits_total", "WAL batch commit records appended"),
+      obs::Registry::Global().GetCounter("ucr_wal_bytes_total",
+                                         "Bytes appended to the WAL"),
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_fsyncs_total", "fsync calls issued by the WAL writer"),
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_replayed_records_total",
+          "Valid records decoded by WAL recovery scans"),
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_torn_bytes_total",
+          "Torn-tail bytes discarded by WAL recovery"),
+      obs::Registry::Global().GetCounter(
+          "ucr_wal_errors_total", "WAL writer I/O failures"),
+  };
+  return *metrics;
+}
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  if constexpr (obs::kEnabled) GetWalMetrics().errors.Inc();
+  return Status::Corruption(std::string(what) + " failed for '" + path +
+                            "': " + std::strerror(errno));
+}
+
+int RetryingFsync(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void EncodeOpBody(const AccessControlSystem::MutationOp& op, uint64_t lsn,
+                  std::string* body) {
+  body->push_back(static_cast<char>(WalWriter::RecordType::kOp));
+  bin::AppendU64(lsn, body);
+  body->push_back(static_cast<char>(op.kind));
+  bin::AppendString(op.subject, body);
+  bin::AppendString(op.object, body);
+  bin::AppendString(op.right, body);
+}
+
+}  // namespace
+
+StatusOr<WalWriter> WalWriter::Open(std::string path, uint64_t next_lsn) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return ErrnoStatus("lseek", path);
+  }
+  if (size == 0) {
+    const Status written = WriteAll(fd, kMagic, kMagicSize, path);
+    if (!written.ok()) {
+      ::close(fd);
+      return written;
+    }
+    if (RetryingFsync(fd) != 0) {
+      const Status st = ErrnoStatus("fsync", path);
+      ::close(fd);
+      return st;
+    }
+  }
+  return WalWriter(std::move(path), fd, next_lsn);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      next_lsn_(other.next_lsn_),
+      sync_on_commit_(other.sync_on_commit_),
+      unsynced_(other.unsynced_),
+      pending_(std::move(other.pending_)),
+      scratch_(std::move(other.scratch_)) {
+  other.fd_ = -1;
+  other.unsynced_ = false;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    next_lsn_ = other.next_lsn_;
+    sync_on_commit_ = other.sync_on_commit_;
+    unsynced_ = other.unsynced_;
+    pending_ = std::move(other.pending_);
+    scratch_ = std::move(other.scratch_);
+    other.fd_ = -1;
+    other.unsynced_ = false;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) {
+    // Relaxed commits are best-effort durable on clean shutdown.
+    if (unsynced_) RetryingFsync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status WalWriter::Sync() {
+  if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
+  unsynced_ = false;
+  return Status::OK();
+}
+
+void WalWriter::EncodeRecord(RecordType type, std::string_view body) {
+  (void)type;
+  bin::AppendU32(static_cast<uint32_t>(body.size()), &pending_);
+  bin::AppendU32(Crc32(body), &pending_);
+  pending_.append(body.data(), body.size());
+  if constexpr (obs::kEnabled) GetWalMetrics().records.Inc();
+}
+
+Status WalWriter::FlushPending(bool sync) {
+  if (!pending_.empty()) {
+    UCR_RETURN_IF_ERROR(WriteAll(fd_, pending_.data(), pending_.size(),
+                                 path_));
+    if constexpr (obs::kEnabled) GetWalMetrics().bytes.Inc(pending_.size());
+    pending_.clear();
+  }
+  if (sync) {
+    if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
+  }
+  return Status::OK();
+}
+
+Status WalWriter::BeginBatch(
+    std::span<const AccessControlSystem::MutationOp> ops) {
+  for (const auto& op : ops) {
+    scratch_.clear();
+    EncodeOpBody(op, next_lsn_++, &scratch_);
+    EncodeRecord(RecordType::kOp, scratch_);
+  }
+  // Written now (so the commit fsync covers them), synced at Commit.
+  return FlushPending(/*sync=*/false);
+}
+
+StatusOr<uint64_t> WalWriter::Commit(size_t op_count, size_t applied) {
+  const uint64_t lsn = next_lsn_++;
+  scratch_.clear();
+  scratch_.push_back(static_cast<char>(RecordType::kCommit));
+  bin::AppendU64(lsn, &scratch_);
+  bin::AppendU64(op_count, &scratch_);
+  bin::AppendU64(applied, &scratch_);
+  EncodeRecord(RecordType::kCommit, scratch_);
+  UCR_RETURN_IF_ERROR(FlushPending(/*sync=*/sync_on_commit_));
+  if (!sync_on_commit_) unsynced_ = true;
+  if constexpr (obs::kEnabled) GetWalMetrics().commits.Inc();
+  return lsn;
+}
+
+StatusOr<uint64_t> WalWriter::AppendStrategyChange(std::string_view mnemonic) {
+  const uint64_t lsn = next_lsn_++;
+  scratch_.clear();
+  scratch_.push_back(static_cast<char>(RecordType::kStrategy));
+  bin::AppendU64(lsn, &scratch_);
+  bin::AppendString(mnemonic, &scratch_);
+  EncodeRecord(RecordType::kStrategy, scratch_);
+  UCR_RETURN_IF_ERROR(FlushPending(/*sync=*/sync_on_commit_));
+  if (!sync_on_commit_) unsynced_ = true;
+  return lsn;
+}
+
+Status WalWriter::Reset(uint64_t next_lsn) {
+  pending_.clear();
+  if (::ftruncate(fd_, static_cast<off_t>(kMagicSize)) != 0) {
+    return ErrnoStatus("ftruncate", path_);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) return ErrnoStatus("lseek", path_);
+  if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
+  unsynced_ = false;
+  next_lsn_ = next_lsn;
+  return Status::OK();
+}
+
+StatusOr<WalContents> ReadWal(const std::string& path,
+                              bool repair_torn_tail) {
+  WalContents contents;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return contents;  // Fresh store: empty log.
+    return ErrnoStatus("open", path);
+  }
+  std::string bytes;
+  {
+    char buf[1 << 16];
+    ssize_t n;
+    while ((n = ::read(fd, buf, sizeof(buf))) != 0) {
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status st = ErrnoStatus("read", path);
+        ::close(fd);
+        return st;
+      }
+      bytes.append(buf, static_cast<size_t>(n));
+    }
+  }
+  ::close(fd);
+
+  if (bytes.size() < kMagicSize) {
+    // A short or absent magic can only come from a crash during
+    // creation — nothing was ever logged, so an empty log is the
+    // faithful reading. Truncate to nothing so the next writer
+    // recreates a clean file.
+    if (std::memcmp(bytes.data(), kMagic, bytes.size()) != 0) {
+      return Status::Corruption("not a WAL file (bad magic): " + path);
+    }
+    contents.torn_bytes = bytes.size();
+    if (repair_torn_tail && !bytes.empty()) {
+      const int wfd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+      if (wfd < 0) return ErrnoStatus("open", path);
+      const bool truncated =
+          ::ftruncate(wfd, 0) == 0 && RetryingFsync(wfd) == 0;
+      ::close(wfd);
+      if (!truncated) return ErrnoStatus("truncate", path);
+    }
+    return contents;
+  }
+  if (std::memcmp(bytes.data(), kMagic, kMagicSize) != 0) {
+    return Status::Corruption("not a WAL file (bad magic): " + path);
+  }
+
+  size_t pos = kMagicSize;
+  size_t valid_end = pos;
+  // Ops of the batch currently being assembled (between commits).
+  std::vector<AccessControlSystem::MutationOp> open_ops;
+  uint64_t prev_lsn = 0;
+
+  while (pos < bytes.size()) {
+    bin::Reader frame(bytes.data() + pos, bytes.size() - pos);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    std::string_view payload;
+    if (!frame.ReadU32(&len) || !frame.ReadU32(&crc) || len < kMinPayload ||
+        len > kMaxPayload || !frame.ReadBytes(len, &payload) ||
+        Crc32(payload) != crc) {
+      break;  // Torn tail (or corruption): stop, keep the valid prefix.
+    }
+
+    bin::Reader body(payload);
+    uint8_t type_byte = 0;
+    {
+      std::string_view tb;
+      body.ReadBytes(1, &tb);
+      type_byte = static_cast<uint8_t>(tb[0]);
+    }
+    uint64_t lsn = 0;
+    if (!body.ReadU64(&lsn) || lsn <= prev_lsn) break;
+
+    bool record_ok = true;
+    switch (static_cast<WalWriter::RecordType>(type_byte)) {
+      case WalWriter::RecordType::kOp: {
+        std::string_view kind_byte;
+        AccessControlSystem::MutationOp op;
+        record_ok = body.ReadBytes(1, &kind_byte) &&
+                    body.ReadString(&op.subject) &&
+                    body.ReadString(&op.object) && body.ReadString(&op.right);
+        if (record_ok) {
+          const auto raw = static_cast<uint8_t>(kind_byte[0]);
+          record_ok =
+              raw <= static_cast<uint8_t>(
+                         AccessControlSystem::MutationOp::Kind::
+                             kRemoveMembership);
+          op.kind = static_cast<AccessControlSystem::MutationOp::Kind>(raw);
+        }
+        if (record_ok) open_ops.push_back(std::move(op));
+        break;
+      }
+      case WalWriter::RecordType::kCommit: {
+        uint64_t op_count = 0;
+        uint64_t applied = 0;
+        record_ok = body.ReadU64(&op_count) && body.ReadU64(&applied) &&
+                    op_count == open_ops.size() && applied <= op_count;
+        if (record_ok) {
+          WalEvent event;
+          event.kind = WalEvent::Kind::kBatch;
+          event.lsn = lsn;
+          event.applied = static_cast<size_t>(applied);
+          event.ops = std::move(open_ops);
+          open_ops.clear();
+          contents.events.push_back(std::move(event));
+        }
+        break;
+      }
+      case WalWriter::RecordType::kStrategy: {
+        WalEvent event;
+        event.kind = WalEvent::Kind::kStrategyChange;
+        event.lsn = lsn;
+        record_ok = body.ReadString(&event.strategy_mnemonic);
+        if (record_ok) contents.events.push_back(std::move(event));
+        break;
+      }
+      default:
+        record_ok = false;
+    }
+    if (!record_ok || body.remaining() != 0) break;
+
+    prev_lsn = lsn;
+    contents.last_lsn = lsn;
+    pos += kFrameSize + len;
+    valid_end = pos;
+    if constexpr (obs::kEnabled) GetWalMetrics().replayed.Inc();
+  }
+
+  contents.torn_bytes += bytes.size() - valid_end;
+  contents.uncommitted_ops = open_ops.size();
+  if constexpr (obs::kEnabled) {
+    if (contents.torn_bytes > 0) {
+      GetWalMetrics().torn_bytes.Inc(contents.torn_bytes);
+    }
+  }
+
+  if (repair_torn_tail && valid_end < bytes.size()) {
+    const int wfd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (wfd < 0) return ErrnoStatus("open", path);
+    if (::ftruncate(wfd, static_cast<off_t>(valid_end)) != 0 ||
+        RetryingFsync(wfd) != 0) {
+      const Status st = ErrnoStatus("truncate", path);
+      ::close(wfd);
+      return st;
+    }
+    ::close(wfd);
+  }
+  return contents;
+}
+
+}  // namespace ucr::core

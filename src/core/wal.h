@@ -1,0 +1,161 @@
+#ifndef UCR_CORE_WAL_H_
+#define UCR_CORE_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "util/status.h"
+
+namespace ucr::core {
+
+/// \brief Write-ahead log of `MutationOp` batches (DESIGN.md §15).
+///
+/// The log is the durability half of the unified append path: the same
+/// `MutationOp` stream `ApplyMutations` consumes is encoded here
+/// *before* the in-memory apply, and the PR-4 audit ring receives one
+/// `kWalCommit` event per committed batch carrying the same LSN — the
+/// LSN is the join key between the durable log and the audit trail.
+///
+/// On-disk layout (little-endian):
+///
+///     "UCRWAL01"                                (8-byte file magic)
+///     record*:  u32 payload_len | u32 crc32(payload) | payload
+///
+/// and every payload starts `u8 record_type | u64 lsn`:
+///
+///     kOp (1):        u8 kind | str subject | str object | str right
+///     kCommit (2):    u64 op_count | u64 applied_count
+///     kStrategy (3):  str mnemonic
+///
+/// LSNs are monotonic from 1 and every record carries its own, so
+/// recovery can skip everything at or below a snapshot's LSN without
+/// decoding bodies.
+///
+/// Commit protocol (group commit): a batch's op records are buffered
+/// and written *unsynced*, the in-memory apply runs, then one `kCommit`
+/// record — carrying how many of those ops actually applied — is
+/// appended and the whole run is fsync'd once. A crash before the
+/// commit record leaves a torn tail that replay discards (the batch was
+/// never acknowledged); a crash after it replays exactly the
+/// `applied_count` prefix. Either way the recovered state matches some
+/// acknowledged history — the recovery test shadow-verifies this
+/// bit-identically against a never-crashed twin.
+class WalWriter {
+ public:
+  /// Record types (payload byte 0).
+  enum class RecordType : uint8_t {
+    kOp = 1,
+    kCommit = 2,
+    kStrategy = 3,
+  };
+
+  /// Creates the log (with magic) if absent, else opens for append.
+  /// `next_lsn` is the first LSN this writer will assign — recovery
+  /// passes `last_lsn + 1` from its replay scan.
+  static StatusOr<WalWriter> Open(std::string path, uint64_t next_lsn);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// \brief Writes one op record per op, unsynced (write-ahead: called
+  /// before the in-memory apply). The batch is not yet durable —
+  /// `Commit` makes it so.
+  Status BeginBatch(std::span<const AccessControlSystem::MutationOp> ops);
+
+  /// \brief Appends the commit record for the `BeginBatch` ops
+  /// (`applied` = how many of them the in-memory apply executed) and
+  /// fsyncs — the batch's single fsync. Returns the commit LSN.
+  StatusOr<uint64_t> Commit(size_t op_count, size_t applied);
+
+  /// Appends a strategy-change record and fsyncs (strategy flips every
+  /// decision the old and new strategies disagree on, so it must be as
+  /// durable as the data). Returns the record's LSN.
+  StatusOr<uint64_t> AppendStrategyChange(std::string_view mnemonic);
+
+  /// \brief Relaxed group commit (PostgreSQL's `synchronous_commit =
+  /// off`): when false, `Commit` and `AppendStrategyChange` still
+  /// append in order but skip the per-record fsync, so a crash can
+  /// lose the *most recent* commits — never reorder or tear them
+  /// (recovery still yields a clean acknowledged prefix). `Sync`
+  /// forces everything written so far to disk; the destructor and
+  /// `Reset` sync any relaxed residue automatically. Default: every
+  /// commit is fsync'd.
+  void set_sync_on_commit(bool sync) { sync_on_commit_ = sync; }
+  bool sync_on_commit() const { return sync_on_commit_; }
+
+  /// Fsyncs all appended records now (a relaxed-mode barrier).
+  Status Sync();
+
+  /// \brief Truncates the log back to the bare magic after a snapshot
+  /// made its contents redundant (compaction). `next_lsn` restarts the
+  /// sequence *above* the snapshot's LSN — LSNs never go backwards
+  /// across a compaction.
+  Status Reset(uint64_t next_lsn);
+
+  /// Next LSN this writer will assign.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t next_lsn)
+      : path_(std::move(path)), fd_(fd), next_lsn_(next_lsn) {}
+
+  /// Encodes one record (length + CRC + payload) into `pending_`.
+  void EncodeRecord(RecordType type, std::string_view body);
+
+  /// write()s `pending_` (EINTR-safe) and optionally fsyncs.
+  Status FlushPending(bool sync);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+  bool sync_on_commit_ = true;
+  bool unsynced_ = false;  ///< Relaxed commits written since last fsync.
+  std::string pending_;    ///< Encoded-but-unwritten records.
+  std::string scratch_;    ///< Payload build buffer, reused per record.
+};
+
+/// One replayable unit recovered from the log, in file order.
+struct WalEvent {
+  enum class Kind : uint8_t { kBatch = 0, kStrategyChange = 1 };
+  Kind kind = Kind::kBatch;
+  /// The commit record's LSN (batches) or the record's own (strategy).
+  uint64_t lsn = 0;
+  /// Batch: the logged ops and how many of them committed. Replay
+  /// applies exactly the `applied` prefix.
+  std::vector<AccessControlSystem::MutationOp> ops;
+  size_t applied = 0;
+  /// Strategy change: the canonical mnemonic.
+  std::string strategy_mnemonic;
+};
+
+/// Everything a recovery scan learned from one WAL file.
+struct WalContents {
+  std::vector<WalEvent> events;  ///< Committed units, file order.
+  uint64_t last_lsn = 0;         ///< Highest LSN of any valid record.
+  /// Bytes of torn tail found (truncated record or CRC mismatch at the
+  /// end — the signature of a crash mid-append).
+  uint64_t torn_bytes = 0;
+  /// Trailing op records with no commit record: an unacknowledged
+  /// batch, discarded by design.
+  size_t uncommitted_ops = 0;
+};
+
+/// \brief Scans a WAL file, validating every record's CRC and
+/// structure. Stops at the first invalid byte and reports everything
+/// before it; with `repair_torn_tail` the file is truncated at that
+/// point so the next writer appends after a clean tail. A missing file
+/// is an empty log (fresh store), not an error; a bad magic is
+/// `kCorruption`.
+StatusOr<WalContents> ReadWal(const std::string& path, bool repair_torn_tail);
+
+}  // namespace ucr::core
+
+#endif  // UCR_CORE_WAL_H_

@@ -71,6 +71,87 @@ std::vector<NodeId> Dag::DescendantsOf(NodeId start) const {
   return out;
 }
 
+StatusOr<Dag> Dag::FromCsr(std::vector<std::string> names,
+                           std::vector<size_t> child_offsets,
+                           std::vector<NodeId> children,
+                           std::vector<size_t> parent_offsets,
+                           std::vector<NodeId> parents) {
+  const size_t n = names.size();
+  auto corrupt = [](const char* what) {
+    return Status::Corruption(std::string("CSR graph: ") + what);
+  };
+  if (child_offsets.size() != n + 1 || parent_offsets.size() != n + 1) {
+    return corrupt("offset array size mismatch");
+  }
+  if (child_offsets.front() != 0 || parent_offsets.front() != 0 ||
+      child_offsets.back() != children.size() ||
+      parent_offsets.back() != parents.size() ||
+      children.size() != parents.size()) {
+    return corrupt("offset bounds do not match edge arrays");
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (child_offsets[v] > child_offsets[v + 1] ||
+        parent_offsets[v] > parent_offsets[v + 1]) {
+      return corrupt("non-monotonic offsets");
+    }
+  }
+  for (const NodeId id : children) {
+    if (id >= n) return corrupt("child id out of range");
+  }
+  for (const NodeId id : parents) {
+    if (id >= n) return corrupt("parent id out of range");
+  }
+
+  // The two adjacency directions must describe the same edge set with
+  // no duplicates or self-loops; a file that breaks the mirror would
+  // desynchronize every traversal that mixes directions (Kahn's
+  // indegrees vs child expansion, ancestor vs descendant sweeps).
+  std::vector<uint64_t> down;
+  std::vector<uint64_t> up;
+  down.reserve(children.size());
+  up.reserve(parents.size());
+  for (size_t v = 0; v < n; ++v) {
+    for (size_t i = child_offsets[v]; i < child_offsets[v + 1]; ++i) {
+      if (children[i] == v) return corrupt("self-loop");
+      down.push_back((static_cast<uint64_t>(v) << 32) | children[i]);
+    }
+    for (size_t i = parent_offsets[v]; i < parent_offsets[v + 1]; ++i) {
+      up.push_back((static_cast<uint64_t>(parents[i]) << 32) | v);
+    }
+  }
+  std::sort(down.begin(), down.end());
+  std::sort(up.begin(), up.end());
+  if (down != up) return corrupt("child/parent adjacency mismatch");
+  if (std::adjacent_find(down.begin(), down.end()) != down.end()) {
+    return corrupt("duplicate edge");
+  }
+
+  std::unordered_map<std::string, NodeId> name_to_id;
+  name_to_id.reserve(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (!name_to_id.try_emplace(names[v], static_cast<NodeId>(v)).second) {
+      return corrupt("duplicate node name");
+    }
+  }
+
+  Dag dag;
+  dag.edge_count_ = children.size();
+  dag.names_ = std::move(names);
+  dag.name_to_id_ = std::move(name_to_id);
+  dag.child_offsets_ = std::move(child_offsets);
+  dag.children_ = std::move(children);
+  dag.parent_offsets_ = std::move(parent_offsets);
+  dag.parents_ = std::move(parents);
+  dag.node_generations_.assign(n, 0);
+
+  // Acyclicity last, on the assembled graph: Kahn's completes iff the
+  // edge set has no cycle.
+  if (dag.TopologicalOrder().size() != n) {
+    return Status::Corruption("CSR graph: contains a cycle");
+  }
+  return dag;
+}
+
 void Dag::StampNodes(const std::vector<NodeId>& nodes) {
   ++generation_;
   for (NodeId v : nodes) node_generations_[v] = generation_;

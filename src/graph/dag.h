@@ -137,6 +137,24 @@ class Dag {
   /// edit of an edge into `start` can change.
   std::vector<NodeId> DescendantsOf(NodeId start) const;
 
+  /// \brief Reassembles a graph from serialized CSR parts (the binary
+  /// snapshot format, graph/io.h).
+  ///
+  /// Unlike `DagBuilder` this adopts the adjacency arrays wholesale —
+  /// O(V + E) with no per-edge hash lookups — which is what makes a
+  /// million-node cold start feasible. Because the parts may come from
+  /// a corrupted or adversarial file, everything is re-validated:
+  /// offset monotonicity, id ranges, child/parent mirror consistency
+  /// (same edge multiset, no duplicates, no self-loops), unique node
+  /// names, and acyclicity. Any violation is a clean `kCorruption`;
+  /// a returned graph upholds every `Dag` invariant. Generations are
+  /// zeroed, exactly like a `DagBuilder`-built graph.
+  static StatusOr<Dag> FromCsr(std::vector<std::string> names,
+                               std::vector<size_t> child_offsets,
+                               std::vector<NodeId> children,
+                               std::vector<size_t> parent_offsets,
+                               std::vector<NodeId> parents);
+
  private:
   friend class DagBuilder;
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/binio.h"
 #include "util/string_util.h"
 
 namespace ucr::graph {
@@ -111,6 +112,96 @@ StatusOr<Dag> ReadEdgeListFile(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return FromEdgeListText(buffer.str());
+}
+
+void AppendDagBinary(const Dag& dag, std::string* out) {
+  const size_t n = dag.node_count();
+  bin::AppendU64(n, out);
+  bin::AppendU64(dag.edge_count(), out);
+  for (NodeId v = 0; v < n; ++v) {
+    bin::AppendString(dag.name(v), out);
+  }
+  // Both directions, offsets rebuilt from the public spans so the
+  // encoder needs no private access and the decoder re-validates the
+  // mirror anyway.
+  uint64_t offset = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    bin::AppendU64(offset, out);
+    offset += dag.children(v).size();
+  }
+  bin::AppendU64(offset, out);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId child : dag.children(v)) bin::AppendU32(child, out);
+  }
+  offset = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    bin::AppendU64(offset, out);
+    offset += dag.parents(v).size();
+  }
+  bin::AppendU64(offset, out);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId parent : dag.parents(v)) bin::AppendU32(parent, out);
+  }
+}
+
+StatusOr<Dag> DagFromBinary(std::string_view bytes) {
+  bin::Reader reader(bytes);
+  uint64_t node_count = 0;
+  uint64_t edge_count = 0;
+  if (!reader.ReadU64(&node_count) || !reader.ReadU64(&edge_count)) {
+    return Status::Corruption("dag section: truncated header");
+  }
+  // A node costs ≥5 bytes (name length prefix + two 8-byte offsets is
+  // more, but 5 is a safe floor) and an edge ≥8 (one u32 per
+  // direction); reject absurd counts before any reserve so a corrupt
+  // header cannot OOM the loader.
+  if (node_count > bytes.size() / 5 || edge_count > bytes.size() / 8 ||
+      node_count >= kInvalidNode) {
+    return Status::Corruption("dag section: implausible node/edge count");
+  }
+  const size_t n = static_cast<size_t>(node_count);
+  const size_t e = static_cast<size_t>(edge_count);
+
+  std::vector<std::string> names(n);
+  for (size_t v = 0; v < n; ++v) {
+    if (!reader.ReadString(&names[v])) {
+      return Status::Corruption("dag section: truncated name table");
+    }
+  }
+
+  auto read_offsets = [&reader, n](std::vector<size_t>* out) {
+    out->resize(n + 1);
+    for (size_t i = 0; i <= n; ++i) {
+      uint64_t v = 0;
+      if (!reader.ReadU64(&v)) return false;
+      (*out)[i] = static_cast<size_t>(v);
+    }
+    return true;
+  };
+  auto read_ids = [&reader, e](std::vector<NodeId>* out) {
+    out->resize(e);
+    for (size_t i = 0; i < e; ++i) {
+      uint32_t v = 0;
+      if (!reader.ReadU32(&v)) return false;
+      (*out)[i] = v;
+    }
+    return true;
+  };
+
+  std::vector<size_t> child_offsets;
+  std::vector<NodeId> children;
+  std::vector<size_t> parent_offsets;
+  std::vector<NodeId> parents;
+  if (!read_offsets(&child_offsets) || !read_ids(&children) ||
+      !read_offsets(&parent_offsets) || !read_ids(&parents)) {
+    return Status::Corruption("dag section: truncated adjacency arrays");
+  }
+  if (reader.remaining() != 0) {
+    return Status::Corruption("dag section: trailing bytes");
+  }
+  return Dag::FromCsr(std::move(names), std::move(child_offsets),
+                      std::move(children), std::move(parent_offsets),
+                      std::move(parents));
 }
 
 }  // namespace ucr::graph

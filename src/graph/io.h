@@ -45,6 +45,26 @@ Status WriteEdgeListFile(const Dag& dag, const std::string& path);
 /// Reads and parses an edge-list file.
 StatusOr<Dag> ReadEdgeListFile(const std::string& path);
 
+// -- Binary CSR serialization (the snapshot format's graph section) ---
+
+/// \brief Appends `dag` to `out` in the binary CSR layout: node and
+/// edge counts, the name table in id order, then both adjacency
+/// directions verbatim (child offsets + children, parent offsets +
+/// parents), all little-endian.
+///
+/// Storing the parent direction instead of re-deriving it preserves
+/// *insertion order* of each parent list across a save/load cycle —
+/// the recovery acceptance test demands bit-identical decisions from a
+/// reloaded system, so iteration order must survive, not just the edge
+/// set. Costs ~2× the minimal encoding; snapshots optimize restart
+/// latency, not bytes.
+void AppendDagBinary(const Dag& dag, std::string* out);
+
+/// \brief Parses `AppendDagBinary` output. The bytes are untrusted:
+/// all structure is re-validated through `Dag::FromCsr`, so truncation,
+/// bit flips, or adversarial edits yield `kCorruption` — never UB.
+StatusOr<Dag> DagFromBinary(std::string_view bytes);
+
 }  // namespace ucr::graph
 
 #endif  // UCR_GRAPH_IO_H_

@@ -1,8 +1,11 @@
 #include "obs/audit_log.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace ucr::obs {
@@ -21,6 +24,7 @@ std::string_view AuditEventTypeName(AuditEventType type) {
     case AuditEventType::kSlowQuery: return "slow_query";
     case AuditEventType::kShadowMismatch: return "shadow_mismatch";
     case AuditEventType::kHealthTransition: return "health_transition";
+    case AuditEventType::kWalCommit: return "wal_commit";
   }
   return "unknown";
 }
@@ -96,6 +100,9 @@ struct AuditMetrics {
       "Audit events dropped because the ring was full");
   Counter& written = Registry::Global().GetCounter(
       "ucr_audit_written_total", "Audit events rendered to sinks");
+  Counter& sink_errors = Registry::Global().GetCounter(
+      "ucr_audit_sink_errors_total",
+      "Audit sink I/O failures (open, write, rotation rename)");
 };
 
 AuditMetrics& GetAuditMetrics() {
@@ -108,45 +115,88 @@ AuditMetrics& GetAuditMetrics() {
 AuditSink::~AuditSink() = default;
 
 RotatingFileSink::RotatingFileSink(std::string path, size_t max_bytes,
-                                   int max_backups)
+                                   int max_backups, bool fsync_on_flush)
     : path_(std::move(path)),
       max_bytes_(max_bytes),
-      max_backups_(max_backups < 1 ? 1 : max_backups) {
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (file_ != nullptr) {
-    const long pos = std::ftell(file_);
-    bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
-  }
+      max_backups_(max_backups < 1 ? 1 : max_backups),
+      fsync_on_flush_(fsync_on_flush) {
+  OpenFile();
 }
 
 RotatingFileSink::~RotatingFileSink() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+void RotatingFileSink::NoteError(const char* what) {
+  ++errors_;
+  GetAuditMetrics().sink_errors.Inc();
+  if (!reported_failed_) {
+    reported_failed_ = true;
+    std::fprintf(stderr,
+                 "ucr: audit sink %s failed for '%s' (%s); diverting audit "
+                 "lines to stderr\n",
+                 what, path_.c_str(), std::strerror(errno));
+  }
+}
+
+void RotatingFileSink::OpenFile() {
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    NoteError("open");
+    return;
+  }
+  const long pos = std::ftell(file_);
+  bytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+  reported_failed_ = false;
+}
+
 void RotatingFileSink::Rotate() {
   std::fclose(file_);
   file_ = nullptr;
   // path.N-1 -> path.N, ..., path -> path.1; the oldest falls off.
+  // The remove of the retiring backup may legitimately find nothing;
+  // every rename of an *existing* file that fails is a real error
+  // (ENOENT for a gap in the backup chain is expected and skipped).
   std::remove((path_ + "." + std::to_string(max_backups_)).c_str());
   for (int i = max_backups_ - 1; i >= 1; --i) {
-    std::rename((path_ + "." + std::to_string(i)).c_str(),
-                (path_ + "." + std::to_string(i + 1)).c_str());
+    if (std::rename((path_ + "." + std::to_string(i)).c_str(),
+                    (path_ + "." + std::to_string(i + 1)).c_str()) != 0 &&
+        errno != ENOENT) {
+      NoteError("rename");
+    }
   }
-  std::rename(path_.c_str(), (path_ + ".1").c_str());
-  file_ = std::fopen(path_.c_str(), "ab");
-  bytes_ = 0;
+  if (std::rename(path_.c_str(), (path_ + ".1").c_str()) != 0) {
+    // The active file definitely existed; a failed rename here means
+    // the rotation did not happen. Reopen and keep appending to the
+    // oversized file — losing the size bound beats losing the trail.
+    NoteError("rename");
+  }
+  OpenFile();
   ++rotations_;
 }
 
 void RotatingFileSink::Write(std::string_view line) {
-  if (file_ == nullptr) return;
+  if (file_ == nullptr) {
+    // Retry the open each line: the sink self-heals once the path is
+    // writable (disk freed, directory recreated). Until then the
+    // event still reaches an operator via stderr instead of vanishing.
+    OpenFile();
+    if (file_ == nullptr) {
+      fallback_.Write(line);
+      return;
+    }
+  }
   if (bytes_ > 0 && bytes_ + line.size() + 1 > max_bytes_) Rotate();
-  if (file_ == nullptr) return;
+  if (file_ == nullptr) {
+    fallback_.Write(line);
+    return;
+  }
   // §14 EINTR audit: the wall profiler's SIGPROF lands on the writer
   // thread too. A signal mid-write can leave fwrite short with the
   // stream's error flag set; retry the remainder instead of silently
   // truncating the event line.
   size_t off = 0;
+  bool failed = false;
   while (off < line.size()) {
     const size_t n =
         std::fwrite(line.data() + off, 1, line.size() - off, file_);
@@ -156,15 +206,39 @@ void RotatingFileSink::Write(std::string_view line) {
         std::clearerr(file_);
         continue;
       }
+      failed = true;
       break;
     }
   }
-  std::fputc('\n', file_);
+  if (!failed && std::fputc('\n', file_) == EOF) failed = true;
+  if (failed) {
+    // Count it, close the broken stream, and divert this line; the
+    // next Write retries the open.
+    NoteError("write");
+    std::fclose(file_);
+    file_ = nullptr;
+    fallback_.Write(line);
+    return;
+  }
   bytes_ += line.size() + 1;
 }
 
 void RotatingFileSink::Flush() {
-  if (file_ != nullptr) std::fflush(file_);
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) {
+    NoteError("flush");
+    return;
+  }
+  if (fsync_on_flush_) {
+    const int fd = ::fileno(file_);
+    if (fd >= 0) {
+      int rc;
+      do {
+        rc = ::fsync(fd);
+      } while (rc != 0 && errno == EINTR);
+      if (rc != 0) NoteError("fsync");
+    }
+  }
 }
 
 void StderrSink::Write(std::string_view line) {

@@ -35,6 +35,7 @@ enum class AuditEventType : uint8_t {
   kSlowQuery,          ///< Sampled query over the latency threshold.
   kShadowMismatch,     ///< Fast path diverged from the classic oracle.
   kHealthTransition,   ///< Health verdict changed (ok|degraded|failing).
+  kWalCommit,          ///< Durable batch committed; value = WAL LSN.
 };
 
 /// The exposition name of an event type ("grant", "slow_query", ...).
@@ -94,38 +95,60 @@ class AuditSink {
   virtual void Flush() {}
 };
 
-/// Appends to `path`, renaming `path` -> `path.1` -> ... -> `path.N`
-/// when the active file would exceed `max_bytes` (the oldest backup
-/// falls off). Sized rotation keeps an always-on audit trail bounded.
-class RotatingFileSink : public AuditSink {
- public:
-  explicit RotatingFileSink(std::string path, size_t max_bytes = 64u << 20,
-                            int max_backups = 3);
-  ~RotatingFileSink() override;
-
-  void Write(std::string_view line) override;
-  void Flush() override;
-
-  /// False when the initial open failed (events are then dropped).
-  bool ok() const { return file_ != nullptr; }
-  uint64_t rotations() const { return rotations_; }
-
- private:
-  void Rotate();
-
-  std::string path_;
-  size_t max_bytes_;
-  int max_backups_;
-  std::FILE* file_ = nullptr;
-  size_t bytes_ = 0;
-  uint64_t rotations_ = 0;
-};
-
 /// One line per event to stderr (operator tail-mode).
 class StderrSink : public AuditSink {
  public:
   void Write(std::string_view line) override;
   void Flush() override;
+};
+
+/// Appends to `path`, renaming `path` -> `path.1` -> ... -> `path.N`
+/// when the active file would exceed `max_bytes` (the oldest backup
+/// falls off). Sized rotation keeps an always-on audit trail bounded.
+///
+/// I/O failures are never silent: every failed open, write, or rotation
+/// rename is counted (`ucr_audit_sink_errors_total` and `errors()`),
+/// and while the file is unwritable lines divert to stderr so the
+/// trail degrades to un-rotated rather than to nothing. Each `Write`
+/// retries the open once, so the sink self-heals when the path becomes
+/// writable again.
+class RotatingFileSink : public AuditSink {
+ public:
+  /// `fsync_on_flush` upgrades `Flush` from "handed to the kernel"
+  /// (fflush) to "on disk" (fsync) — for deployments treating the
+  /// audit trail as a system of record.
+  explicit RotatingFileSink(std::string path, size_t max_bytes = 64u << 20,
+                            int max_backups = 3, bool fsync_on_flush = false);
+  ~RotatingFileSink() override;
+
+  void Write(std::string_view line) override;
+  void Flush() override;
+
+  /// False when the file is currently unwritable (lines divert to
+  /// stderr until an open retry succeeds).
+  bool ok() const { return file_ != nullptr; }
+  uint64_t rotations() const { return rotations_; }
+  /// I/O failures observed (open, write, rename) since construction.
+  uint64_t errors() const { return errors_; }
+
+ private:
+  void Rotate();
+  /// Opens `path_` for append, counting a failure. Sets `file_`.
+  void OpenFile();
+  /// Counts one failure and emits a one-line stderr notice the first
+  /// time the sink enters the failed state.
+  void NoteError(const char* what);
+
+  std::string path_;
+  size_t max_bytes_;
+  int max_backups_;
+  bool fsync_on_flush_;
+  std::FILE* file_ = nullptr;
+  size_t bytes_ = 0;
+  uint64_t rotations_ = 0;
+  uint64_t errors_ = 0;
+  bool reported_failed_ = false;  ///< Stderr notice already printed.
+  StderrSink fallback_;
 };
 
 /// Swallows lines, counting them — the bench/test sink.
@@ -257,17 +280,19 @@ class AuditSink {
   virtual void Flush() {}
 };
 
-class RotatingFileSink : public AuditSink {
- public:
-  explicit RotatingFileSink(std::string, size_t = 64u << 20, int = 3) {}
-  void Write(std::string_view) override {}
-  bool ok() const { return false; }
-  uint64_t rotations() const { return 0; }
-};
-
 class StderrSink : public AuditSink {
  public:
   void Write(std::string_view) override {}
+};
+
+class RotatingFileSink : public AuditSink {
+ public:
+  explicit RotatingFileSink(std::string, size_t = 64u << 20, int = 3,
+                            bool = false) {}
+  void Write(std::string_view) override {}
+  bool ok() const { return false; }
+  uint64_t rotations() const { return 0; }
+  uint64_t errors() const { return 0; }
 };
 
 class DiscardSink : public AuditSink {

@@ -1,0 +1,128 @@
+#ifndef UCR_UTIL_BINIO_H_
+#define UCR_UTIL_BINIO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ucr::bin {
+
+// Little-endian, byte-at-a-time binary encoding shared by every durable
+// format in the repository (WAL records, binary snapshots). Explicit
+// byte shifts instead of memcpy-of-struct keep the on-disk layout
+// independent of host endianness and padding, and the bounds-checked
+// Reader turns any truncated or hostile input into a clean parse
+// failure instead of UB — the loader fuzz tests rely on that.
+
+inline void AppendU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void AppendU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void AppendU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Length-prefixed string: u32 byte count + raw bytes.
+inline void AppendString(std::string_view s, std::string* out) {
+  AppendU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s.data(), s.size());
+}
+
+/// Patches a previously appended u32 at `offset` (for length/CRC slots
+/// whose value is only known after the payload is written).
+inline void PatchU32(std::string* out, size_t offset, uint32_t v) {
+  for (size_t i = 0; i < 4; ++i) {
+    (*out)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// \brief Bounds-checked forward reader over an in-memory byte span.
+///
+/// Every accessor returns false (leaving the output untouched) instead
+/// of reading past the end; `ok()` latches the first failure so callers
+/// can batch reads and check once.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : p_(static_cast<const unsigned char*>(data)), end_(p_ + size) {}
+  explicit Reader(std::string_view bytes) : Reader(bytes.data(), bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  const unsigned char* cursor() const { return p_; }
+
+  bool ReadU16(uint16_t* v) {
+    if (!Require(2)) return false;
+    *v = static_cast<uint16_t>(p_[0] | (p_[1] << 8));
+    p_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (!Require(4)) return false;
+    *v = static_cast<uint32_t>(p_[0]) | (static_cast<uint32_t>(p_[1]) << 8) |
+         (static_cast<uint32_t>(p_[2]) << 16) |
+         (static_cast<uint32_t>(p_[3]) << 24);
+    p_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  /// Reads a u32-length-prefixed string (AppendString's format).
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (!Require(len)) return false;
+    out->assign(reinterpret_cast<const char*>(p_), len);
+    p_ += len;
+    return true;
+  }
+
+  /// Views `size` raw bytes without copying; fails if short.
+  bool ReadBytes(size_t size, std::string_view* out) {
+    if (!Require(size)) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(p_), size);
+    p_ += size;
+    return true;
+  }
+
+  bool Skip(size_t size) {
+    if (!Require(size)) return false;
+    p_ += size;
+    return true;
+  }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace ucr::bin
+
+#endif  // UCR_UTIL_BINIO_H_

@@ -1,0 +1,59 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace ucr {
+
+namespace {
+
+/// Four 256-entry tables, built once at first use: table[0] is the
+/// classic byte-at-a-time table, tables 1..3 fold the next three bytes
+/// so the hot loop consumes four bytes per iteration (slice-by-4;
+/// several GB/s, fast enough that snapshot loads stay I/O-bound).
+struct Crc32Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32Tables() {
+    constexpr uint32_t kPoly = 0xEDB88320u;  // Reflected IEEE polynomial.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32Tables& Tables() {
+  static const Crc32Tables* tables = new Crc32Tables();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto& t = Tables().t;
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace ucr

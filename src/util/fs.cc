@@ -1,0 +1,175 @@
+#include "util/fs.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ucr {
+
+namespace {
+
+long g_write_limit = -1;
+
+Status ErrnoStatus(const char* what, const std::string& path) {
+  return Status::Corruption(std::string(what) + " failed for '" + path +
+                            "': " + std::strerror(errno));
+}
+
+int RetryingFsync(int fd) {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+/// write() loop honoring the test-injected short-write limit.
+Status WriteAll(int fd, std::string_view contents, const std::string& path) {
+  const char* data = contents.data();
+  size_t size = contents.size();
+  if (g_write_limit >= 0 && size > static_cast<size_t>(g_write_limit)) {
+    // Simulated device-full: persist the allowed prefix (a real ENOSPC
+    // leaves partial bytes behind too), then fail.
+    size_t allowed = static_cast<size_t>(g_write_limit);
+    while (allowed > 0) {
+      const ssize_t n = ::write(fd, data, allowed);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      data += n;
+      allowed -= static_cast<size_t>(n);
+    }
+    return Status::Corruption("write failed for '" + path +
+                              "': No space left on device (injected)");
+  }
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Directory of `path` ("." when the path has no slash).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SetAtomicWriteLimitForTesting(long limit) { g_write_limit = limit; }
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  // Unique per process+object so concurrent savers in one directory
+  // never clobber each other's temp file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+
+  Status status = WriteAll(fd, contents, tmp);
+  if (status.ok() && RetryingFsync(fd) != 0) status = ErrnoStatus("fsync", tmp);
+  if (::close(fd) != 0 && status.ok()) status = ErrnoStatus("close", tmp);
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());  // Best effort; the target is untouched.
+    return status;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = ErrnoStatus("rename", tmp);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+
+  // The rename is only durable once the directory entry is: fsync the
+  // containing directory (ignore EACCES-style failures on exotic
+  // filesystems that refuse O_RDONLY directory fds — the data itself
+  // is already synced).
+  const int dir_fd =
+      ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    RetryingFsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) != 0) {
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = ErrnoStatus("read", path);
+      ::close(fd);
+      return st;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+StatusOr<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoStatus("fstat", path);
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return MappedFile(nullptr, 0);
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference.
+  if (data == MAP_FAILED) return ErrnoStatus("mmap", path);
+  return MappedFile(data, size);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+}  // namespace ucr

@@ -1,0 +1,60 @@
+#ifndef UCR_UTIL_FS_H_
+#define UCR_UTIL_FS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ucr {
+
+/// \brief Atomically replaces `path` with `contents`.
+///
+/// The crash-safe sequence: write a uniquely named temp file *in the
+/// target's directory* (rename is only atomic within a filesystem),
+/// check every write, fsync the temp file, rename over the target,
+/// fsync the directory so the rename itself is durable. A crash or
+/// ENOSPC at any point leaves the previous `path` byte-identical; the
+/// orphaned temp file is the only possible debris.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+/// \brief Test hook: makes the next `WriteFileAtomic` calls fail after
+/// writing at most `limit` bytes of content, simulating a device that
+/// fills mid-write (the torn-save regression test). Negative disables.
+/// Not thread-safe — test-only.
+void SetAtomicWriteLimitForTesting(long limit);
+
+/// Reads an entire file. NotFound if it does not exist.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// \brief A read-only memory-mapped file.
+///
+/// The mapping's lifetime is the object's; `bytes()` views the file
+/// contents without an up-front read — pages fault in on first touch,
+/// which is what lets a multi-GB snapshot serve its first query
+/// seconds after start. An empty file maps to an empty view.
+class MappedFile {
+ public:
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ucr
+
+#endif  // UCR_UTIL_FS_H_

@@ -267,6 +267,37 @@ TEST(MutationInvalidationTest, ApplyMutationsStopsAtFirstFailureButSweeps) {
   EXPECT_FALSE(system.eacm().FindRight("write").ok());
 }
 
+// The partial-failure report names the failing position and kind —
+// both in the stats (machine-readable resume point, and the boundary
+// the WAL commit record persists) and in the status message itself.
+TEST(MutationInvalidationTest, BatchFailureNamesIndexAndKind) {
+  AccessControlSystem system = MakePaperSystem();
+  using Op = AccessControlSystem::MutationOp;
+  AccessControlSystem::MutationBatchStats stats;
+
+  // Success: no failed index.
+  const std::vector<Op> ok_ops = {Op::Grant("S3", "obj", "write")};
+  ASSERT_TRUE(system.ApplyMutations(ok_ops, &stats).ok());
+  EXPECT_EQ(stats.failed_index, AccessControlSystem::MutationBatchStats::kNone);
+
+  // Failure at op 2: failed_index == applied, and the message carries
+  // the index, the op kind, and the underlying cause.
+  const std::vector<Op> ops = {
+      Op::Grant("S3", "doc", "read"),
+      Op::Deny("S4", "doc", "write"),
+      Op::AddMember("S1", "S1"),  // Self-loop: fails.
+      Op::Grant("S3", "doc", "own"),
+  };
+  const Status status = system.ApplyMutations(ops, &stats);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(stats.applied, 2u);
+  EXPECT_EQ(stats.failed_index, 2u);
+  EXPECT_EQ(stats.failed_index, stats.applied);
+  EXPECT_NE(status.message().find("op 2 (add_membership)"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("self-loop"), std::string::npos);
+}
+
 #if UCR_METRICS_ENABLED
 
 TEST(MutationInvalidationTest, WritePathMetricsAndAuditAffectedSize) {

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -235,6 +238,68 @@ TEST(ObsAuditLogTest, IdempotentRegrantEmitsNoAuditEvent) {
   EXPECT_EQ(grants, 2u);  // First grant + the revoke->grant change only.
   EXPECT_EQ(denies, 1u);
   EXPECT_EQ(revokes, 1u);
+}
+
+// The rotating sink must never lose audit lines silently: an
+// unwritable path counts errors (ucr_audit_sink_errors_total) and
+// diverts every line to stderr, and once the path becomes writable a
+// later Write reopens it — no restart required.
+TEST(ObsAuditLogTest, UnwritableSinkCountsErrorsAndSelfHeals) {
+  Counter& sink_errors = Registry::Global().GetCounter(
+      "ucr_audit_sink_errors_total",
+      "Audit sink I/O failures (open, write, rotate); failed lines "
+      "divert to stderr");
+  const std::string dir =
+      testing::TempDir() + "/ucr_audit_missing_dir_" +
+      std::to_string(static_cast<long>(::getpid()));
+  const std::string path = dir + "/audit.jsonl";
+
+  RotatingFileSink sink(path, /*max_bytes=*/4096, /*max_backups=*/1);
+  EXPECT_FALSE(sink.ok());  // Directory does not exist yet.
+  const uint64_t errors_before = sink.errors();
+  const uint64_t metric_before = sink_errors.Value();
+  sink.Write("{\"type\":\"diverted\"}");
+  EXPECT_GT(sink.errors(), errors_before);
+  EXPECT_GT(sink_errors.Value(), metric_before);
+
+  // Create the directory: the very next Write opens the file and lands
+  // in it (per-Write open retry), without constructing a new sink.
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  sink.Write("{\"type\":\"landed\"}");
+  sink.Flush();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[256] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const std::string contents(buf, n);
+  EXPECT_NE(contents.find("landed"), std::string::npos);
+  // The diverted line went to stderr, never half-into the file.
+  EXPECT_EQ(contents.find("diverted"), std::string::npos);
+
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(ObsAuditLogTest, FsyncOnFlushSinkPersistsLines) {
+  const std::string path =
+      testing::TempDir() + "/ucr_audit_fsync.jsonl";
+  std::remove(path.c_str());
+  {
+    RotatingFileSink sink(path, /*max_bytes=*/4096, /*max_backups=*/1,
+                          /*fsync_on_flush=*/true);
+    ASSERT_TRUE(sink.ok());
+    sink.Write("{\"type\":\"durable\"}");
+    sink.Flush();  // fflush + fsync: on disk, not just in libc buffers.
+    EXPECT_EQ(sink.errors(), 0u);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_NE(std::string(buf, n).find("durable"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 #endif  // UCR_METRICS_ENABLED

@@ -1,0 +1,309 @@
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "core/binary_snapshot.h"
+#include "core/persistent_system.h"
+#include "core/strategy.h"
+#include "core/system.h"
+
+namespace ucr::core {
+namespace {
+
+using MutationOp = AccessControlSystem::MutationOp;
+
+// The acceptance test for the durability layer: a writer process is
+// SIGKILLed mid-stream (sometimes mid-`ApplyMutations`, sometimes
+// mid-compaction) and recovery must produce a state *bit-identical* to
+// a never-crashed twin that applied exactly the committed prefix —
+// verified both by byte-comparing the canonical binary encodings and
+// by shadow-querying every subject under all 48 strategies.
+//
+// The batch stream is a pure function of the batch index, so parent
+// and child agree on it without any shared state. Every op in a batch
+// succeeds (unique edges, same-mode re-grants are idempotent, revokes
+// target grants four batches old), and the batch's *last* op grants a
+// marker object "batch<i>" — commits are written after the in-memory
+// apply with the applied count, so the marker's presence in the
+// recovered EACM certifies the whole batch replayed.
+
+constexpr int kMaxBatches = 400;
+
+std::vector<MutationOp> BatchOps(int i) {
+  const std::string user = "user" + std::to_string(i);
+  const std::string peer = "peer" + std::to_string(i);
+  const std::string grp = "grp" + std::to_string(i % 8);
+  const std::string res = "res" + std::to_string(i % 5);
+  std::vector<MutationOp> ops;
+  ops.push_back(MutationOp::AddMember(grp, user));
+  ops.push_back(MutationOp::AddMember(grp, peer));
+  ops.push_back(MutationOp::Grant(user, res, "read"));
+  ops.push_back(MutationOp::Deny(grp, "neg" + std::to_string(i % 5), "write"));
+  if (i >= 4) {
+    ops.push_back(MutationOp::Revoke("user" + std::to_string(i - 4),
+                                     "res" + std::to_string((i - 4) % 5),
+                                     "read"));
+  }
+  ops.push_back(MutationOp::Grant(user, "batch" + std::to_string(i), "mark"));
+  return ops;
+}
+
+std::string FreshStoreDir(const char* tag) {
+  return ::testing::TempDir() + "/ucr_recovery_" +
+         std::to_string(static_cast<long>(::getpid())) + "_" + tag;
+}
+
+// Runs in the forked child: open the store and stream batches until
+// the parent's SIGKILL lands (or all batches are done). One ack byte
+// per committed batch lets the parent aim its kill mid-stream. Uses
+// `_exit`, never gtest assertions — the parent validates everything.
+[[noreturn]] void WriterChild(const std::string& dir, int ack_fd) {
+  auto store = PersistentSystem::Open(dir);
+  if (!store.ok()) _exit(2);
+  for (int i = 0; i < kMaxBatches; ++i) {
+    if (!store->Apply(BatchOps(i)).ok()) _exit(3);
+    // Compact periodically so kills also land mid-compaction (between
+    // the snapshot rename and the WAL truncate, or mid-temp-write).
+    if (i % 16 == 15 && !store->Compact().ok()) _exit(4);
+    const char ack = 1;
+    if (::write(ack_fd, &ack, 1) != 1) _exit(5);
+  }
+  _exit(0);
+}
+
+// Counts the committed prefix via the marker objects and asserts it
+// IS a prefix — a hole would mean replay resurrected an uncommitted
+// batch or dropped a committed one.
+int CommittedPrefix(const AccessControlSystem& system) {
+  int k = 0;
+  while (k < kMaxBatches &&
+         system.eacm().FindObject("batch" + std::to_string(k)).ok()) {
+    ++k;
+  }
+  for (int i = k; i < kMaxBatches; ++i) {
+    EXPECT_FALSE(
+        system.eacm().FindObject("batch" + std::to_string(i)).ok())
+        << "batch " << i << " present but batch " << k << " missing";
+  }
+  return k;
+}
+
+AccessControlSystem BuildTwin(int committed_batches) {
+  AccessControlSystem twin{graph::Dag()};
+  for (int i = 0; i < committed_batches; ++i) {
+    const std::vector<MutationOp> ops = BatchOps(i);
+    EXPECT_TRUE(twin.ApplyMutations(ops).ok()) << "twin batch " << i;
+  }
+  return twin;
+}
+
+void ExpectBitIdentical(AccessControlSystem& recovered,
+                        AccessControlSystem& twin) {
+  // Strongest check first: the canonical binary encodings (CSR arrays,
+  // name tables in intern order, sorted EACM entries, strategy) must
+  // be byte-equal. This is what "bit-identical" means here.
+  EXPECT_EQ(EncodeBinarySnapshot(recovered, /*lsn=*/0),
+            EncodeBinarySnapshot(twin, /*lsn=*/0));
+
+  // And the decisions agree under every strategy, for every subject,
+  // on a sample of live objects — the shadow-verification the paper's
+  // Fig. 4 derivations would run.
+  ASSERT_EQ(recovered.dag().node_count(), twin.dag().node_count());
+  const std::vector<std::string> objects = {"res0", "res3", "neg2", "batch0"};
+  for (const Strategy& s : AllStrategies()) {
+    for (graph::NodeId v = 0; v < twin.dag().node_count(); v += 3) {
+      const std::string& name = twin.dag().name(v);
+      for (const std::string& object : objects) {
+        const auto a = recovered.CheckAccessByName(name, object, "read", s);
+        const auto b = twin.CheckAccessByName(name, object, "read", s);
+        ASSERT_EQ(a.ok(), b.ok()) << s.ToMnemonic() << " " << name;
+        if (a.ok()) {
+          EXPECT_EQ(a.value(), b.value())
+              << s.ToMnemonic() << " " << name << " " << object;
+        }
+      }
+    }
+  }
+}
+
+// One kill iteration: fork a writer, let it commit at least
+// `min_batches`, SIGKILL it, recover, and compare against the twin.
+void RunKillIteration(const char* tag, int min_batches) {
+  const std::string dir = FreshStoreDir(tag);
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    ::close(pipe_fds[0]);
+    WriterChild(dir, pipe_fds[1]);  // Never returns.
+  }
+  ::close(pipe_fds[1]);
+
+  // Wait for `min_batches` acks, then kill. The child races ahead of
+  // our reads, so the kill lands at an unpredictable point well past
+  // the floor — different iterations die mid-batch, between batches,
+  // and mid-compaction.
+  int acked = 0;
+  char buf;
+  while (acked < min_batches) {
+    const ssize_t n = ::read(pipe_fds[0], &buf, 1);
+    if (n == 1) {
+      ++acked;
+    } else {
+      break;  // EOF: the child finished every batch first. Also fine.
+    }
+  }
+  ::kill(child, SIGKILL);
+  ::close(pipe_fds[0]);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE((WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL) ||
+              (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0))
+      << "writer child failed before the kill, status " << wstatus;
+
+  PersistentSystem::OpenStats stats;
+  auto recovered = PersistentSystem::Open(dir, {}, &stats);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  const int committed = CommittedPrefix(recovered->system());
+  ASSERT_GE(committed, min_batches);
+  AccessControlSystem twin = BuildTwin(committed);
+  ExpectBitIdentical(recovered->system(), twin);
+
+  // Recovery is idempotent: a second open (no new writes) sees the
+  // identical state.
+  auto again = PersistentSystem::Open(dir);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(EncodeBinarySnapshot(again->system(), 0),
+            EncodeBinarySnapshot(twin, 0));
+}
+
+TEST(RecoveryTest, KillNineEarlyInStream) { RunKillIteration("early", 3); }
+
+TEST(RecoveryTest, KillNinePastFirstCompaction) {
+  RunKillIteration("mid", 20);
+}
+
+TEST(RecoveryTest, KillNineDeepInStream) { RunKillIteration("deep", 120); }
+
+// The no-crash baseline: close cleanly, reopen, and the WAL replays
+// everything (no snapshot yet); after Compact the snapshot carries it
+// all and the WAL replays nothing.
+TEST(RecoveryTest, CleanReopenReplaysWalThenSnapshotAfterCompact) {
+  const std::string dir = FreshStoreDir("clean");
+  {
+    auto store = PersistentSystem::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (int i = 0; i < 10; ++i) {
+      AccessControlSystem::MutationBatchStats stats;
+      ASSERT_TRUE(store->Apply(BatchOps(i), &stats).ok());
+      EXPECT_GT(stats.last_lsn, 0u);
+      EXPECT_EQ(stats.failed_index,
+                AccessControlSystem::MutationBatchStats::kNone);
+    }
+  }
+  PersistentSystem::OpenStats stats;
+  auto reopened = PersistentSystem::Open(dir, {}, &stats);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_FALSE(stats.loaded_snapshot);
+  EXPECT_EQ(stats.replayed_batches, 10u);
+  EXPECT_EQ(CommittedPrefix(reopened->system()), 10);
+
+  ASSERT_TRUE(reopened->Compact().ok());
+  const uint64_t lsn_after_compact = reopened->last_lsn();
+  ASSERT_TRUE(reopened->Apply(BatchOps(10)).ok());
+  EXPECT_GT(reopened->last_lsn(), lsn_after_compact);
+
+  PersistentSystem::OpenStats stats2;
+  auto again = PersistentSystem::Open(dir, {}, &stats2);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(stats2.loaded_snapshot);
+  EXPECT_EQ(stats2.snapshot_lsn, lsn_after_compact);
+  EXPECT_EQ(stats2.replayed_batches, 1u);  // Only batch 10.
+  EXPECT_EQ(CommittedPrefix(again->system()), 11);
+  AccessControlSystem twin = BuildTwin(11);
+  ExpectBitIdentical(again->system(), twin);
+}
+
+// Strategy changes are durable too, and survive both a plain reopen
+// and a compaction (where the snapshot header carries them).
+TEST(RecoveryTest, StrategyChangeSurvivesReopenAndCompaction) {
+  const std::string dir = FreshStoreDir("strategy");
+  {
+    auto store = PersistentSystem::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Apply(BatchOps(0)).ok());
+    ASSERT_TRUE(store->SetStrategy(ParseStrategy("D+LMP-").value()).ok());
+  }
+  {
+    auto reopened = PersistentSystem::Open(dir);
+    ASSERT_TRUE(reopened.ok());
+    EXPECT_EQ(reopened->system().strategy().ToMnemonic(), "D+LMP-");
+    ASSERT_TRUE(reopened->Compact().ok());
+  }
+  auto after_compact = PersistentSystem::Open(dir);
+  ASSERT_TRUE(after_compact.ok());
+  EXPECT_EQ(after_compact->system().strategy().ToMnemonic(), "D+LMP-");
+}
+
+// A batch that fails mid-way commits its applied prefix: the stats
+// name the failing index, the commit record carries the same count,
+// and recovery replays exactly that prefix.
+TEST(RecoveryTest, PartialBatchFailureReplaysAppliedPrefixOnly) {
+  const std::string dir = FreshStoreDir("partial");
+  {
+    auto store = PersistentSystem::Open(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Apply(BatchOps(0)).ok());
+    std::vector<MutationOp> bad;
+    bad.push_back(MutationOp::Grant("user0", "ok_obj", "read"));
+    bad.push_back(MutationOp::Grant("no_such_subject", "x", "read"));
+    bad.push_back(MutationOp::Grant("user0", "never_reached", "read"));
+    AccessControlSystem::MutationBatchStats stats;
+    const Status status = store->Apply(bad, &stats);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(stats.applied, 1u);
+    EXPECT_EQ(stats.failed_index, 1u);
+    EXPECT_NE(status.message().find("op 1 (grant)"), std::string::npos);
+  }
+  auto recovered = PersistentSystem::Open(dir);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->system().eacm().FindObject("ok_obj").ok());
+  EXPECT_FALSE(recovered->system().eacm().FindObject("x").ok());
+  EXPECT_FALSE(recovered->system().eacm().FindObject("never_reached").ok());
+}
+
+// Initialize seeds a store from an existing in-memory system; the
+// seeded state round-trips and further durable writes stack on top.
+TEST(RecoveryTest, InitializeSeedsStoreFromExistingSystem) {
+  AccessControlSystem seed = BuildTwin(5);
+  const std::string dir = FreshStoreDir("seeded");
+  ASSERT_TRUE(PersistentSystem::Initialize(dir, seed).ok());
+  // Double-initialize must refuse rather than clobber.
+  EXPECT_EQ(PersistentSystem::Initialize(dir, seed).code(),
+            StatusCode::kAlreadyExists);
+
+  PersistentSystem::OpenStats stats;
+  auto store = PersistentSystem::Open(dir, {}, &stats);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE(stats.loaded_snapshot);
+  EXPECT_EQ(CommittedPrefix(store->system()), 5);
+  ASSERT_TRUE(store->Apply(BatchOps(5)).ok());
+  auto reopened = PersistentSystem::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  AccessControlSystem twin = BuildTwin(6);
+  ExpectBitIdentical(reopened->system(), twin);
+}
+
+}  // namespace
+}  // namespace ucr::core

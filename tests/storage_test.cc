@@ -7,6 +7,7 @@
 
 #include "core/paper_example.h"
 #include "core/strategy.h"
+#include "util/fs.h"
 
 namespace ucr::core {
 namespace {
@@ -137,6 +138,52 @@ TEST(StorageTest, CorruptAuthorizationsSurfaceSection) {
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.status().message().find("authorizations"),
             std::string::npos);
+}
+
+// The torn-save regression: a save that dies mid-write (ENOSPC, crash)
+// must leave the previous file byte-identical, not half-overwritten.
+// The injected limit makes WriteFileAtomic fail after a few bytes of
+// the *temp* file — the target must never have been touched.
+TEST(StorageTest, FailedSaveLeavesOldFileIntact) {
+  AccessControlSystem original = MakePaperSystem();
+  const std::string path = ::testing::TempDir() + "/ucr_atomic_save_test.ucr";
+  ASSERT_TRUE(SaveSystemToFile(original, path).ok());
+  auto before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+
+  // Grow the system so a successful second save WOULD change the file.
+  ASSERT_TRUE(original.Grant("S1", "obj2", "write").ok());
+
+  SetAtomicWriteLimitForTesting(7);  // Simulated device-full mid-write.
+  const Status failed = SaveSystemToFile(original, path);
+  SetAtomicWriteLimitForTesting(-1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.message().find("No space left"), std::string::npos);
+
+  // Old contents survive bit-for-bit and still load.
+  auto after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  EXPECT_TRUE(LoadSystemFromFile(path).ok());
+
+  // And with the device "fixed", the same save goes through.
+  ASSERT_TRUE(SaveSystemToFile(original, path).ok());
+  auto healed = LoadSystemFromFile(path);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_EQ(healed->eacm().size(), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(StorageTest, FailedSaveToFreshPathCreatesNothing) {
+  AccessControlSystem original = MakePaperSystem();
+  const std::string path =
+      ::testing::TempDir() + "/ucr_atomic_save_fresh.ucr";
+  std::remove(path.c_str());
+  SetAtomicWriteLimitForTesting(0);
+  EXPECT_FALSE(SaveSystemToFile(original, path).ok());
+  SetAtomicWriteLimitForTesting(-1);
+  // Neither the target nor temp debris with the target's name exists.
+  EXPECT_EQ(LoadSystemFromFile(path).status().code(), StatusCode::kNotFound);
 }
 
 TEST(StorageTest, FileRoundTrip) {

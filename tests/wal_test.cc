@@ -1,0 +1,267 @@
+#include "core/wal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fs.h"
+
+namespace ucr::core {
+namespace {
+
+using MutationOp = AccessControlSystem::MutationOp;
+
+std::string TempWalPath(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+std::vector<MutationOp> SampleBatch() {
+  std::vector<MutationOp> ops;
+  ops.push_back(MutationOp::AddMember("eng", "alice"));
+  ops.push_back(MutationOp::Grant("eng", "repo", "read"));
+  ops.push_back(MutationOp::Deny("alice", "repo", "push"));
+  return ops;
+}
+
+TEST(WalTest, MissingFileReadsAsEmptyLog) {
+  auto contents = ReadWal(TempWalPath("wal_missing.log"), true);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->events.empty());
+  EXPECT_EQ(contents->last_lsn, 0u);
+}
+
+TEST(WalTest, BatchRoundTrip) {
+  const std::string path = TempWalPath("wal_roundtrip.log");
+  auto writer = WalWriter::Open(path, /*next_lsn=*/1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+
+  const std::vector<MutationOp> ops = SampleBatch();
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  auto lsn = writer->Commit(ops.size(), ops.size());
+  ASSERT_TRUE(lsn.ok());
+  // 3 op records consumed LSNs 1..3; the commit record takes 4.
+  EXPECT_EQ(lsn.value(), 4u);
+  EXPECT_EQ(writer->next_lsn(), 5u);
+
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  ASSERT_EQ(contents->events.size(), 1u);
+  const WalEvent& event = contents->events[0];
+  EXPECT_EQ(event.kind, WalEvent::Kind::kBatch);
+  EXPECT_EQ(event.lsn, 4u);
+  EXPECT_EQ(event.applied, 3u);
+  ASSERT_EQ(event.ops.size(), 3u);
+  EXPECT_EQ(event.ops[0].kind, MutationOp::Kind::kAddMembership);
+  EXPECT_EQ(event.ops[0].subject, "eng");
+  EXPECT_EQ(event.ops[0].object, "alice");
+  EXPECT_EQ(event.ops[1].kind, MutationOp::Kind::kGrant);
+  EXPECT_EQ(event.ops[1].right, "read");
+  EXPECT_EQ(event.ops[2].kind, MutationOp::Kind::kDeny);
+  EXPECT_EQ(contents->last_lsn, 4u);
+  EXPECT_EQ(contents->torn_bytes, 0u);
+}
+
+TEST(WalTest, PartialBatchCommitCarriesAppliedCount) {
+  const std::string path = TempWalPath("wal_partial.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<MutationOp> ops = SampleBatch();
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  ASSERT_TRUE(writer->Commit(ops.size(), /*applied=*/1).ok());
+
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->events.size(), 1u);
+  EXPECT_EQ(contents->events[0].applied, 1u);  // Replay only op 0.
+  EXPECT_EQ(contents->events[0].ops.size(), 3u);
+}
+
+TEST(WalTest, StrategyRecordRoundTrip) {
+  const std::string path = TempWalPath("wal_strategy.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  auto lsn = writer->AppendStrategyChange("D+LMP-");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 1u);
+
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->events.size(), 1u);
+  EXPECT_EQ(contents->events[0].kind, WalEvent::Kind::kStrategyChange);
+  EXPECT_EQ(contents->events[0].strategy_mnemonic, "D+LMP-");
+}
+
+// An op run with no commit record is an unacknowledged batch: recovery
+// must discard it (the caller never heard "done").
+TEST(WalTest, UncommittedOpsAreDiscarded) {
+  const std::string path = TempWalPath("wal_uncommitted.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<MutationOp> ops = SampleBatch();
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());  // Written, never committed.
+
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->events.empty());
+  EXPECT_EQ(contents->uncommitted_ops, 3u);
+}
+
+// A crash mid-append leaves a torn record at the tail; recovery keeps
+// the valid prefix, truncates the tail, and the next writer continues
+// on a clean file.
+TEST(WalTest, TornTailIsTruncatedAndLogStaysUsable) {
+  const std::string path = TempWalPath("wal_torn.log");
+  {
+    auto writer = WalWriter::Open(path, 1);
+    ASSERT_TRUE(writer.ok());
+    const std::vector<MutationOp> ops = SampleBatch();
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+  }
+  auto full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  const size_t full_size = full->size();
+
+  // Append half a record's worth of garbage — a torn write.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x10\x00\x00\x00\xde\xad";
+    std::fwrite(garbage, 1, sizeof(garbage) - 1, f);
+    std::fclose(f);
+  }
+
+  auto contents = ReadWal(path, /*repair_torn_tail=*/true);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->events.size(), 1u);
+  EXPECT_GT(contents->torn_bytes, 0u);
+
+  auto repaired = ReadFileToString(path);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->size(), full_size);  // Tail gone, prefix intact.
+
+  // The next writer appends after the clean tail and both batches read
+  // back.
+  auto writer = WalWriter::Open(path, contents->last_lsn + 1);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<MutationOp> more = {MutationOp::Revoke("eng", "repo",
+                                                           "read")};
+  ASSERT_TRUE(writer->BeginBatch(more).ok());
+  ASSERT_TRUE(writer->Commit(1, 1).ok());
+  auto again = ReadWal(path, true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->events.size(), 2u);
+}
+
+// A flipped bit inside a record body fails its CRC; the scan stops
+// there (everything after is unreachable without a valid frame).
+TEST(WalTest, CorruptRecordStopsReplayAtLastValidPrefix) {
+  const std::string path = TempWalPath("wal_bitflip.log");
+  size_t first_batch_end;
+  {
+    auto writer = WalWriter::Open(path, 1);
+    ASSERT_TRUE(writer.ok());
+    std::vector<MutationOp> ops = {MutationOp::AddMember("a", "b")};
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(1, 1).ok());
+    auto mid = ReadFileToString(path);
+    ASSERT_TRUE(mid.ok());
+    first_batch_end = mid->size();
+    ops = {MutationOp::AddMember("a", "c")};
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(1, 1).ok());
+  }
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::string mutated = *bytes;
+  mutated[first_batch_end + 12] ^= 0x40;  // Inside the second batch.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(mutated.data(), 1, mutated.size(), f);
+    std::fclose(f);
+  }
+
+  auto contents = ReadWal(path, /*repair_torn_tail=*/false);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->events.size(), 1u);  // Only the first batch.
+  EXPECT_GT(contents->torn_bytes, 0u);
+}
+
+TEST(WalTest, BadMagicIsCorruption) {
+  const std::string path = TempWalPath("wal_badmagic.log");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTAWAL0_and_some_tail", 1, 22, f);
+  std::fclose(f);
+  auto contents = ReadWal(path, true);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, ResetTruncatesAndKeepsLsnsMonotonic) {
+  const std::string path = TempWalPath("wal_reset.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<MutationOp> ops = SampleBatch();
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+  const uint64_t lsn_before = writer->next_lsn();
+
+  ASSERT_TRUE(writer->Reset(lsn_before).ok());
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->events.empty());
+
+  // Post-reset records carry LSNs above everything pre-reset.
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  auto lsn = writer->Commit(ops.size(), ops.size());
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_GT(lsn.value(), lsn_before);
+  auto after = ReadWal(path, true);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->events.size(), 1u);
+  EXPECT_EQ(after->events[0].lsn, lsn.value());
+}
+
+// Relaxed group commit (`sync_on_commit(false)`): appends stay ordered
+// and checksummed, fsync is deferred to Sync()/shutdown — commits read
+// back identically, only the crash-loss window differs.
+TEST(WalTest, RelaxedCommitsReadBackAfterSyncOrShutdown) {
+  const std::string path = TempWalPath("wal_relaxed.log");
+  {
+    auto writer = WalWriter::Open(path, 1);
+    ASSERT_TRUE(writer.ok());
+    writer->set_sync_on_commit(false);
+    const std::vector<MutationOp> ops = SampleBatch();
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+    ASSERT_TRUE(writer->Sync().ok());  // Explicit barrier mid-stream.
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+  }  // Destructor syncs the relaxed residue on clean shutdown.
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->events.size(), 2u);
+  EXPECT_EQ(contents->torn_bytes, 0u);
+}
+
+TEST(WalTest, EmptyBatchCommits) {
+  const std::string path = TempWalPath("wal_empty_batch.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->BeginBatch({}).ok());
+  auto lsn = writer->Commit(0, 0);
+  ASSERT_TRUE(lsn.ok());
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->events.size(), 1u);
+  EXPECT_TRUE(contents->events[0].ops.empty());
+}
+
+}  // namespace
+}  // namespace ucr::core

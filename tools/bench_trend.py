@@ -48,7 +48,8 @@ def parse_json_lines(text, origin):
             continue
         if ("qps" not in row and "p99_ns" not in row
                 and row.get("section") not in ("timeseries_summary",
-                                               "profiler_summary")):
+                                               "profiler_summary",
+                                               "durability_summary")):
             continue  # Metrics snapshots etc. ride along; skip them.
         if row.get("section") == "profiler_summary":
             # Continuous-profiling summary (bench/hotpath.cc): gated on
@@ -60,6 +61,24 @@ def parse_json_lines(text, origin):
             key = (
                 row.get("bench", os.path.basename(origin)),
                 "profiler_summary",
+                False,
+                1,
+            )
+            rows[key] = row
+            continue
+        if row.get("section") == "durability_summary":
+            # Durable-store summary (bench/durability.cc): gated on its
+            # own absolute budgets below — WAL-append overhead on the
+            # churn workload and the mmap'd cold-start bound.
+            for field in ("wal_overhead_pct", "durable_overhead_pct",
+                          "cold_start_millis"):
+                try:
+                    row[field] = float(row.get(field, 0))
+                except (TypeError, ValueError):
+                    row[field] = 0.0
+            key = (
+                row.get("bench", os.path.basename(origin)),
+                "durability_summary",
                 False,
                 1,
             )
@@ -201,6 +220,9 @@ def main():
             if row.get("section") == "timeseries_summary":
                 return (f"scrape p99 {row.get('scrape_p99_ns', 0):.0f} ns, "
                         f"health {row.get('health_status', '?')}")
+            if row.get("section") == "durability_summary":
+                return (f"WAL overhead {row.get('wal_overhead_pct', 0):.2f}%, "
+                        f"cold start {row.get('cold_start_millis', 0):.0f} ms")
             if "qps" in row:
                 return f"{row['qps']:.0f} qps"
             return f"p99 {row['p99_ns']:.0f} ns"
@@ -241,6 +263,33 @@ def main():
                       f"samples/s, dropped "
                       f"{current[key].get('dropped_total', '?')}, "
                       f"top {current[key].get('top_phases', '?')!r}")
+                continue
+            if current[key].get("section") == "durability_summary":
+                # Durable-store gate (DESIGN.md §15). Two absolute
+                # budgets, both hard: the relaxed WAL append must cost
+                # <=5% of churn-workload throughput (the fsync-bound
+                # durable row is reported but priced by the device, not
+                # the code, so it is not gated here), and the mmap'd
+                # cold start of the million-subject snapshot must answer
+                # its first query inside five seconds.
+                compared += 1
+                overhead = current[key].get("wal_overhead_pct", 0.0)
+                cold = current[key].get("cold_start_millis", 0.0)
+                marker = "ok"
+                if overhead > 5.0:
+                    marker = "REGRESSION"
+                    regressions.append((key, 0, overhead, overhead,
+                                        "% WAL-append overhead"))
+                if cold >= 5000.0:
+                    marker = "REGRESSION"
+                    regressions.append((key, 0, cold, cold,
+                                        "ms cold start"))
+                print(f"  {marker:<10} {describe(key)}: WAL append "
+                      f"{overhead:+.2f}%, durable "
+                      f"{current[key].get('durable_overhead_pct', 0):+.2f}%, "
+                      f"cold start {cold:.0f} ms for "
+                      f"{current[key].get('cold_start_subjects', '?')} "
+                      f"subjects")
                 continue
             if current[key].get("section") == "timeseries_summary":
                 # Telemetry-timeline gate. The health verdict is hard:
