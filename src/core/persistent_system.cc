@@ -36,6 +36,13 @@ void EmitWalCommitEvent(uint64_t lsn, size_t applied) {
 
 }  // namespace
 
+Status PersistentSystem::UnhealthyStatus() const {
+  return Status::FailedPrecondition(
+      "store is latched after a WAL commit failure: in-memory state is "
+      "ahead of the durable log; run Compact() (ucr_admin compact) to "
+      "re-persist and heal: " + dir_);
+}
+
 StatusOr<PersistentSystem> PersistentSystem::Open(const std::string& dir,
                                                   SystemOptions options,
                                                   OpenStats* stats) {
@@ -123,8 +130,11 @@ Status PersistentSystem::Initialize(const std::string& dir,
 Status PersistentSystem::Apply(
     std::span<const AccessControlSystem::MutationOp> ops,
     AccessControlSystem::MutationBatchStats* stats) {
+  if (!healthy_) return UnhealthyStatus();
+
   // Write-ahead: the ops reach the log (unsynced) before any of them
-  // touches memory. If the log cannot take them, nothing happens.
+  // touches memory. If the log cannot take them, nothing happens (the
+  // WAL writer latches itself; memory is untouched and consistent).
   UCR_RETURN_IF_ERROR(wal_->BeginBatch(ops));
 
   AccessControlSystem::MutationBatchStats local_stats;
@@ -135,8 +145,12 @@ Status PersistentSystem::Apply(
   // for the whole batch (group commit).
   auto lsn = wal_->Commit(ops.size(), local_stats.applied);
   if (!lsn.ok()) {
-    // The in-memory apply happened but durability is gone; surface the
-    // I/O error (it outranks any op-level failure in `applied`).
+    // The in-memory apply happened but durability is gone: memory is
+    // now ahead of the log, and a restart would silently roll back
+    // state callers can already observe (lost denies fail open).
+    // Latch the write path shut so no more work is acknowledged on
+    // top of it; Compact() re-persists memory and heals.
+    healthy_ = false;
     return lsn.status();
   }
   local_stats.last_lsn = lsn.value();
@@ -146,6 +160,7 @@ Status PersistentSystem::Apply(
 }
 
 Status PersistentSystem::SetStrategy(const Strategy& strategy) {
+  if (!healthy_) return UnhealthyStatus();
   // Log first: a strategy change acknowledged but lost would silently
   // flip decisions after a restart.
   UCR_RETURN_IF_ERROR(
@@ -158,9 +173,17 @@ Status PersistentSystem::Compact() {
   // Snapshot first, truncate second; the order is the crash-safety.
   // Die after the snapshot rename but before the truncate and recovery
   // just skips every WAL record at or below the snapshot's LSN.
+  //
+  // Deliberately allowed while unhealthy: the snapshot captures the
+  // current in-memory state — including mutations whose commit failed
+  // (unacknowledged work becoming durable is the benign direction) —
+  // and the WAL reset clears any torn bytes, so the store is whole
+  // again.
   const uint64_t lsn = last_lsn();
   UCR_RETURN_IF_ERROR(WriteBinarySnapshot(*system_, lsn, SnapshotPath(dir_)));
-  return wal_->Reset(lsn + 1);
+  UCR_RETURN_IF_ERROR(wal_->Reset(lsn + 1));
+  healthy_ = true;
+  return Status::OK();
 }
 
 }  // namespace ucr::core

@@ -76,6 +76,14 @@ class PersistentSystem {
   /// recovery replays exactly that prefix). `stats->last_lsn` is the
   /// batch's commit LSN, also emitted to the audit ring as one
   /// `kWalCommit` event — the LSN joins the two trails.
+  ///
+  /// Fail-stop: if the WAL commit fails *after* the in-memory apply
+  /// succeeded, memory now holds mutations a restart would lose. The
+  /// store latches unhealthy (`healthy()` flips false) and every later
+  /// `Apply`/`SetStrategy` fails with `kFailedPrecondition` rather
+  /// than silently acknowledging more work on top of undurable state.
+  /// `Compact` is the recovery path: it snapshots the current
+  /// in-memory state (making it durable again) and reopens the latch.
   Status Apply(std::span<const AccessControlSystem::MutationOp> ops,
                AccessControlSystem::MutationBatchStats* stats = nullptr);
 
@@ -84,8 +92,18 @@ class PersistentSystem {
 
   /// \brief Folds the log into a fresh snapshot: write snapshot at the
   /// current LSN (temp-then-rename), then truncate the WAL. Restart
-  /// cost collapses to one mmap regardless of history length.
+  /// cost collapses to one mmap regardless of history length. Also the
+  /// repair verb after an I/O failure: the snapshot persists whatever
+  /// is in memory and the WAL reset discards any torn bytes, so a
+  /// successful compaction restores `healthy()` and unlatches a
+  /// poisoned WAL writer.
   Status Compact();
+
+  /// \brief False after a WAL commit failed post-apply: memory holds
+  /// acknowledged-in-RAM-only mutations that a restart would lose, and
+  /// the write path is latched shut. Reads stay served (they reflect
+  /// real in-memory state); `Compact` heals.
+  bool healthy() const { return healthy_; }
 
   /// \brief Relaxed durability (`synchronous_commit = off`): `Apply`
   /// still appends ordered, checksummed records but skips the
@@ -107,6 +125,9 @@ class PersistentSystem {
   }
 
  private:
+  /// The `kFailedPrecondition` mutators return while latched.
+  Status UnhealthyStatus() const;
+
   PersistentSystem(std::string dir, AccessControlSystem system, WalWriter wal)
       : dir_(std::move(dir)),
         system_(std::make_unique<AccessControlSystem>(std::move(system))),
@@ -116,6 +137,9 @@ class PersistentSystem {
   // Boxed so the facade stays cheaply movable.
   std::unique_ptr<AccessControlSystem> system_;
   std::unique_ptr<WalWriter> wal_;
+  /// Cleared when a post-apply commit failure leaves memory ahead of
+  /// the log; reopened by a successful `Compact`.
+  bool healthy_ = true;
 };
 
 }  // namespace ucr::core

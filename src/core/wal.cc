@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "util/binio.h"
 #include "util/crc32.h"
+#include "util/fs.h"
 
 namespace ucr::core {
 
@@ -72,20 +73,6 @@ int RetryingFsync(int fd) {
   return rc;
 }
 
-Status WriteAll(int fd, const char* data, size_t size,
-                const std::string& path) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoStatus("write", path);
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-  }
-  return Status::OK();
-}
-
 void EncodeOpBody(const AccessControlSystem::MutationOp& op, uint64_t lsn,
                   std::string* body) {
   body->push_back(static_cast<char>(WalWriter::RecordType::kOp));
@@ -107,7 +94,8 @@ StatusOr<WalWriter> WalWriter::Open(std::string path, uint64_t next_lsn) {
     return ErrnoStatus("lseek", path);
   }
   if (size == 0) {
-    const Status written = WriteAll(fd, kMagic, kMagicSize, path);
+    const Status written =
+        WriteAllToFd(fd, std::string_view(kMagic, kMagicSize), path);
     if (!written.ok()) {
       ::close(fd);
       return written;
@@ -127,6 +115,7 @@ WalWriter::WalWriter(WalWriter&& other) noexcept
       next_lsn_(other.next_lsn_),
       sync_on_commit_(other.sync_on_commit_),
       unsynced_(other.unsynced_),
+      poisoned_(other.poisoned_),
       pending_(std::move(other.pending_)),
       scratch_(std::move(other.scratch_)) {
   other.fd_ = -1;
@@ -141,6 +130,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     next_lsn_ = other.next_lsn_;
     sync_on_commit_ = other.sync_on_commit_;
     unsynced_ = other.unsynced_;
+    poisoned_ = other.poisoned_;
     pending_ = std::move(other.pending_);
     scratch_ = std::move(other.scratch_);
     other.fd_ = -1;
@@ -151,14 +141,32 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
 
 WalWriter::~WalWriter() {
   if (fd_ >= 0) {
-    // Relaxed commits are best-effort durable on clean shutdown.
-    if (unsynced_) RetryingFsync(fd_);
+    // Relaxed commits are best-effort durable on clean shutdown (a
+    // poisoned writer has nothing trustworthy left to sync).
+    if (unsynced_ && !poisoned_) RetryingFsync(fd_);
     ::close(fd_);
   }
 }
 
+Status WalWriter::Poison(Status status) {
+  poisoned_ = true;
+  // The unwritten residue can never be appended now — anything written
+  // after the failure would sit beyond torn bytes, unreachable to the
+  // recovery scan.
+  pending_.clear();
+  return status;
+}
+
+Status WalWriter::PoisonedStatus() const {
+  return Status::FailedPrecondition(
+      "WAL writer latched after an earlier I/O failure (torn bytes may "
+      "be on disk); compaction (Reset) is required before further "
+      "appends: " + path_);
+}
+
 Status WalWriter::Sync() {
-  if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  if (poisoned_) return PoisonedStatus();
+  if (RetryingFsync(fd_) != 0) return Poison(ErrnoStatus("fsync", path_));
   if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
   unsynced_ = false;
   return Status::OK();
@@ -174,13 +182,19 @@ void WalWriter::EncodeRecord(RecordType type, std::string_view body) {
 
 Status WalWriter::FlushPending(bool sync) {
   if (!pending_.empty()) {
-    UCR_RETURN_IF_ERROR(WriteAll(fd_, pending_.data(), pending_.size(),
-                                 path_));
+    const Status written = WriteAllToFd(fd_, pending_, path_);
+    if (!written.ok()) {
+      // The write may have landed a prefix — torn bytes the recovery
+      // scan will stop at. Latch: a later successful append would be
+      // stranded beyond them and silently lost on recovery.
+      if constexpr (obs::kEnabled) GetWalMetrics().errors.Inc();
+      return Poison(written);
+    }
     if constexpr (obs::kEnabled) GetWalMetrics().bytes.Inc(pending_.size());
     pending_.clear();
   }
   if (sync) {
-    if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+    if (RetryingFsync(fd_) != 0) return Poison(ErrnoStatus("fsync", path_));
     if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
   }
   return Status::OK();
@@ -188,6 +202,7 @@ Status WalWriter::FlushPending(bool sync) {
 
 Status WalWriter::BeginBatch(
     std::span<const AccessControlSystem::MutationOp> ops) {
+  if (poisoned_) return PoisonedStatus();
   for (const auto& op : ops) {
     scratch_.clear();
     EncodeOpBody(op, next_lsn_++, &scratch_);
@@ -198,6 +213,7 @@ Status WalWriter::BeginBatch(
 }
 
 StatusOr<uint64_t> WalWriter::Commit(size_t op_count, size_t applied) {
+  if (poisoned_) return PoisonedStatus();
   const uint64_t lsn = next_lsn_++;
   scratch_.clear();
   scratch_.push_back(static_cast<char>(RecordType::kCommit));
@@ -212,6 +228,7 @@ StatusOr<uint64_t> WalWriter::Commit(size_t op_count, size_t applied) {
 }
 
 StatusOr<uint64_t> WalWriter::AppendStrategyChange(std::string_view mnemonic) {
+  if (poisoned_) return PoisonedStatus();
   const uint64_t lsn = next_lsn_++;
   scratch_.clear();
   scratch_.push_back(static_cast<char>(RecordType::kStrategy));
@@ -232,6 +249,9 @@ Status WalWriter::Reset(uint64_t next_lsn) {
   if (RetryingFsync(fd_) != 0) return ErrnoStatus("fsync", path_);
   if constexpr (obs::kEnabled) GetWalMetrics().fsyncs.Inc();
   unsynced_ = false;
+  // The truncate discarded any torn bytes a failed append left, so the
+  // file is back at a known-good state: the latch can open.
+  poisoned_ = false;
   next_lsn_ = next_lsn;
   return Status::OK();
 }
@@ -284,7 +304,15 @@ StatusOr<WalContents> ReadWal(const std::string& path,
   }
 
   size_t pos = kMagicSize;
+  // End of the last structurally valid record (torn-byte accounting).
   size_t valid_end = pos;
+  // End of the last kCommit/kStrategy record — the repair truncation
+  // point. Valid op records past it are an unacknowledged batch; if
+  // they stayed in the file, the next writer would append fresh
+  // batches after them and the *next* recovery scan would mis-count
+  // the orphans into the first new commit's batch, fail its op_count
+  // check, and discard acknowledged history.
+  size_t committed_end = pos;
   // Ops of the batch currently being assembled (between commits).
   std::vector<AccessControlSystem::MutationOp> open_ops;
   uint64_t prev_lsn = 0;
@@ -310,14 +338,20 @@ StatusOr<WalContents> ReadWal(const std::string& path,
     uint64_t lsn = 0;
     if (!body.ReadU64(&lsn) || lsn <= prev_lsn) break;
 
+    // Events and `open_ops` are mutated only after a record validates
+    // *fully* (trailing body bytes included), so everything reported to
+    // the caller lies at or before `committed_end` — replay and the
+    // repaired file can never disagree.
     bool record_ok = true;
-    switch (static_cast<WalWriter::RecordType>(type_byte)) {
+    const auto type = static_cast<WalWriter::RecordType>(type_byte);
+    switch (type) {
       case WalWriter::RecordType::kOp: {
         std::string_view kind_byte;
         AccessControlSystem::MutationOp op;
         record_ok = body.ReadBytes(1, &kind_byte) &&
                     body.ReadString(&op.subject) &&
-                    body.ReadString(&op.object) && body.ReadString(&op.right);
+                    body.ReadString(&op.object) &&
+                    body.ReadString(&op.right) && body.remaining() == 0;
         if (record_ok) {
           const auto raw = static_cast<uint8_t>(kind_byte[0]);
           record_ok =
@@ -333,7 +367,8 @@ StatusOr<WalContents> ReadWal(const std::string& path,
         uint64_t op_count = 0;
         uint64_t applied = 0;
         record_ok = body.ReadU64(&op_count) && body.ReadU64(&applied) &&
-                    op_count == open_ops.size() && applied <= op_count;
+                    body.remaining() == 0 && op_count == open_ops.size() &&
+                    applied <= op_count;
         if (record_ok) {
           WalEvent event;
           event.kind = WalEvent::Kind::kBatch;
@@ -346,22 +381,32 @@ StatusOr<WalContents> ReadWal(const std::string& path,
         break;
       }
       case WalWriter::RecordType::kStrategy: {
+        // The writer never interleaves a strategy change with a
+        // batch's op records, so one appearing mid-batch means the ops
+        // before it are orphans (a legacy repair bug or corruption) —
+        // stop, so the repair truncates back before them.
+        if (!open_ops.empty()) {
+          record_ok = false;
+          break;
+        }
         WalEvent event;
         event.kind = WalEvent::Kind::kStrategyChange;
         event.lsn = lsn;
-        record_ok = body.ReadString(&event.strategy_mnemonic);
+        record_ok = body.ReadString(&event.strategy_mnemonic) &&
+                    body.remaining() == 0;
         if (record_ok) contents.events.push_back(std::move(event));
         break;
       }
       default:
         record_ok = false;
     }
-    if (!record_ok || body.remaining() != 0) break;
+    if (!record_ok) break;
 
     prev_lsn = lsn;
     contents.last_lsn = lsn;
     pos += kFrameSize + len;
     valid_end = pos;
+    if (type != WalWriter::RecordType::kOp) committed_end = pos;
     if constexpr (obs::kEnabled) GetWalMetrics().replayed.Inc();
   }
 
@@ -373,10 +418,14 @@ StatusOr<WalContents> ReadWal(const std::string& path,
     }
   }
 
-  if (repair_torn_tail && valid_end < bytes.size()) {
+  // Repair truncates to the *committed* boundary, not just past the
+  // torn bytes: trailing valid-but-uncommitted op records go too, so
+  // the next writer always appends immediately after a committed
+  // record and a future scan can never mis-attribute orphans.
+  if (repair_torn_tail && committed_end < bytes.size()) {
     const int wfd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
     if (wfd < 0) return ErrnoStatus("open", path);
-    if (::ftruncate(wfd, static_cast<off_t>(valid_end)) != 0 ||
+    if (::ftruncate(wfd, static_cast<off_t>(committed_end)) != 0 ||
         RetryingFsync(wfd) != 0) {
       const Status st = ErrnoStatus("truncate", path);
       ::close(wfd);

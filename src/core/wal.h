@@ -43,6 +43,15 @@ namespace ucr::core {
 /// `applied_count` prefix. Either way the recovered state matches some
 /// acknowledged history — the recovery test shadow-verifies this
 /// bit-identically against a never-crashed twin.
+///
+/// Fail-stop on I/O error: after any append or fsync failure the
+/// writer is *poisoned* — partial record bytes may sit on disk, and a
+/// later successful append would land *after* that torn region, where
+/// the recovery scan (which stops at the first invalid byte) could
+/// never reach it. Poisoned writers fail every `BeginBatch`/`Commit`/
+/// `AppendStrategyChange`/`Sync` with `kFailedPrecondition`; `Reset`
+/// (compaction truncates back to a known-good state) is the one path
+/// that heals the latch.
 class WalWriter {
  public:
   /// Record types (payload byte 0).
@@ -95,8 +104,13 @@ class WalWriter {
   /// \brief Truncates the log back to the bare magic after a snapshot
   /// made its contents redundant (compaction). `next_lsn` restarts the
   /// sequence *above* the snapshot's LSN — LSNs never go backwards
-  /// across a compaction.
+  /// across a compaction. Success clears a poisoned writer: the
+  /// truncate discards any torn bytes a failed append left behind.
   Status Reset(uint64_t next_lsn);
+
+  /// True after an append/fsync failure latched the writer (see the
+  /// class comment); every append entry point fails until `Reset`.
+  bool poisoned() const { return poisoned_; }
 
   /// Next LSN this writer will assign.
   uint64_t next_lsn() const { return next_lsn_; }
@@ -113,11 +127,20 @@ class WalWriter {
   /// write()s `pending_` (EINTR-safe) and optionally fsyncs.
   Status FlushPending(bool sync);
 
+  /// Latches the writer after a failed append so nothing lands beyond
+  /// torn bytes, and returns `status` for the caller to propagate.
+  Status Poison(Status status);
+
+  /// The `kFailedPrecondition` every append entry point returns while
+  /// latched.
+  Status PoisonedStatus() const;
+
   std::string path_;
   int fd_ = -1;
   uint64_t next_lsn_ = 1;
   bool sync_on_commit_ = true;
-  bool unsynced_ = false;  ///< Relaxed commits written since last fsync.
+  bool unsynced_ = false;   ///< Relaxed commits written since last fsync.
+  bool poisoned_ = false;   ///< Append path latched after an I/O failure.
   std::string pending_;    ///< Encoded-but-unwritten records.
   std::string scratch_;    ///< Payload build buffer, reused per record.
 };
@@ -150,10 +173,14 @@ struct WalContents {
 
 /// \brief Scans a WAL file, validating every record's CRC and
 /// structure. Stops at the first invalid byte and reports everything
-/// before it; with `repair_torn_tail` the file is truncated at that
-/// point so the next writer appends after a clean tail. A missing file
-/// is an empty log (fresh store), not an error; a bad magic is
-/// `kCorruption`.
+/// before it; with `repair_torn_tail` the file is truncated back to
+/// the last *committed* boundary (the end of the last `kCommit`/
+/// `kStrategy` record). Valid-but-uncommitted trailing op records are
+/// truncated too, not just torn bytes — if they stayed, the next
+/// writer would append fresh batches after the orphans and the *next*
+/// recovery scan would mis-count them into the following commit's
+/// batch, discarding acknowledged history. A missing file is an empty
+/// log (fresh store), not an error; a bad magic is `kCorruption`.
 StatusOr<WalContents> ReadWal(const std::string& path, bool repair_torn_tail);
 
 }  // namespace ucr::core

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -27,8 +28,20 @@ int RetryingFsync(int fd) {
   return rc;
 }
 
-/// write() loop honoring the test-injected short-write limit.
-Status WriteAll(int fd, std::string_view contents, const std::string& path) {
+/// Directory of `path` ("." when the path has no slash).
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SetAtomicWriteLimitForTesting(long limit) { g_write_limit = limit; }
+
+Status WriteAllToFd(int fd, std::string_view contents,
+                    const std::string& path) {
   const char* data = contents.data();
   size_t size = contents.size();
   if (g_write_limit >= 0 && size > static_cast<size_t>(g_write_limit)) {
@@ -59,27 +72,19 @@ Status WriteAll(int fd, std::string_view contents, const std::string& path) {
   return Status::OK();
 }
 
-/// Directory of `path` ("." when the path has no slash).
-std::string DirName(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
-}
-
-}  // namespace
-
-void SetAtomicWriteLimitForTesting(long limit) { g_write_limit = limit; }
-
 Status WriteFileAtomic(const std::string& path, std::string_view contents) {
-  // Unique per process+object so concurrent savers in one directory
-  // never clobber each other's temp file.
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // Unique per process *and* per call (atomic counter) so concurrent
+  // savers of the same path — threads in one process or separate
+  // processes — never clobber each other's temp file.
+  static std::atomic<uint64_t> save_seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(save_seq.fetch_add(1, std::memory_order_relaxed));
   const int fd =
       ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
   if (fd < 0) return ErrnoStatus("open", tmp);
 
-  Status status = WriteAll(fd, contents, tmp);
+  Status status = WriteAllToFd(fd, contents, tmp);
   if (status.ok() && RetryingFsync(fd) != 0) status = ErrnoStatus("fsync", tmp);
   if (::close(fd) != 0 && status.ok()) status = ErrnoStatus("close", tmp);
   if (!status.ok()) {

@@ -19,10 +19,17 @@ namespace ucr {
 /// orphaned temp file is the only possible debris.
 Status WriteFileAtomic(const std::string& path, std::string_view contents);
 
-/// \brief Test hook: makes the next `WriteFileAtomic` calls fail after
-/// writing at most `limit` bytes of content, simulating a device that
-/// fills mid-write (the torn-save regression test). Negative disables.
-/// Not thread-safe — test-only.
+/// \brief write()s the whole buffer to `fd`, retrying on EINTR and
+/// partial writes. Honors the test-injected short-write limit (see
+/// `SetAtomicWriteLimitForTesting`), so callers like the WAL writer get
+/// device-full fault injection for free. `path` is for error messages.
+Status WriteAllToFd(int fd, std::string_view contents,
+                    const std::string& path);
+
+/// \brief Test hook: makes the next `WriteFileAtomic`/`WriteAllToFd`
+/// calls fail after writing at most `limit` bytes of content,
+/// simulating a device that fills mid-write (the torn-save regression
+/// test). Negative disables. Not thread-safe — test-only.
 void SetAtomicWriteLimitForTesting(long limit);
 
 /// Reads an entire file. NotFound if it does not exist.

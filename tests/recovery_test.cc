@@ -14,6 +14,7 @@
 #include "core/persistent_system.h"
 #include "core/strategy.h"
 #include "core/system.h"
+#include "util/fs.h"
 
 namespace ucr::core {
 namespace {
@@ -281,6 +282,76 @@ TEST(RecoveryTest, PartialBatchFailureReplaysAppliedPrefixOnly) {
   EXPECT_TRUE(recovered->system().eacm().FindObject("ok_obj").ok());
   EXPECT_FALSE(recovered->system().eacm().FindObject("x").ok());
   EXPECT_FALSE(recovered->system().eacm().FindObject("never_reached").ok());
+}
+
+// A failed WAL append may leave torn bytes on disk. The writer latches
+// and the store refuses further writes — a later "successful" append
+// would land beyond the tear, where recovery could never reach it.
+// Compact re-persists memory, truncates the tear, and writes resume.
+TEST(RecoveryTest, WalAppendFailureLatchesWritesUntilCompact) {
+  const std::string dir = FreshStoreDir("poisoned_wal");
+  auto store = PersistentSystem::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store->Apply(BatchOps(0)).ok());
+
+  SetAtomicWriteLimitForTesting(4);  // Torn write a few bytes in.
+  const Status torn = store->Apply(BatchOps(1));
+  SetAtomicWriteLimitForTesting(-1);
+  ASSERT_FALSE(torn.ok());
+  // The write-ahead order protected memory: batch 1 never began.
+  EXPECT_EQ(CommittedPrefix(store->system()), 1);
+  EXPECT_TRUE(store->healthy());
+
+  // The device "recovers", but appends stay refused — no silent resume
+  // after the torn bytes.
+  EXPECT_EQ(store->Apply(BatchOps(1)).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(store->Compact().ok());
+  ASSERT_TRUE(store->Apply(BatchOps(1)).ok());
+  auto reopened = PersistentSystem::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  AccessControlSystem twin = BuildTwin(2);
+  ExpectBitIdentical(reopened->system(), twin);
+}
+
+// If the WAL *commit* fails after the in-memory apply succeeded,
+// memory is ahead of the durable log: a restart would roll back state
+// callers can already observe. The store must latch unhealthy rather
+// than keep acknowledging work that would vanish; Compact makes the
+// in-memory state durable again and reopens the latch.
+TEST(RecoveryTest, CommitFailureAfterApplyLatchesStoreUntilCompact) {
+  const std::string dir = FreshStoreDir("unhealthy");
+  auto store = PersistentSystem::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE(store->Apply(BatchOps(0)).ok());
+  EXPECT_TRUE(store->healthy());
+
+  // An empty batch writes nothing at BeginBatch, so the injected limit
+  // lands the failure exactly on the commit record — the post-apply
+  // window where durability is already owed.
+  const std::vector<MutationOp> empty;
+  SetAtomicWriteLimitForTesting(4);
+  const Status failed = store->Apply(empty);
+  SetAtomicWriteLimitForTesting(-1);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_FALSE(store->healthy());
+
+  // Latched: no more acknowledgements on top of undurable state.
+  EXPECT_EQ(store->Apply(BatchOps(1)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store->SetStrategy(ParseStrategy("D+LMP-").value()).code(),
+            StatusCode::kFailedPrecondition);
+  // Reads still serve the real in-memory state.
+  EXPECT_EQ(CommittedPrefix(store->system()), 1);
+
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_TRUE(store->healthy());
+  ASSERT_TRUE(store->Apply(BatchOps(1)).ok());
+  auto reopened = PersistentSystem::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  AccessControlSystem twin = BuildTwin(2);
+  ExpectBitIdentical(reopened->system(), twin);
 }
 
 // Initialize seeds a store from an existing in-memory system; the

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -184,6 +186,32 @@ TEST(StorageTest, FailedSaveToFreshPathCreatesNothing) {
   SetAtomicWriteLimitForTesting(-1);
   // Neither the target nor temp debris with the target's name exists.
   EXPECT_EQ(LoadSystemFromFile(path).status().code(), StatusCode::kNotFound);
+}
+
+// Two threads saving the same path concurrently must each get a
+// private temp file (unique per call, not just per process): if they
+// shared one, a rename could publish a half-overwritten mix. Whatever
+// the interleaving, the target is always one writer's complete bytes.
+TEST(StorageTest, ConcurrentAtomicSavesNeverMixContents) {
+  const std::string path =
+      ::testing::TempDir() + "/ucr_atomic_concurrent.ucr";
+  std::remove(path.c_str());
+  const std::string a(8192, 'a');
+  const std::string b(8192, 'b');
+  constexpr int kRounds = 50;
+  std::thread ta([&] {
+    for (int i = 0; i < kRounds; ++i) ASSERT_TRUE(WriteFileAtomic(path, a).ok());
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kRounds; ++i) ASSERT_TRUE(WriteFileAtomic(path, b).ok());
+  });
+  ta.join();
+  tb.join();
+  auto final_bytes = ReadFileToString(path);
+  ASSERT_TRUE(final_bytes.ok());
+  EXPECT_TRUE(*final_bytes == a || *final_bytes == b)
+      << "target holds a mix of two writers' contents";
+  std::remove(path.c_str());
 }
 
 TEST(StorageTest, FileRoundTrip) {

@@ -110,6 +110,126 @@ TEST(WalTest, UncommittedOpsAreDiscarded) {
   EXPECT_EQ(contents->uncommitted_ops, 3u);
 }
 
+// The orphan-accumulation regression: repair must truncate trailing
+// *valid-but-uncommitted* op records, not just torn bytes. If the
+// orphans stayed, the next writer would append fresh batches after
+// them, and the following recovery scan would fold the orphans into
+// the first new commit's batch, fail its op_count check, and discard
+// every later acknowledged commit — silent loss of committed
+// mutations.
+TEST(WalTest, RepairTruncatesUncommittedTailSoLaterCommitsSurvive) {
+  const std::string path = TempWalPath("wal_orphan.log");
+  const std::vector<MutationOp> ops = SampleBatch();
+  size_t committed_size;
+  {
+    auto writer = WalWriter::Open(path, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+    auto mid = ReadFileToString(path);
+    ASSERT_TRUE(mid.ok());
+    committed_size = mid->size();
+    // Crash between BeginBatch's write and the commit record: valid op
+    // records with no commit land at the tail.
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  }
+
+  auto first = ReadWal(path, /*repair_torn_tail=*/true);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->events.size(), 1u);
+  EXPECT_EQ(first->uncommitted_ops, ops.size());
+  auto repaired = ReadFileToString(path);
+  ASSERT_TRUE(repaired.ok());
+  // The orphans are gone: the file ends at the committed boundary.
+  EXPECT_EQ(repaired->size(), committed_size);
+
+  // The next writer appends two more acknowledged batches...
+  {
+    auto writer = WalWriter::Open(path, first->last_lsn + 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());
+    ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+  }
+
+  // ...and the next recovery sees all three commits, none discarded.
+  auto second = ReadWal(path, /*repair_torn_tail=*/true);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->events.size(), 3u);
+  EXPECT_EQ(second->torn_bytes, 0u);
+  EXPECT_EQ(second->uncommitted_ops, 0u);
+}
+
+// A strategy record can never legally sit between a batch's ops and
+// its commit; if one does (legacy repair bug wrote after orphans), the
+// scan stops at the committed boundary before the orphans so replayed
+// events and the repaired file agree.
+TEST(WalTest, StrategyRecordAfterOrphanOpsStopsScanAtCommittedBoundary) {
+  const std::string path = TempWalPath("wal_orphan_strategy.log");
+  const std::vector<MutationOp> ops = SampleBatch();
+  {
+    auto writer = WalWriter::Open(path, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->BeginBatch(ops).ok());  // Orphans, no commit.
+  }
+  {
+    // A (buggy) writer that reopened without repair and kept going.
+    auto writer = WalWriter::Open(path, ops.size() + 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendStrategyChange("D+LMP-").ok());
+  }
+
+  auto contents = ReadWal(path, /*repair_torn_tail=*/true);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->events.empty());  // Strategy not replayed.
+  EXPECT_EQ(contents->uncommitted_ops, ops.size());
+
+  // Repaired back to the bare magic: nothing was ever committed.
+  auto after = ReadWal(path, true);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->events.empty());
+  EXPECT_EQ(after->uncommitted_ops, 0u);
+  EXPECT_EQ(after->torn_bytes, 0u);
+}
+
+// After any append failure the writer must latch: torn bytes may be on
+// disk, and a later "successful" append would land beyond them where
+// recovery can never reach — acknowledged-then-lost commits. Reset
+// (compaction) truncates the tear and reopens the latch.
+TEST(WalTest, WriteFailurePoisonsWriterUntilReset) {
+  const std::string path = TempWalPath("wal_poison.log");
+  auto writer = WalWriter::Open(path, 1);
+  ASSERT_TRUE(writer.ok());
+  const std::vector<MutationOp> ops = SampleBatch();
+
+  SetAtomicWriteLimitForTesting(4);  // Torn write a few bytes in.
+  const Status torn = writer->BeginBatch(ops);
+  SetAtomicWriteLimitForTesting(-1);
+  ASSERT_FALSE(torn.ok());
+  EXPECT_TRUE(writer->poisoned());
+
+  // The device "recovers", but the writer must refuse to append after
+  // the torn bytes — no silent resume.
+  EXPECT_EQ(writer->BeginBatch(ops).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Commit(ops.size(), ops.size()).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->AppendStrategyChange("D+LMP-").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer->Sync().code(), StatusCode::kFailedPrecondition);
+
+  // Reset truncates the tear away and heals the latch.
+  ASSERT_TRUE(writer->Reset(100).ok());
+  EXPECT_FALSE(writer->poisoned());
+  ASSERT_TRUE(writer->BeginBatch(ops).ok());
+  ASSERT_TRUE(writer->Commit(ops.size(), ops.size()).ok());
+
+  auto contents = ReadWal(path, true);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->events.size(), 1u);
+  EXPECT_EQ(contents->torn_bytes, 0u);
+}
+
 // A crash mid-append leaves a torn record at the tail; recovery keeps
 // the valid prefix, truncates the tail, and the next writer continues
 // on a clean file.
